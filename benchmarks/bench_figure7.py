@@ -1,0 +1,52 @@
+"""Figure 7 — the weighted DAG representation.
+
+Figure 7 illustrates the weighted DAG used by the interaction analysis:
+leaves weigh 1 and each interior node's weight is the sum of its
+children's, so the root weight counts the distinct active phase
+sequences the function admits.  This bench reports those weights for
+the enumerated study functions and validates the weight arithmetic.
+
+Expected shape versus the paper: root weights (distinct active
+sequences) vastly exceed both the node and leaf counts — many orderings
+converge to the same instances, which is the merging that makes
+exhaustive enumeration possible.
+"""
+
+from .conftest import write_result
+
+
+def test_figure7(benchmark, enumerated_suite):
+    header = (
+        f"{'function':22s} {'instances':>10s} {'leaves':>7s} "
+        f"{'root weight (active sequences)':>31s}"
+    )
+    lines = [
+        "Figure 7 — weighted DAG statistics",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    complete = [stat for stat in enumerated_suite.values() if stat.completed]
+    for stat in sorted(complete, key=lambda s: -len(s.result.dag)):
+        dag = stat.result.dag
+        weights = dag.weights()
+        root_weight = weights[dag.root_id]
+        leaves = dag.leaves()
+        lines.append(
+            f"{stat.name:22s} {len(dag):>10,} {len(leaves):>7,} "
+            f"{root_weight:>31,}"
+        )
+        # Figure 7's arithmetic: every leaf weighs one; interior nodes
+        # sum their children.
+        for leaf in leaves:
+            assert weights[leaf.node_id] == 1
+        for node in dag.nodes.values():
+            if node.active:
+                assert weights[node.node_id] == sum(
+                    weights[child] for child in node.active.values()
+                )
+        assert root_weight >= len(leaves)
+    write_result("figure7.txt", "\n".join(lines))
+
+    dag = max((stat.result.dag for stat in complete), key=len)
+    benchmark.pedantic(dag.weights, rounds=3, iterations=1)

@@ -1,0 +1,53 @@
+"""Figures 1, 2, and 4 — the effect of the two pruning techniques.
+
+Figure 1 shows the naive attempted space (15^n per level); Figure 2 the
+tree after dormant-phase detection; Figure 4 the DAG after identical-
+instance merging.  For each enumerated study function this bench
+reports the three sizes: the naive tree over the measured depth, the
+dormant-pruned tree (root-to-node path counts in the DAG — what the
+search would visit without merging), and the actual DAG node count.
+
+Expected shape versus the paper: each pruning step buys orders of
+magnitude — the naive space is astronomical, the dormant-pruned tree is
+large but finite, and the DAG is small enough to enumerate exhaustively.
+"""
+
+from .conftest import write_result
+
+
+def _fmt(value):
+    return f"{value:.3e}" if value >= 1e7 else f"{value:,}"
+
+
+def test_figures_1_2_4(benchmark, enumerated_suite):
+    header = (
+        f"{'function':22s} {'depth':>5s} {'naive tree (Fig 1)':>20s} "
+        f"{'pruned tree (Fig 2)':>20s} {'DAG (Fig 4)':>12s} {'merge factor':>13s}"
+    )
+    lines = [
+        "Figures 1/2/4 — naive space vs dormant-pruned tree vs merged DAG",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    complete = [
+        stat for stat in enumerated_suite.values() if stat.completed
+    ]
+    for stat in sorted(complete, key=lambda s: -len(s.result.dag)):
+        dag = stat.result.dag
+        naive = dag.naive_space_size(15)
+        tree = dag.tree_size()
+        nodes = len(dag)
+        lines.append(
+            f"{stat.name:22s} {dag.depth():>5d} {_fmt(naive):>20s} "
+            f"{_fmt(tree):>20s} {nodes:>12,} {tree / nodes:>13.1f}"
+        )
+        # the pruning hierarchy must hold
+        assert naive >= tree >= nodes
+    write_result("figures_1_2_4.txt", "\n".join(lines))
+
+    dag = max(
+        (stat.result.dag for stat in complete), key=len, default=None
+    )
+    assert dag is not None
+    benchmark.pedantic(dag.path_counts, rounds=3, iterations=1)

@@ -1,0 +1,67 @@
+"""Table 3 — function-level search space statistics.
+
+Regenerates the paper's Table 3 for the MiBench-like study functions:
+unoptimized instructions, blocks, branches, loops; distinct function
+instances, attempted phases, largest active sequence length, distinct
+control flows, leaf instances; and the max/min/%diff leaf code sizes.
+
+Expected shape versus the paper: the attempted space (15^Len) is
+astronomically larger than the distinct-instance count; leaf counts are
+small relative to instance counts (the DAG converges); code size gaps
+between best and worst orderings average tens of percent; functions
+whose per-level budget is exceeded appear as N/A.
+"""
+
+import statistics
+
+from repro.core.stats import format_stats_table
+
+from .conftest import bench_config, write_result
+
+
+def test_table3(benchmark, enumerated_suite):
+    rows = sorted(
+        enumerated_suite.values(), key=lambda stat: -stat.insts
+    )
+    lines = [
+        "Table 3 — function-level search space statistics",
+        "(caps: see REPRO_BENCH_MAX_NODES / REPRO_BENCH_TIME_LIMIT;",
+        " N/A = search exceeded the budget, as in the paper)",
+        "",
+        format_stats_table(rows),
+    ]
+    complete = [row for row in rows if row.completed]
+    if complete:
+        diffs = [
+            row.codesize_diff_percent
+            for row in complete
+            if row.codesize_diff_percent is not None
+        ]
+        lines += [
+            "",
+            f"functions fully enumerated : {len(complete)}/{len(rows)}",
+            f"average distinct instances : "
+            f"{statistics.mean(row.fn_instances for row in complete):.1f}",
+            f"average attempted phases   : "
+            f"{statistics.mean(row.attempted_phases for row in complete):.1f}",
+            f"largest active sequence    : "
+            f"{max(row.max_seq_len for row in complete)}",
+            f"average codesize %diff     : {statistics.mean(diffs):.1f}%"
+            if diffs
+            else "average codesize %diff     : N/A",
+        ]
+    write_result("table3.txt", "\n".join(lines))
+
+    # Time one representative enumeration (the paper's "minutes for
+    # most functions" claim, scaled to the simulator).
+    from repro.opt import implicit_cleanup
+    from repro.programs import compile_benchmark
+    from repro.core.enumeration import enumerate_space
+
+    def enumerate_one():
+        func = compile_benchmark("sha").functions["rol"]
+        implicit_cleanup(func)
+        return enumerate_space(func, bench_config())
+
+    result = benchmark.pedantic(enumerate_one, rounds=1, iterations=1)
+    assert result.completed

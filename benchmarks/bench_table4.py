@@ -1,0 +1,42 @@
+"""Table 4 — enabling interaction between optimization phases.
+
+Regenerates the paper's Table 4: for every ordered phase pair (y, x),
+the probability that applying x enables the previously dormant y,
+weighted by the Figure 7 node weights; plus the St column (probability
+of each phase being active at the start of compilation).
+
+Expected shape versus the paper: s and c are always active at the
+start; k is enabled by s (VPO legality) and s strongly re-enabled by k
+(allocation's register moves are collapsed by selection); d's row is
+empty (branch chaining cleans up after itself); most cells are blank —
+phase enabling is sparse.
+"""
+
+from repro.core.interactions import analyze_interactions
+
+from .conftest import write_result
+
+
+def test_table4(benchmark, enumerated_suite, interactions):
+    lines = [
+        "Table 4 — enabling probabilities (row enabled by column)",
+        "",
+        interactions.format_enabling(),
+        "",
+        "headline checks vs the paper:",
+        f"  St(s) = {interactions.start.get('s', 0):.2f}   (paper: 1.00)",
+        f"  St(c) = {interactions.start.get('c', 0):.2f}   (paper: 1.00)",
+        f"  P(k enabled by s) = "
+        f"{interactions.enabling.get('k', {}).get('s', 0):.2f}   (paper: 0.93)",
+        f"  P(s enabled by k) = "
+        f"{interactions.enabling.get('s', {}).get('k', 0):.2f}   (paper: 0.97)",
+        f"  d's enabling row empty: "
+        f"{all(v < 0.05 for v in interactions.enabling.get('d', {}).values())}"
+        "   (paper: d never enabled)",
+    ]
+    write_result("table4.txt", "\n".join(lines))
+
+    results = [stat.result for stat in enumerated_suite.values()]
+    benchmark.pedantic(
+        lambda: analyze_interactions(results), rounds=3, iterations=1
+    )

@@ -1,0 +1,47 @@
+"""Table 5 — disabling interaction between optimization phases.
+
+Regenerates the paper's Table 5: for every ordered phase pair (y, x),
+the probability that applying x leaves the previously active y dormant,
+weighted by the Figure 7 node weights.
+
+Expected shape versus the paper: the diagonal is 1.00 (every phase runs
+to its own fixpoint, so it always disables itself); c and k disable o
+with probability 1.00 (they require register assignment, after which o
+is illegal); i disables u (block reordering removes the jumps useless
+jump removal would have).
+"""
+
+from repro.core.interactions import analyze_interactions
+
+from .conftest import write_result
+
+
+def test_table5(benchmark, enumerated_suite, interactions):
+    diag = [
+        interactions.disabling.get(pid, {}).get(pid)
+        for pid in interactions.phase_ids
+        if interactions.disabling.get(pid, {}).get(pid) is not None
+    ]
+    lines = [
+        "Table 5 — disabling probabilities (row disabled by column)",
+        "",
+        interactions.format_disabling(),
+        "",
+        "headline checks vs the paper:",
+        f"  self-disabling diagonal all 1.00: "
+        f"{bool(diag) and all(v == 1.0 for v in diag)} "
+        f"({len(diag)} phases measured)",
+        f"  P(o disabled by c) = "
+        f"{interactions.disabling.get('o', {}).get('c', 0):.2f}   (paper: 1.00)",
+        f"  P(o disabled by k) = "
+        f"{interactions.disabling.get('o', {}).get('k', float('nan')):.2f}"
+        "   (paper: 1.00)",
+        f"  P(u disabled by i) = "
+        f"{interactions.disabling.get('u', {}).get('i', 0):.2f}   (paper: 1.00)",
+    ]
+    write_result("table5.txt", "\n".join(lines))
+
+    results = [stat.result for stat in enumerated_suite.values()]
+    benchmark.pedantic(
+        lambda: analyze_interactions(results), rounds=3, iterations=1
+    )

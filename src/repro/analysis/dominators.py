@@ -1,0 +1,99 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.cfg import build_cfg
+
+
+class DominatorTree:
+    """Immediate-dominator tree over the reachable blocks of a function."""
+
+    __slots__ = ("idom", "entry", "_depth")
+
+    def __init__(self, idom: Dict[str, Optional[str]], entry: str):
+        self.idom = idom
+        self.entry = entry
+        self._depth: Dict[str, int] = {}
+        for label in idom:
+            self._depth[label] = self._compute_depth(label)
+
+    def _compute_depth(self, label: str) -> int:
+        depth = 0
+        current: Optional[str] = label
+        while current is not None and current != self.entry:
+            current = self.idom[current]
+            depth += 1
+            if depth > len(self.idom) + 1:
+                raise RuntimeError("idom cycle")
+        return depth
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when *a* dominates *b* (reflexive)."""
+        current: Optional[str] = b
+        while current is not None:
+            if current == a:
+                return True
+            if current == self.entry:
+                return False
+            current = self.idom[current]
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def depth(self, label: str) -> int:
+        return self._depth[label]
+
+    def children(self) -> Dict[str, List[str]]:
+        tree: Dict[str, List[str]] = {label: [] for label in self.idom}
+        for label, parent in self.idom.items():
+            if parent is not None:
+                tree[parent].append(label)
+        return tree
+
+
+def compute_dominators(func: Function, cfg: Optional[CFG] = None) -> DominatorTree:
+    """Compute the dominator tree of *func* (reachable blocks only)."""
+    if cfg is None:
+        cfg = build_cfg(func)
+    entry = func.entry.label
+    rpo = cfg.reverse_postorder(entry)
+    position = {label: i for i, label in enumerate(rpo)}
+
+    idom: Dict[str, Optional[str]] = {entry: None}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == entry:
+                continue
+            new_idom: Optional[str] = None
+            for pred in cfg.preds.get(label, ()):
+                if pred not in position:
+                    continue  # unreachable predecessor
+                if pred == label:
+                    continue
+                if pred in idom or pred == entry:
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = intersect(pred, new_idom)
+            if new_idom is None:
+                continue
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+    return DominatorTree(idom, entry)

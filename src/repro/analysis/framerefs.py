@@ -1,0 +1,217 @@
+"""Frame-reference analysis: classify memory accesses against the stack.
+
+Naive code reaches stack slots through address registers
+(``t1 = fp + 8; t2 = M[t1]``), so a syntactic check of the memory
+address is not enough to know which frame slot an access touches.  This
+module runs a forward dataflow that tracks, per program point, which
+registers hold ``fp + constant``, and classifies every memory reference
+as:
+
+- a *slot* access with a known fp offset,
+- a *non-scalar* access (globals, array elements — derived pointers are
+  assumed in-bounds, so they never alias scalar slots; mini-C cannot
+  take the address of a scalar), or
+- a *wild* access (an address that may be frame-derived with an unknown
+  offset), which must be assumed to touch any scalar slot.
+
+Calls neither read nor write scalar slots: scalar locals' addresses
+never escape in mini-C (only array base addresses are passed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.ir.cfg import CFG, build_cfg
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, Compare, Instruction
+from repro.ir.operands import BinOp, Const, Expr, Mem, Reg
+from repro.machine.target import FP
+
+# Abstract values for the register -> fp-offset lattice.
+_OTHER = "other"  # definitely not fp + constant
+_WILD = "wild"  # may be fp + unknown constant
+
+
+class InstSlotRefs(NamedTuple):
+    """Scalar-slot effects of one instruction."""
+
+    reads: frozenset  # slot offsets read
+    writes: frozenset  # slot offsets written
+    wild_read: bool  # may read any scalar slot
+    wild_write: bool  # may write any scalar slot
+
+
+_NO_REFS = InstSlotRefs(frozenset(), frozenset(), False, False)
+
+
+def _meet(a, b):
+    if a == b:
+        return a
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == _OTHER and b == _OTHER:
+        return _OTHER
+    return _WILD
+
+
+def _eval_abstract(expr: Expr, state: Dict[Reg, object]):
+    """Abstract value of an address expression under *state*."""
+    if isinstance(expr, Reg):
+        if expr == FP:
+            return 0
+        return state.get(expr, _OTHER)
+    if isinstance(expr, Const):
+        return _OTHER  # a plain constant is not frame-derived
+    if isinstance(expr, BinOp) and expr.op == "add":
+        left = _eval_abstract(expr.left, state)
+        if isinstance(expr.right, Const) and not isinstance(expr.right.value, float):
+            if isinstance(left, int):
+                return left + expr.right.value
+            return left
+        right = _eval_abstract(expr.right, state)
+        # fp+c plus a non-constant: a derived in-bounds pointer (array
+        # element) — never a scalar slot.
+        if isinstance(left, int) or isinstance(right, int):
+            if left == _WILD or right == _WILD:
+                return _WILD
+            return _OTHER
+        if left == _WILD or right == _WILD:
+            return _WILD
+        return _OTHER
+    if isinstance(expr, BinOp) and expr.op == "sub":
+        left = _eval_abstract(expr.left, state)
+        if isinstance(expr.right, Const) and not isinstance(expr.right.value, float):
+            if isinstance(left, int):
+                return left - expr.right.value
+            return left
+        if left == _WILD:
+            return _WILD
+        if isinstance(left, int):
+            return _OTHER
+        return left
+    # Any other shape: wild only if it mentions a frame-derived register.
+    for reg in expr.registers():
+        value = state.get(reg, _OTHER) if reg != FP else 0
+        if isinstance(value, int) or value == _WILD:
+            return _WILD
+    return _OTHER
+
+
+def _transfer(inst: Instruction, state: Dict[Reg, object]) -> None:
+    if isinstance(inst, Assign) and isinstance(inst.dst, Reg):
+        state[inst.dst] = _src_value(inst.src, state)
+        return
+    for reg in inst.defs():
+        state[reg] = _OTHER  # call results are never frame pointers
+
+
+def _src_value(src: Expr, state: Dict[Reg, object]):
+    if isinstance(src, Mem):
+        return _OTHER  # loaded values are data, never frame addresses
+    return _eval_abstract(src, state)
+
+
+def _mem_exprs(inst: Instruction):
+    """Yield (mem, is_write) for every memory reference of *inst*."""
+    if isinstance(inst, Assign):
+        for node in inst.src.walk():
+            if isinstance(node, Mem):
+                yield node, False
+        if isinstance(inst.dst, Mem):
+            for node in inst.dst.addr.walk():
+                if isinstance(node, Mem):
+                    yield node, False
+            yield inst.dst, True
+    elif isinstance(inst, Compare):
+        for expr in (inst.left, inst.right):
+            for node in expr.walk():
+                if isinstance(node, Mem):
+                    yield node, False
+
+
+class FrameRefs:
+    """Per-instruction scalar-slot effects for a whole function."""
+
+    __slots__ = ("refs", "tracked", "has_wild")
+
+    def __init__(
+        self,
+        refs: Dict[str, List[InstSlotRefs]],
+        tracked: frozenset,
+        has_wild: bool,
+    ):
+        self.refs = refs  # block label -> per-instruction effects
+        self.tracked = tracked  # offsets of scalar slots
+        self.has_wild = has_wild  # any wild reference in the function
+
+
+def compute_frame_refs(func: Function, cfg: Optional[CFG] = None) -> FrameRefs:
+    """Run the fp-offset dataflow and classify every memory reference."""
+    if cfg is None:
+        cfg = build_cfg(func)
+    tracked = frozenset(slot.offset for slot in func.scalar_slots())
+
+    # Forward dataflow of register -> abstract fp-offset.
+    # None state means "not yet reached".
+    in_states: Dict[str, Optional[Dict[Reg, object]]] = {
+        block.label: None for block in func.blocks
+    }
+    entry = func.entry.label
+    in_states[entry] = {}
+    order = cfg.reverse_postorder(entry)
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            state = in_states[label]
+            if state is None:
+                continue
+            current = dict(state)
+            for inst in func.block(label).insts:
+                _transfer(inst, current)
+            for succ in cfg.succs.get(label, ()):
+                existing = in_states[succ]
+                if existing is None:
+                    in_states[succ] = dict(current)
+                    changed = True
+                    continue
+                merged = {}
+                for reg in set(existing) | set(current):
+                    value = _meet(existing.get(reg, _OTHER), current.get(reg, _OTHER))
+                    merged[reg] = value
+                if merged != existing:
+                    in_states[succ] = merged
+                    changed = True
+
+    refs: Dict[str, List[InstSlotRefs]] = {}
+    has_wild = False
+    for block in func.blocks:
+        state = in_states[block.label]
+        current = dict(state) if state is not None else {}
+        block_refs: List[InstSlotRefs] = []
+        for inst in block.insts:
+            reads: Set[int] = set()
+            writes: Set[int] = set()
+            wild_read = False
+            wild_write = False
+            for mem, is_write in _mem_exprs(inst):
+                value = _eval_abstract(mem.addr, current)
+                if isinstance(value, int):
+                    if value in tracked:
+                        (writes if is_write else reads).add(value)
+                elif value == _WILD:
+                    if is_write:
+                        wild_write = True
+                    else:
+                        wild_read = True
+            if wild_read or wild_write:
+                has_wild = True
+            block_refs.append(
+                InstSlotRefs(frozenset(reads), frozenset(writes), wild_read, wild_write)
+            )
+            _transfer(inst, current)
+        refs[block.label] = block_refs
+    return FrameRefs(refs, tracked, has_wild)

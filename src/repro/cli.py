@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+compile
+    Compile a mini-C file and print the RTL of one or all functions,
+    optionally after a phase sequence or a full batch compilation.
+run
+    Execute a function (or a benchmark's entry point) in the RTL
+    interpreter and report the result and dynamic instruction counts.
+enumerate
+    Exhaustively enumerate a function's phase order space and print its
+    Table 3 row; optionally dump the space DAG as Graphviz.
+interactions
+    Enumerate several functions and print the Table 4/5/6 matrices.
+search
+    Genetic-algorithm search for a good phase ordering.
+list-benchmarks
+    Show the bundled MiBench-like benchmark programs.
+
+Mini-C files are read from disk; the bundled benchmarks are addressed
+as ``bench:NAME`` (e.g. ``bench:sha``) wherever a file is expected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.core.batch import BatchCompiler
+from repro.core.interactions import analyze_interactions
+from repro.core.stats import FunctionSpaceStats, format_stats_table, static_function_facts
+from repro.frontend import CompileError, compile_source
+from repro.ir.function import Program
+from repro.ir.printer import format_function
+from repro.opt import PHASE_IDS, apply_phase, implicit_cleanup, phase_by_id
+from repro.programs import PROGRAMS
+from repro.search import GeneticSearcher
+from repro.vm import Interpreter, VMError
+
+
+def _load_program(spec: str) -> Program:
+    if spec.startswith("bench:"):
+        name = spec[len("bench:") :]
+        if name not in PROGRAMS:
+            raise SystemExit(
+                f"unknown benchmark {name!r}; try: {', '.join(sorted(PROGRAMS))}"
+            )
+        return compile_source(PROGRAMS[name].source)
+    try:
+        with open(spec) as handle:
+            source = handle.read()
+    except OSError as error:
+        raise SystemExit(f"cannot read {spec}: {error}")
+    try:
+        return compile_source(source)
+    except CompileError as error:
+        raise SystemExit(f"{spec}: {error}")
+
+
+def _select_function(program: Program, name: Optional[str]):
+    if name is None:
+        raise SystemExit(
+            f"--function required; available: {', '.join(program.functions)}"
+        )
+    func = program.functions.get(name)
+    if func is None:
+        raise SystemExit(
+            f"no function {name!r}; available: {', '.join(program.functions)}"
+        )
+    return func
+
+
+def _validate_sequence(sequence: str) -> str:
+    for phase_id in sequence:
+        if phase_id not in PHASE_IDS:
+            raise SystemExit(
+                f"unknown phase {phase_id!r}; phases: {''.join(PHASE_IDS)}"
+            )
+    return sequence
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_compile(args) -> int:
+    program = _load_program(args.file)
+    names = [args.function] if args.function else list(program.functions)
+    for name in names:
+        func = program.functions.get(name)
+        if func is None:
+            raise SystemExit(f"no function {name!r}")
+        implicit_cleanup(func)
+        applied = []
+        if args.batch:
+            report = BatchCompiler().compile(func)
+            applied = list(report.active_sequence)
+        elif args.sequence:
+            for phase_id in _validate_sequence(args.sequence):
+                if apply_phase(func, phase_by_id(phase_id)):
+                    applied.append(phase_id)
+        print(f"=== {name} ({func.num_instructions()} instructions"
+              + (f"; active: {''.join(applied)}" if applied else "") + ") ===")
+        print(format_function(func))
+        print()
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.file)
+    if args.batch:
+        for func in program.functions.values():
+            BatchCompiler().compile(func)
+    entry = args.entry
+    if entry is None and args.file.startswith("bench:"):
+        entry = PROGRAMS[args.file[len("bench:") :]].entry
+    if entry is None:
+        raise SystemExit("--entry required for source files")
+    arguments = [int(a) for a in args.args]
+    try:
+        result = Interpreter(program, fuel=args.fuel).run(entry, arguments)
+    except VMError as error:
+        raise SystemExit(f"execution failed: {error}")
+    print(f"value: {result.value}")
+    print(f"dynamic instructions: {result.total_insts}")
+    for name, count in sorted(result.per_function.items()):
+        print(f"  {name}: {count}")
+    return 0
+
+
+def cmd_enumerate(args) -> int:
+    program = _load_program(args.file)
+    func = _select_function(program, args.function)
+    implicit_cleanup(func)
+    facts = static_function_facts(func)
+    config = EnumerationConfig(
+        max_nodes=args.max_nodes,
+        time_limit=args.time_limit,
+        exact=args.exact,
+    )
+    result = enumerate_space(func, config)
+    stats = FunctionSpaceStats(args.function, *facts, result)
+    print(format_stats_table([stats]))
+    if not result.completed:
+        print(f"(aborted: {result.abort_reason})")
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(result.dag.to_dot())
+        print(f"space DAG written to {args.dot}")
+    return 0
+
+
+def cmd_interactions(args) -> int:
+    program = _load_program(args.file)
+    names = args.functions.split(",") if args.functions else list(program.functions)
+    results = []
+    for name in names:
+        func = program.functions.get(name)
+        if func is None:
+            raise SystemExit(f"no function {name!r}")
+        clone = func.clone()
+        implicit_cleanup(clone)
+        results.append(
+            enumerate_space(
+                clone,
+                EnumerationConfig(
+                    max_nodes=args.max_nodes, time_limit=args.time_limit
+                ),
+            )
+        )
+        status = "complete" if results[-1].completed else "truncated"
+        print(f"{name}: {len(results[-1].dag)} instances ({status})", file=sys.stderr)
+    analysis = analyze_interactions(results)
+    print(analysis.format_enabling())
+    print()
+    print(analysis.format_disabling())
+    print()
+    print(analysis.format_independence())
+    return 0
+
+
+def cmd_search(args) -> int:
+    program = _load_program(args.file)
+    func = _select_function(program, args.function)
+    implicit_cleanup(func)
+    searcher = GeneticSearcher(
+        func,
+        sequence_length=args.length,
+        generations=args.generations,
+        seed=args.seed,
+    )
+    result = searcher.run()
+    print(f"best sequence : {''.join(result.best_sequence)}")
+    print(f"code size     : {result.best_fitness:.0f} instructions")
+    print(
+        f"evaluations   : {result.evaluations} "
+        f"({result.cache_hits} avoided by the fingerprint cache)"
+    )
+    print(format_function(result.best_function))
+    return 0
+
+
+def cmd_list_benchmarks(args) -> int:
+    for name, bench in sorted(PROGRAMS.items()):
+        print(
+            f"{name:14s} {bench.category:10s} entry={bench.entry:6s} "
+            f"functions: {', '.join(bench.study_functions)}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Exhaustive optimization phase order space exploration "
+        "(CGO 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile mini-C and print RTL")
+    p.add_argument("file", help="mini-C file or bench:NAME")
+    p.add_argument("--function", help="only this function")
+    p.add_argument("--sequence", help="phase letters to apply, e.g. sckshu")
+    p.add_argument("--batch", action="store_true", help="full batch compilation")
+    p.set_defaults(handler=cmd_compile)
+
+    p = sub.add_parser("run", help="execute in the RTL interpreter")
+    p.add_argument("file", help="mini-C file or bench:NAME")
+    p.add_argument("--entry", help="function to call (benchmark default: its main)")
+    p.add_argument("--batch", action="store_true", help="optimize before running")
+    p.add_argument("--fuel", type=int, default=50_000_000)
+    p.add_argument(
+        "--args",
+        nargs="*",
+        default=[],
+        metavar="N",
+        help="integer arguments passed to the entry function",
+    )
+    p.set_defaults(handler=cmd_run)
+
+    p = sub.add_parser("enumerate", help="enumerate a phase order space")
+    p.add_argument("file", help="mini-C file or bench:NAME")
+    p.add_argument("--function", required=True)
+    p.add_argument("--max-nodes", type=int, default=20_000)
+    p.add_argument("--time-limit", type=float, default=300.0)
+    p.add_argument("--exact", action="store_true", help="verify no hash collisions")
+    p.add_argument("--dot", help="write the space DAG as Graphviz to this file")
+    p.set_defaults(handler=cmd_enumerate)
+
+    p = sub.add_parser("interactions", help="print Tables 4/5/6")
+    p.add_argument("file", help="mini-C file or bench:NAME")
+    p.add_argument("--functions", help="comma-separated subset")
+    p.add_argument("--max-nodes", type=int, default=4000)
+    p.add_argument("--time-limit", type=float, default=60.0)
+    p.set_defaults(handler=cmd_interactions)
+
+    p = sub.add_parser("search", help="genetic search for a phase ordering")
+    p.add_argument("file", help="mini-C file or bench:NAME")
+    p.add_argument("--function", required=True)
+    p.add_argument("--length", type=int, default=12)
+    p.add_argument("--generations", type=int, default=15)
+    p.add_argument("--seed", type=int, default=2006)
+    p.set_defaults(handler=cmd_search)
+
+    p = sub.add_parser("list-benchmarks", help="show bundled benchmarks")
+    p.set_defaults(handler=cmd_list_benchmarks)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

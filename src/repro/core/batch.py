@@ -1,0 +1,123 @@
+"""The conventional batch compiler (paper section 6 baseline).
+
+VPO's batch mode applies optimization phases to every function in one
+fixed order, looping over the aggressive phases until no phase changes
+the program, which means many attempted phases are dormant.  The
+probabilistic compiler (:mod:`repro.core.probabilistic`) is measured
+against this baseline in Table 7.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function
+from repro.machine.target import DEFAULT_TARGET, Target
+from repro.opt import PHASES, Phase, apply_phase, phase_by_id
+
+#: phases applied once before the fixpoint loop: control-flow cleanup,
+#: evaluation order determination (must precede register assignment),
+#: then a first instruction selection
+BATCH_PROLOGUE: Tuple[str, ...] = ("b", "i", "u", "r", "o", "s")
+
+#: the fixpoint loop body, repeated until one full pass stays dormant
+BATCH_LOOP: Tuple[str, ...] = (
+    "s",
+    "c",
+    "h",
+    "k",
+    "l",
+    "g",
+    "j",
+    "q",
+    "n",
+    "b",
+    "i",
+    "u",
+    "r",
+    "d",
+)
+
+#: the complete default order, for reporting
+BATCH_ORDER: Tuple[str, ...] = BATCH_PROLOGUE + BATCH_LOOP
+
+
+class CompilationReport:
+    """Statistics from compiling one function."""
+
+    __slots__ = (
+        "function_name",
+        "attempted",
+        "active",
+        "active_sequence",
+        "elapsed",
+        "code_size",
+    )
+
+    def __init__(self, function_name, attempted, active, active_sequence, elapsed, code_size):
+        self.function_name = function_name
+        #: number of phases attempted (dormant included)
+        self.attempted = attempted
+        #: number of phases that changed the code
+        self.active = active
+        #: the active phase ids in application order
+        self.active_sequence = active_sequence
+        #: wall-clock compile time in seconds
+        self.elapsed = elapsed
+        #: static instructions in the final code
+        self.code_size = code_size
+
+    def __repr__(self):
+        return (
+            f"<CompilationReport {self.function_name}: attempted="
+            f"{self.attempted} active={self.active} size={self.code_size}>"
+        )
+
+
+class BatchCompiler:
+    """Apply phases in VPO's fixed default order to a fixpoint."""
+
+    def __init__(
+        self,
+        target: Optional[Target] = None,
+        prologue: Sequence[str] = BATCH_PROLOGUE,
+        loop: Sequence[str] = BATCH_LOOP,
+        max_loop_iterations: int = 50,
+    ):
+        self.target = target or DEFAULT_TARGET
+        self.prologue = tuple(prologue)
+        self.loop = tuple(loop)
+        self.max_loop_iterations = max_loop_iterations
+
+    def compile(self, func: Function) -> CompilationReport:
+        """Optimize *func* in place with the default phase order."""
+        start = time.perf_counter()
+        attempted = 0
+        active_sequence: List[str] = []
+        for phase_id in self.prologue:
+            attempted += 1
+            if apply_phase(func, phase_by_id(phase_id), self.target):
+                active_sequence.append(phase_id)
+        for _ in range(self.max_loop_iterations):
+            any_active = False
+            for phase_id in self.loop:
+                attempted += 1
+                if apply_phase(func, phase_by_id(phase_id), self.target):
+                    active_sequence.append(phase_id)
+                    any_active = True
+            if not any_active:
+                break
+        else:
+            raise RuntimeError(
+                f"{func.name}: batch compilation did not reach a fixpoint"
+            )
+        elapsed = time.perf_counter() - start
+        return CompilationReport(
+            func.name,
+            attempted,
+            len(active_sequence),
+            tuple(active_sequence),
+            elapsed,
+            func.num_instructions(),
+        )

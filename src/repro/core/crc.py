@@ -1,0 +1,37 @@
+"""CRC-32 from scratch (table-driven, IEEE 802.3 polynomial).
+
+The paper (section 4.2.1) uses a CRC checksum over the bytes of a
+function's RTLs because, unlike a plain byte-sum, a CRC is sensitive to
+byte *order* [Peterson & Brown 1961] — two functions with the same
+instructions in a different order hash differently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_POLYNOMIAL = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        value = byte
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ _POLYNOMIAL
+            else:
+                value >>= 1
+        table.append(value)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, seed: int = 0) -> int:
+    """CRC-32 of *data* (compatible with zlib.crc32 for seed 0)."""
+    value = seed ^ 0xFFFFFFFF
+    for byte in data:
+        value = (value >> 8) ^ _TABLE[(value ^ byte) & 0xFF]
+    return value ^ 0xFFFFFFFF

@@ -1,0 +1,109 @@
+"""Dynamic instruction count inference from distinct control flows.
+
+The paper's section 7 observes that the small number of distinct
+control flows (the CF column of Table 3) "can be used to infer the
+dynamic instruction count of one execution from another": two function
+instances with the same control flow execute corresponding blocks the
+same number of times, so profiling *one* representative per control
+flow prices *every* instance in the space.  For a function with
+thousands of instances but only dozens of control flows, this turns
+"simulate everything" into a handful of executions.
+
+:class:`DynamicCountOracle` implements exactly that: it lazily executes
+one representative instance per distinct control flow (recording
+per-block execution frequencies) and computes every other instance's
+dynamic count as sum(frequency[i] * len(block_i)) over positionally
+corresponding blocks.
+
+Requires a space enumerated with ``keep_functions=True`` so that each
+node still carries its function instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.dag import SpaceDAG, SpaceNode
+from repro.ir.function import Function, Program
+from repro.vm import Interpreter
+
+
+class DynamicCountOracle:
+    """Price every instance in a space with one run per control flow.
+
+    Parameters
+    ----------
+    program:
+        The program the function belongs to (callees are needed).
+    function_name:
+        Which function the space enumerates.
+    run:
+        Callback ``run(interpreter) -> None`` that drives one
+        execution (e.g. seeds globals and calls the entry point).
+        The interpreter it receives has block profiling enabled.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        function_name: str,
+        run: Callable[[Interpreter], None],
+        fuel: int = 50_000_000,
+    ):
+        self.program = program
+        self.function_name = function_name
+        self.run = run
+        self.fuel = fuel
+        #: cf_crc -> per-positional-block execution frequencies
+        self._frequencies: Dict[int, List[int]] = {}
+        self.executions = 0
+
+    # ------------------------------------------------------------------
+
+    def measure(self, func: Function) -> List[int]:
+        """Execute once with *func* installed; per-block frequencies."""
+        trial = Program()
+        trial.globals = self.program.globals
+        trial.functions = dict(self.program.functions)
+        trial.functions[self.function_name] = func
+        interpreter = Interpreter(trial, fuel=self.fuel, profile_blocks=True)
+        self.run(interpreter)
+        self.executions += 1
+        return [
+            interpreter.block_counts.get((self.function_name, block.label), 0)
+            for block in func.blocks
+        ]
+
+    def dynamic_count(self, node: SpaceNode) -> int:
+        """Dynamic instructions of *node*'s instance (inferred when a
+        same-control-flow representative was already executed)."""
+        func = node.function
+        if func is None:
+            raise ValueError(
+                "node carries no function; enumerate with keep_functions=True"
+            )
+        frequencies = self._frequencies.get(node.cf_crc)
+        if frequencies is None:
+            frequencies = self.measure(func)
+            self._frequencies[node.cf_crc] = frequencies
+        return sum(
+            count * len(block.insts)
+            for count, block in zip(frequencies, func.blocks)
+        )
+
+    def price_space(self, dag: SpaceDAG) -> Dict[int, int]:
+        """Dynamic counts for every node; executes once per control flow."""
+        return {
+            node.node_id: self.dynamic_count(node)
+            for node in dag.nodes.values()
+            if node.function is not None
+        }
+
+    def best_node(self, dag: SpaceDAG) -> Tuple[SpaceNode, int]:
+        """The leaf instance with the lowest dynamic instruction count."""
+        leaves = [node for node in dag.leaves() if node.function is not None]
+        if not leaves:
+            raise ValueError("no leaf instances with retained functions")
+        priced = [(self.dynamic_count(node), node) for node in leaves]
+        count, node = min(priced, key=lambda pair: (pair[0], pair[1].node_id))
+        return node, count

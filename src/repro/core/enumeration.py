@@ -1,0 +1,271 @@
+"""Exhaustive enumeration of the optimization phase order space.
+
+The algorithm of section 4 of the paper: view the space as levels of
+function *instances* rather than phase sequences (Figure 1), and prune
+with two techniques that lose no information:
+
+1. **Dormant phase detection** (section 4.1): an attempted phase that
+   makes no change ends that branch; an active phase is not re-attempted
+   on its own result (no phase in this compiler can be successfully
+   applied twice in a row, since every phase runs to its own fixpoint).
+2. **Identical function instance detection** (section 4.2): instances
+   are fingerprinted (instruction count, byte-sum, CRC-32 of the
+   register/label-remapped RTLs) and merged, turning the tree into a
+   DAG (Figure 4).
+
+Section 4.3's search enhancements are also here: the unoptimized
+function and every frontier instance stay in memory, so evaluating a
+sequence applies exactly one phase to an already-materialized prefix
+instead of replaying the whole sequence (prefix sharing).  Disable
+``share_prefixes`` to measure the difference (the Figure 6 experiment).
+
+The per-level budget mirrors the paper: enumeration is abandoned (and
+the function reported as too big) when the number of optimization
+sequences to apply at one level exceeds ``max_level_sequences``
+(1,000,000 in the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dag import SpaceDAG, SpaceNode
+from repro.core.fingerprint import Fingerprint, fingerprint_function
+from repro.ir.function import Function
+from repro.machine.target import DEFAULT_TARGET, Target
+from repro.opt import PHASES, Phase, apply_phase, implicit_cleanup
+
+
+class EnumerationConfig:
+    """Tunable limits and switches for the space enumeration."""
+
+    def __init__(
+        self,
+        max_level_sequences: int = 1_000_000,
+        max_nodes: Optional[int] = None,
+        max_levels: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        exact: bool = False,
+        share_prefixes: bool = True,
+        keep_functions: bool = False,
+        remap: bool = True,
+        phases: Sequence[Phase] = PHASES,
+        target: Optional[Target] = None,
+    ):
+        self.max_level_sequences = max_level_sequences
+        self.max_nodes = max_nodes
+        self.max_levels = max_levels
+        self.time_limit = time_limit
+        #: keep remapped text per instance and verify hash matches are
+        #: truly identical (collision check); costs memory
+        self.exact = exact
+        #: keep frontier instances in memory (section 4.3); turning
+        #: this off replays the whole phase sequence from the
+        #: unoptimized function for every attempt (Figure 6 baseline)
+        self.share_prefixes = share_prefixes
+        #: retain every node's Function object (memory heavy)
+        self.keep_functions = keep_functions
+        #: remap registers/labels before hashing (section 4.2.1);
+        #: turning this off is the remapping ablation
+        self.remap = remap
+        self.phases = tuple(phases)
+        self.target = target or DEFAULT_TARGET
+
+
+class EnumerationResult:
+    """Outcome of enumerating one function's phase order space."""
+
+    def __init__(
+        self,
+        dag: SpaceDAG,
+        completed: bool,
+        attempted_phases: int,
+        phases_applied: int,
+        elapsed: float,
+        abort_reason: Optional[str] = None,
+    ):
+        self.dag = dag
+        #: True when the space was fully enumerated (no budget hit)
+        self.completed = completed
+        #: phase attempts, dormant ones included (Table 3's "Attempt")
+        self.attempted_phases = attempted_phases
+        #: total phase executions, including sequence replays when
+        #: prefix sharing is off (the Figure 6 metric)
+        self.phases_applied = phases_applied
+        self.elapsed = elapsed
+        self.abort_reason = abort_reason
+
+    def __repr__(self):
+        status = "complete" if self.completed else f"aborted({self.abort_reason})"
+        return (
+            f"<EnumerationResult {self.dag.function_name}: {len(self.dag)} "
+            f"instances, {self.attempted_phases} attempts, {status}>"
+        )
+
+
+class _Budget:
+    def __init__(self, config: EnumerationConfig):
+        self.config = config
+        self.start = time.monotonic()
+        self.reason: Optional[str] = None
+
+    def exceeded_nodes(self, dag: SpaceDAG) -> bool:
+        if self.config.max_nodes is not None and len(dag) > self.config.max_nodes:
+            self.reason = "max_nodes"
+            return True
+        return False
+
+    def exceeded_time(self) -> bool:
+        if (
+            self.config.time_limit is not None
+            and time.monotonic() - self.start > self.config.time_limit
+        ):
+            self.reason = "time_limit"
+            return True
+        return False
+
+
+def enumerate_space(
+    func: Function, config: Optional[EnumerationConfig] = None
+) -> EnumerationResult:
+    """Exhaustively enumerate all distinct instances of *func*.
+
+    The input function is not modified.
+    """
+    if config is None:
+        config = EnumerationConfig()
+    target = config.target
+    budget = _Budget(config)
+
+    root_func = func.clone()
+    implicit_cleanup(root_func)  # canonical root instance
+
+    dag = SpaceDAG(func.name)
+    texts: Dict[object, str] = {}
+    attempted = 0
+    applied = 0
+
+    root_fp = fingerprint_function(
+        root_func, keep_text=config.exact, remap=config.remap
+    )
+    root_key = _node_key(root_fp, root_func)
+    root = dag.add_node(root_key, 0, root_fp.num_insts, root_fp.cf_crc)
+    root.function = root_func
+    if config.exact:
+        texts[root_key] = root_fp.text
+
+    # Paths from the root, used to replay sequences when prefix sharing
+    # is disabled.
+    recipes: Dict[int, Tuple[str, ...]] = {root.node_id: ()}
+
+    frontier: List[SpaceNode] = [root]
+    level = 0
+    completed = True
+
+    while frontier:
+        if config.max_levels is not None and level >= config.max_levels:
+            completed = False
+            budget.reason = "max_levels"
+            break
+        # The paper's per-level criterion: sequences to apply at this
+        # level.
+        sequences_this_level = sum(
+            sum(
+                1
+                for phase in config.phases
+                if phase.id not in _arrival_phases(node)
+            )
+            for node in frontier
+        )
+        if sequences_this_level > config.max_level_sequences:
+            completed = False
+            budget.reason = "max_level_sequences"
+            break
+
+        next_frontier: List[SpaceNode] = []
+        for node in frontier:
+            if budget.exceeded_time() or budget.exceeded_nodes(dag):
+                completed = False
+                break
+            arrival = _arrival_phases(node)
+            for phase in config.phases:
+                if phase.id in arrival:
+                    # An active phase is never attempted on its own
+                    # result (it just ran to its fixpoint).
+                    node.dormant.add(phase.id)
+                    continue
+                attempted += 1
+                if config.share_prefixes:
+                    candidate = node.function.clone()
+                    applied += 1
+                    active = apply_phase(candidate, phase, target)
+                else:
+                    candidate = root_func.clone()
+                    for prior_id in recipes[node.node_id]:
+                        applied += 1
+                        apply_phase(candidate, _phase_by_id(config, prior_id), target)
+                    applied += 1
+                    active = apply_phase(candidate, phase, target)
+                if not active:
+                    node.dormant.add(phase.id)
+                    continue
+                fingerprint = fingerprint_function(
+                    candidate, keep_text=config.exact, remap=config.remap
+                )
+                key = _node_key(fingerprint, candidate)
+                existing = dag.lookup(key)
+                if existing is not None:
+                    if config.exact and texts.get(key) != fingerprint.text:
+                        raise RuntimeError(
+                            f"fingerprint collision in {func.name}: two "
+                            "distinct instances share (count, byte-sum, CRC)"
+                        )
+                    dag.add_edge(node, phase.id, existing)
+                    continue
+                child = dag.add_node(
+                    key, level + 1, fingerprint.num_insts, fingerprint.cf_crc
+                )
+                child.function = candidate
+                if config.exact:
+                    texts[key] = fingerprint.text
+                recipes[child.node_id] = recipes[node.node_id] + (phase.id,)
+                dag.add_edge(node, phase.id, child)
+                next_frontier.append(child)
+            node.expanded = True
+            if not config.keep_functions:
+                node.function = None
+        else:
+            frontier = next_frontier
+            level += 1
+            continue
+        break  # inner budget break propagates
+
+    elapsed = time.monotonic() - budget.start
+    return EnumerationResult(
+        dag, completed, attempted, applied, elapsed, budget.reason
+    )
+
+
+def _node_key(fingerprint: Fingerprint, func: Function):
+    """Node identity: the paper's hash triple plus the legality flags
+    (register assignment / s applied / k applied), which determine which
+    phases are attemptable — see DESIGN.md."""
+    return (
+        fingerprint.key,
+        func.reg_assigned,
+        func.sel_applied,
+        func.alloc_applied,
+    )
+
+
+def _arrival_phases(node: SpaceNode) -> set:
+    """Phases that produced this node (labels of its in-edges)."""
+    return {phase_id for (_parent, phase_id) in node.parents}
+
+
+def _phase_by_id(config: EnumerationConfig, phase_id: str) -> Phase:
+    for phase in config.phases:
+        if phase.id == phase_id:
+            return phase
+    raise KeyError(phase_id)

@@ -1,0 +1,235 @@
+"""Optimization phase interaction analysis (paper section 5).
+
+Given one or more enumerated space DAGs, compute:
+
+- **enabling** probabilities (Table 4): phase x enables phase y when y
+  was dormant before x was applied and active afterwards.  The
+  probability is the ratio of dormant→active transitions to all
+  dormant→{active,dormant} transitions across x-edges, each transition
+  weighted by the weight of the destination node (Figure 7 weights);
+- **disabling** probabilities (Table 5): active→dormant transitions
+  against active→{dormant,active}, weighted the same way;
+- **independence** probabilities (Table 6): two phases active at the
+  same instance are independent there when applying them in either
+  order yields the identical instance; weighted by the node's weight;
+- **start** probabilities (Table 4's St column): how often each phase
+  is active on the unoptimized instance.
+
+Only expanded nodes participate (an aborted enumeration's frontier has
+unknown phase status).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dag import SpaceDAG
+from repro.core.enumeration import EnumerationResult
+from repro.opt import PHASE_IDS
+
+
+class InteractionAnalysis:
+    """Aggregated phase interaction probabilities."""
+
+    def __init__(
+        self,
+        phase_ids: Sequence[str],
+        enabling: Dict[str, Dict[str, float]],
+        disabling: Dict[str, Dict[str, float]],
+        independence: Dict[str, Dict[str, float]],
+        start: Dict[str, float],
+        size_effect: Optional[Dict[str, float]] = None,
+    ):
+        self.phase_ids = tuple(phase_ids)
+        #: enabling[y][x] = P(x enables y)
+        self.enabling = enabling
+        #: disabling[y][x] = P(x disables y)
+        self.disabling = disabling
+        #: independence[x][y] = P(order of x and y does not matter)
+        self.independence = independence
+        #: start[x] = P(x active on the unoptimized function)
+        self.start = start
+        #: size_effect[x] = mean instruction-count change when x is
+        #: active (negative = shrinks code), weighted like the tables.
+        #: This is the "benefit" signal the paper's section 6 suggests
+        #: the probabilistic compiler should additionally consider.
+        self.size_effect = size_effect or {}
+
+    # ------------------------------------------------------------------
+    # Paper-style table rendering
+    # ------------------------------------------------------------------
+
+    def format_enabling(self) -> str:
+        return self._format_table(
+            self.enabling, "Enabling (row enabled by column)", start=self.start
+        )
+
+    def format_disabling(self) -> str:
+        return self._format_table(
+            self.disabling, "Disabling (row disabled by column)"
+        )
+
+    def format_independence(self) -> str:
+        return self._format_table(
+            self.independence,
+            "Independence (blank > 0.995)",
+            blank_when_high=True,
+        )
+
+    def _format_table(
+        self,
+        table: Dict[str, Dict[str, float]],
+        title: str,
+        start: Optional[Dict[str, float]] = None,
+        blank_when_high: bool = False,
+    ) -> str:
+        ids = self.phase_ids
+        header = ["Ph"] + (["St"] if start is not None else []) + list(ids)
+        lines = [title, "  ".join(f"{h:>5}" for h in header)]
+        for row_id in ids:
+            cells = [f"{row_id:>5}"]
+            if start is not None:
+                cells.append(_format_cell(start.get(row_id), False))
+            for col_id in ids:
+                cells.append(
+                    _format_cell(table.get(row_id, {}).get(col_id), blank_when_high)
+                )
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+def _format_cell(value: Optional[float], blank_when_high: bool) -> str:
+    if value is None:
+        return f"{'':>5}"
+    if blank_when_high and value > 0.995:
+        return f"{'':>5}"
+    if not blank_when_high and value < 0.005:
+        return f"{'':>5}"
+    return f"{value:5.2f}"
+
+
+class _Accumulator:
+    __slots__ = ("numerator", "denominator")
+
+    def __init__(self):
+        self.numerator = 0.0
+        self.denominator = 0.0
+
+    def add(self, hit: bool, weight: float) -> None:
+        self.denominator += weight
+        if hit:
+            self.numerator += weight
+
+    def ratio(self) -> Optional[float]:
+        if self.denominator == 0:
+            return None
+        return self.numerator / self.denominator
+
+
+def analyze_interactions(
+    results: Iterable[EnumerationResult],
+    phase_ids: Sequence[str] = PHASE_IDS,
+) -> InteractionAnalysis:
+    """Aggregate interaction statistics over enumerated functions."""
+    enabling: Dict[Tuple[str, str], _Accumulator] = {}
+    disabling: Dict[Tuple[str, str], _Accumulator] = {}
+    independence: Dict[Tuple[str, str], _Accumulator] = {}
+    start: Dict[str, _Accumulator] = {pid: _Accumulator() for pid in phase_ids}
+    # weighted sums for the mean code-size effect of each phase
+    effect_sum: Dict[str, float] = {}
+    effect_weight: Dict[str, float] = {}
+
+    results = list(results)
+    for result in results:
+        dag = result.dag
+        weights = dag.weights()
+        root = dag.root
+        if root.expanded:
+            for pid in phase_ids:
+                start[pid].add(pid in root.active, 1.0)
+        for node in dag.nodes.values():
+            if not node.expanded:
+                continue
+            node_active = set(node.active)
+            node_dormant = set(node.dormant)
+            for applied, child_id in node.active.items():
+                child = dag.nodes[child_id]
+                if not child.expanded:
+                    continue
+                weight = float(weights[child_id])
+                effect_sum[applied] = effect_sum.get(applied, 0.0) + weight * (
+                    child.num_insts - node.num_insts
+                )
+                effect_weight[applied] = effect_weight.get(applied, 0.0) + weight
+                child_active = set(child.active)
+                child_dormant = set(child.dormant)
+                for other in phase_ids:
+                    if other == applied:
+                        # A phase always disables itself: it runs to its
+                        # own fixpoint (Table 5's diagonal of 1.00).
+                        key = (other, applied)
+                        acc = disabling.get(key)
+                        if acc is None:
+                            acc = disabling[key] = _Accumulator()
+                        acc.add(other in child_dormant, weight)
+                        continue
+                    if other in node_dormant:
+                        key = (other, applied)
+                        acc = enabling.get(key)
+                        if acc is None:
+                            acc = enabling[key] = _Accumulator()
+                        if other in child_active:
+                            acc.add(True, weight)
+                        elif other in child_dormant:
+                            acc.add(False, weight)
+                    elif other in node_active:
+                        key = (other, applied)
+                        acc = disabling.get(key)
+                        if acc is None:
+                            acc = disabling[key] = _Accumulator()
+                        if other in child_dormant:
+                            acc.add(True, weight)
+                        elif other in child_active:
+                            acc.add(False, weight)
+            # Independence: both orders from this node reach one node.
+            node_weight = float(weights[node.node_id])
+            actives = sorted(node_active)
+            for i, x in enumerate(actives):
+                for y in actives[i + 1 :]:
+                    a = dag.nodes[node.active[x]]
+                    b = dag.nodes[node.active[y]]
+                    if not a.expanded or not b.expanded:
+                        continue
+                    if y not in a.active or x not in b.active:
+                        continue  # not consecutively active both ways
+                    same = a.active[y] == b.active[x]
+                    for key in ((x, y), (y, x)):
+                        acc = independence.get(key)
+                        if acc is None:
+                            acc = independence[key] = _Accumulator()
+                        acc.add(same, node_weight)
+
+    def collapse(table: Dict[Tuple[str, str], _Accumulator]):
+        out: Dict[str, Dict[str, float]] = {}
+        for (row, col), acc in table.items():
+            ratio = acc.ratio()
+            if ratio is not None:
+                out.setdefault(row, {})[col] = ratio
+        return out
+
+    return InteractionAnalysis(
+        phase_ids,
+        collapse(enabling),
+        collapse(disabling),
+        collapse(independence),
+        {
+            pid: acc.ratio()
+            for pid, acc in start.items()
+            if acc.ratio() is not None
+        },
+        {
+            pid: effect_sum[pid] / effect_weight[pid]
+            for pid in effect_sum
+            if effect_weight.get(pid)
+        },
+    )

@@ -1,0 +1,23 @@
+"""Mini-C frontend: lexer, parser, and naive RTL code generator.
+
+The frontend plays the role of VPO's C frontend: it translates a small
+C subset into deliberately naive RTL — locals live in stack slots,
+every expression step lands in a fresh pseudo register, and address
+arithmetic is explicit — so the backend phases have the same work to do
+that VPO's phases did.
+"""
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import Parser, parse
+from repro.frontend.codegen import CodeGenerator, compile_source
+
+__all__ = [
+    "CompileError",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse",
+    "CodeGenerator",
+    "compile_source",
+]

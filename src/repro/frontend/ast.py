@@ -1,0 +1,203 @@
+"""Abstract syntax tree for the mini-C subset.
+
+Types are plain strings: ``"int"``, ``"float"``, ``"void"``.  Arrays
+carry their element type and (for definitions) a compile-time size;
+array parameters decay to base addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    base: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class AssignExpr(Expr):
+    """``target op= value``; plain assignment has op == "="."""
+
+    target: Optional[Union[Var, Index]] = None
+    op: str = "="
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``x++`` / ``--x`` etc. on a scalar or array element."""
+
+    target: Optional[Union[Var, Index]] = None
+    op: str = "++"
+    prefix: bool = False
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    typ: str = "int"
+    name: str = ""
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Optional[Expr] = None
+    then_body: Optional[Stmt] = None
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class SwitchCase:
+    """One ``case N:`` (or ``default:``) group with its statements.
+
+    C fallthrough semantics apply: control runs into the next group
+    unless the body ends the flow (break/return/continue).
+    """
+
+    value: Optional[int]  # None for default
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    selector: Optional[Expr] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    typ: str  # element type for arrays
+    name: str
+    is_array: bool = False
+
+
+@dataclass
+class FuncDef:
+    ret_type: str
+    name: str
+    params: List[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    typ: str
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[List[Union[int, float]]] = None
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

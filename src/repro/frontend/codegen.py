@@ -1,0 +1,675 @@
+"""Naive RTL code generation from the mini-C AST.
+
+The generator is deliberately unsophisticated, mirroring what VPO's C
+frontend hands to the backend:
+
+- every local scalar, array, and parameter lives in a stack slot;
+- every expression step lands in a fresh pseudo register;
+- address arithmetic is explicit (``t1 = fp + 8; t2 = M[t1]``, and
+  ``t1 = HI[g]; t2 = t1 + LO[g]`` for globals);
+- conditions end blocks with an explicit conditional branch *plus* an
+  explicit jump (later phases remove the redundant ones).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse
+from repro.ir.cfg import validate_function
+from repro.ir.function import BasicBlock, Function, GlobalVar, Program
+from repro.ir.instructions import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    Jump,
+    Return,
+)
+from repro.ir.operands import BinOp, Const, Mem, Reg, Sym, UnOp
+from repro.machine.target import ARG_REGS, FP, RV, ALU_IMM_LIMIT
+
+_INT_BINOPS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "rem",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "lsl",
+    ">>": "asr",
+}
+
+_FLOAT_BINOPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+_RELOPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+
+_INT_ONLY = frozenset({"%", "&", "|", "^", "<<", ">>"})
+
+
+class _Symbol:
+    """A resolved name: local slot, global, or array parameter."""
+
+    __slots__ = ("kind", "typ", "slot", "glob", "is_array")
+
+    def __init__(self, kind, typ, slot=None, glob=None, is_array=False):
+        self.kind = kind  # 'local' | 'global'
+        self.typ = typ
+        self.slot = slot
+        self.glob = glob
+        self.is_array = is_array
+
+
+class _FunctionCodegen:
+    """Generate naive RTL for one function."""
+
+    def __init__(self, generator: "CodeGenerator", node: ast.FuncDef):
+        self.generator = generator
+        self.node = node
+        self.func = Function(node.name, returns_value=node.ret_type != "void")
+        self.symbols: Dict[str, _Symbol] = {}
+        self.current: BasicBlock = self.func.add_block()
+        self.exit_label = "Lexit"
+        self.break_stack: List[str] = []
+        self.continue_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+
+    def emit(self, inst) -> None:
+        self.current.insts.append(inst)
+
+    def start_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(label)
+        self.func.blocks.append(block)
+        self.current = block
+        return block
+
+    def new_label(self) -> str:
+        return self.func.new_label()
+
+    def fresh(self) -> Reg:
+        return self.func.new_reg()
+
+    def emit_int_const(self, value: int) -> Reg:
+        """Load an integer constant, splitting values too big for one RTL."""
+        reg = self.fresh()
+        if abs(value) <= ALU_IMM_LIMIT:
+            self.emit(Assign(reg, Const(value)))
+            return reg
+        unsigned = value & 0xFFFFFFFF
+        high = (unsigned >> 16) & 0xFFFF
+        low = unsigned & 0xFFFF
+        self.emit(Assign(reg, Const(high)))
+        shifted = self.fresh()
+        self.emit(Assign(shifted, BinOp("lsl", reg, Const(16))))
+        result = self.fresh()
+        self.emit(Assign(result, BinOp("or", shifted, Const(low))))
+        return result
+
+    def local_addr(self, offset: int) -> Reg:
+        reg = self.fresh()
+        if offset == 0:
+            self.emit(Assign(reg, FP))
+        else:
+            self.emit(Assign(reg, BinOp("add", FP, Const(offset))))
+        return reg
+
+    def global_addr(self, name: str) -> Reg:
+        high = self.fresh()
+        self.emit(Assign(high, Sym(name, "hi")))
+        addr = self.fresh()
+        self.emit(Assign(addr, BinOp("add", high, Sym(name, "lo"))))
+        return addr
+
+    # ------------------------------------------------------------------
+    # Symbols
+    # ------------------------------------------------------------------
+
+    def declare_local(
+        self, name: str, typ: str, words: int, is_array: bool, line: int, is_param=False
+    ) -> _Symbol:
+        if name in self.symbols:
+            raise CompileError(f"redeclaration of {name!r}", line)
+        slot = self.func.add_local(name, words, typ, is_array, is_param)
+        symbol = _Symbol("local", typ, slot=slot, is_array=is_array)
+        self.symbols[name] = symbol
+        return symbol
+
+    def lookup(self, name: str, line: int) -> _Symbol:
+        symbol = self.symbols.get(name)
+        if symbol is not None:
+            return symbol
+        glob = self.generator.program.globals.get(name)
+        if glob is not None:
+            return _Symbol("global", glob.typ, glob=glob, is_array=glob.is_array)
+        raise CompileError(f"undeclared identifier {name!r}", line)
+
+    # ------------------------------------------------------------------
+    # Top-level driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> Function:
+        node = self.node
+        if len(node.params) > 4:
+            raise CompileError(
+                f"{node.name}: at most 4 parameters are supported", node.line
+            )
+        for i, param in enumerate(node.params):
+            # An array parameter's slot holds the array base address.
+            symbol = self.declare_local(
+                param.name, param.typ, 1, False, node.line, is_param=True
+            )
+            symbol.is_array = param.is_array
+            addr = self.local_addr(symbol.slot.offset)
+            self.emit(Assign(Mem(addr), ARG_REGS[i]))
+        self.gen_stmt(node.body)
+        if self.current.terminator() is None:
+            if self._current_is_unreachable():
+                # The trailing block opened after a return/break is
+                # empty and unreferenced; drop it rather than emit an
+                # unreachable jump (VPO's frontend does not emit dead
+                # code, which is why phase d is so rarely active).
+                self.func.blocks.remove(self.current)
+            else:
+                self.emit(Jump(self.exit_label))
+        exit_block = self.start_block(self.exit_label)
+        exit_block.insts.append(Return())
+        validate_function(self.func)
+        return self.func
+
+    def _current_is_unreachable(self) -> bool:
+        """The current block is empty, unreferenced, and not fallen into."""
+        if self.current.insts or self.current is self.func.blocks[0]:
+            return False
+        for block in self.func.blocks:
+            if block is self.current:
+                continue
+            term = block.terminator()
+            if isinstance(term, (Jump, CondBranch)) and term.target == self.current.label:
+                return False
+        index = self.func.blocks.index(self.current)
+        previous = self.func.blocks[index - 1]
+        return previous.terminator() is not None and not isinstance(
+            previous.terminator(), CondBranch
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self.gen_stmt(child)
+        elif isinstance(stmt, ast.DeclStmt):
+            self.gen_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.eval_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self.gen_do_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.SwitchStmt):
+            self.gen_switch(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self.gen_return(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self.break_stack:
+                raise CompileError("break outside a loop", stmt.line)
+            self.emit(Jump(self.break_stack[-1]))
+            self.start_block(self.new_label())
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self.continue_stack:
+                raise CompileError("continue outside a loop", stmt.line)
+            self.emit(Jump(self.continue_stack[-1]))
+            self.start_block(self.new_label())
+        else:
+            raise CompileError(f"cannot generate {type(stmt).__name__}", stmt.line)
+
+    def gen_decl(self, stmt: ast.DeclStmt) -> None:
+        if stmt.array_size is not None:
+            self.declare_local(stmt.name, stmt.typ, stmt.array_size, True, stmt.line)
+            return
+        symbol = self.declare_local(stmt.name, stmt.typ, 1, False, stmt.line)
+        if stmt.init is not None:
+            value, typ = self.eval_expr(stmt.init)
+            value = self.convert(value, typ, stmt.typ)
+            addr = self.local_addr(symbol.slot.offset)
+            self.emit(Assign(Mem(addr), value))
+
+    def gen_if(self, stmt: ast.IfStmt) -> None:
+        then_label = self.new_label()
+        end_label = self.new_label()
+        else_label = self.new_label() if stmt.else_body is not None else end_label
+        self.gen_cond(stmt.cond, then_label, else_label)
+        self.start_block(then_label)
+        self.gen_stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            if self.current.terminator() is None:
+                self.emit(Jump(end_label))
+            self.start_block(else_label)
+            self.gen_stmt(stmt.else_body)
+        self.start_block(end_label)
+
+    def gen_while(self, stmt: ast.WhileStmt) -> None:
+        cond_label = self.new_label()
+        body_label = self.new_label()
+        exit_label = self.new_label()
+        self.start_block(cond_label)
+        self.gen_cond(stmt.cond, body_label, exit_label)
+        self.start_block(body_label)
+        self.break_stack.append(exit_label)
+        self.continue_stack.append(cond_label)
+        self.gen_stmt(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        if self.current.terminator() is None:
+            self.emit(Jump(cond_label))
+        self.start_block(exit_label)
+
+    def gen_do_while(self, stmt: ast.DoWhileStmt) -> None:
+        body_label = self.new_label()
+        cond_label = self.new_label()
+        exit_label = self.new_label()
+        self.start_block(body_label)
+        self.break_stack.append(exit_label)
+        self.continue_stack.append(cond_label)
+        self.gen_stmt(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        self.start_block(cond_label)
+        self.gen_cond(stmt.cond, body_label, exit_label)
+        self.start_block(exit_label)
+
+    def gen_for(self, stmt: ast.ForStmt) -> None:
+        cond_label = self.new_label()
+        body_label = self.new_label()
+        step_label = self.new_label()
+        exit_label = self.new_label()
+        if stmt.init is not None:
+            self.eval_expr(stmt.init)
+        self.start_block(cond_label)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body_label, exit_label)
+        else:
+            self.emit(Jump(body_label))
+        self.start_block(body_label)
+        self.break_stack.append(exit_label)
+        self.continue_stack.append(step_label)
+        self.gen_stmt(stmt.body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        self.start_block(step_label)
+        if stmt.step is not None:
+            self.eval_expr(stmt.step)
+        self.emit(Jump(cond_label))
+        self.start_block(exit_label)
+
+    def gen_switch(self, stmt: ast.SwitchStmt) -> None:
+        """Lower switch to a compare chain plus fallthrough bodies.
+
+        The dispatch sequence compares the selector against each case
+        constant in source order; bodies are laid out in order so C
+        fallthrough semantics come from plain block fallthrough.
+        ``break`` targets the switch exit.
+        """
+        selector, typ = self.eval_expr(stmt.selector)
+        if typ != "int":
+            raise CompileError("switch selector must be int", stmt.line)
+        exit_label = self.new_label()
+        case_labels = [self.new_label() for _ in stmt.cases]
+        default_label = exit_label
+        for label, case in zip(case_labels, stmt.cases):
+            if case.value is None:
+                default_label = label
+        for label, case in zip(case_labels, stmt.cases):
+            if case.value is None:
+                continue
+            constant = self.emit_int_const(case.value)
+            self.emit(Compare(selector, constant))
+            self.emit(CondBranch("eq", label))
+            self.start_block(self.new_label())
+        self.emit(Jump(default_label))
+        self.break_stack.append(exit_label)
+        for label, case in zip(case_labels, stmt.cases):
+            self.start_block(label)
+            for child in case.body:
+                self.gen_stmt(child)
+        self.break_stack.pop()
+        if self.current.terminator() is None:
+            pass  # fall through into the exit block
+        self.start_block(exit_label)
+
+    def gen_return(self, stmt: ast.ReturnStmt) -> None:
+        if stmt.value is not None:
+            if not self.func.returns_value:
+                raise CompileError("return with a value in void function", stmt.line)
+            value, typ = self.eval_expr(stmt.value)
+            value = self.convert(value, typ, self.node.ret_type)
+            self.emit(Assign(RV, value))
+        elif self.func.returns_value:
+            raise CompileError("return without a value", stmt.line)
+        self.emit(Jump(self.exit_label))
+        self.start_block(self.new_label())
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+
+    def gen_cond(self, expr: ast.Expr, true_label: str, false_label: str) -> None:
+        """End the current block branching on *expr*.
+
+        The naive shape is ``IC=...; PC=IC relop 0,true; PC=false;`` —
+        the redundant half is later removed by phases u/i/r.
+        """
+        if isinstance(expr, ast.IntLit):
+            self.emit(Jump(true_label if expr.value != 0 else false_label))
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = self.new_label()
+            self.gen_cond(expr.left, mid, false_label)
+            self.start_block(mid)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = self.new_label()
+            self.gen_cond(expr.left, true_label, mid)
+            self.start_block(mid)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in _RELOPS:
+            left, left_typ = self.eval_expr(expr.left)
+            right, right_typ = self.eval_expr(expr.right)
+            common = "float" if "float" in (left_typ, right_typ) else "int"
+            left = self.convert(left, left_typ, common)
+            right = self.convert(right, right_typ, common)
+            self.emit(Compare(left, right))
+            self.emit(CondBranch(_RELOPS[expr.op], true_label))
+            self.start_block(self.new_label())
+            self.emit(Jump(false_label))
+            self.start_block(self.new_label())
+            return
+        value, typ = self.eval_expr(expr)
+        zero = self.fresh()
+        self.emit(Assign(zero, Const(0.0 if typ == "float" else 0)))
+        self.emit(Compare(value, zero))
+        self.emit(CondBranch("ne", true_label))
+        self.start_block(self.new_label())
+        self.emit(Jump(false_label))
+        self.start_block(self.new_label())
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def convert(self, reg: Reg, from_typ: str, to_typ: str) -> Reg:
+        if from_typ == to_typ:
+            return reg
+        result = self.fresh()
+        if from_typ == "int" and to_typ == "float":
+            self.emit(Assign(result, UnOp("itof", reg)))
+        elif from_typ == "float" and to_typ == "int":
+            self.emit(Assign(result, UnOp("ftoi", reg)))
+        else:
+            raise CompileError(f"cannot convert {from_typ} to {to_typ}")
+        return result
+
+    def eval_expr(self, expr: ast.Expr) -> Tuple[Reg, str]:
+        if isinstance(expr, ast.IntLit):
+            return self.emit_int_const(expr.value), "int"
+        if isinstance(expr, ast.FloatLit):
+            reg = self.fresh()
+            self.emit(Assign(reg, Const(float(expr.value))))
+            return reg, "float"
+        if isinstance(expr, ast.Var):
+            return self.load_var(expr)
+        if isinstance(expr, ast.Index):
+            addr, typ = self.element_addr(expr)
+            value = self.fresh()
+            self.emit(Assign(value, Mem(addr)))
+            return value, typ
+        if isinstance(expr, ast.Unary):
+            return self.eval_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.eval_binary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self.eval_call(expr)
+        if isinstance(expr, ast.AssignExpr):
+            return self.eval_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self.eval_incdec(expr)
+        raise CompileError(f"cannot evaluate {type(expr).__name__}", expr.line)
+
+    def load_var(self, expr: ast.Var) -> Tuple[Reg, str]:
+        symbol = self.lookup(expr.name, expr.line)
+        if symbol.is_array:
+            # An array name evaluates to its base address.
+            return self.array_base(symbol), "int"
+        if symbol.kind == "local":
+            addr = self.local_addr(symbol.slot.offset)
+        else:
+            addr = self.global_addr(symbol.glob.name)
+        value = self.fresh()
+        self.emit(Assign(value, Mem(addr)))
+        return value, symbol.typ
+
+    def array_base(self, symbol: _Symbol) -> Reg:
+        if symbol.kind == "global":
+            return self.global_addr(symbol.glob.name)
+        if symbol.slot.is_array:
+            return self.local_addr(symbol.slot.offset)
+        # Array parameter: the slot holds the base address.
+        addr = self.local_addr(symbol.slot.offset)
+        base = self.fresh()
+        self.emit(Assign(base, Mem(addr)))
+        return base
+
+    def element_addr(self, expr: ast.Index) -> Tuple[Reg, str]:
+        symbol = self.lookup(expr.base, expr.line)
+        if not symbol.is_array:
+            raise CompileError(f"{expr.base!r} is not an array", expr.line)
+        base = self.array_base(symbol)
+        index, index_typ = self.eval_expr(expr.index)
+        if index_typ != "int":
+            raise CompileError("array index must be int", expr.line)
+        four = self.fresh()
+        self.emit(Assign(four, Const(4)))
+        scaled = self.fresh()
+        self.emit(Assign(scaled, BinOp("mul", index, four)))
+        addr = self.fresh()
+        self.emit(Assign(addr, BinOp("add", base, scaled)))
+        return addr, symbol.typ
+
+    def eval_unary(self, expr: ast.Unary) -> Tuple[Reg, str]:
+        if expr.op == "!":
+            return self.eval_as_flag(expr)
+        operand, typ = self.eval_expr(expr.operand)
+        result = self.fresh()
+        if expr.op == "-":
+            self.emit(Assign(result, UnOp("fneg" if typ == "float" else "neg", operand)))
+            return result, typ
+        if expr.op == "~":
+            if typ != "int":
+                raise CompileError("~ requires an int operand", expr.line)
+            self.emit(Assign(result, UnOp("not", operand)))
+            return result, "int"
+        raise CompileError(f"bad unary operator {expr.op!r}", expr.line)
+
+    def eval_binary(self, expr: ast.Binary) -> Tuple[Reg, str]:
+        if expr.op in _RELOPS or expr.op in ("&&", "||"):
+            return self.eval_as_flag(expr)
+        left, left_typ = self.eval_expr(expr.left)
+        right, right_typ = self.eval_expr(expr.right)
+        if expr.op in _INT_ONLY:
+            if left_typ != "int" or right_typ != "int":
+                raise CompileError(f"{expr.op} requires int operands", expr.line)
+            common = "int"
+        else:
+            common = "float" if "float" in (left_typ, right_typ) else "int"
+        left = self.convert(left, left_typ, common)
+        right = self.convert(right, right_typ, common)
+        op = _FLOAT_BINOPS[expr.op] if common == "float" else _INT_BINOPS[expr.op]
+        result = self.fresh()
+        self.emit(Assign(result, BinOp(op, left, right)))
+        return result, common
+
+    def eval_as_flag(self, expr: ast.Expr) -> Tuple[Reg, str]:
+        """Materialize a boolean expression as 0/1 in a register."""
+        result = self.fresh()
+        true_label = self.new_label()
+        false_label = self.new_label()
+        end_label = self.new_label()
+        self.gen_cond(expr, true_label, false_label)
+        self.start_block(true_label)
+        self.emit(Assign(result, Const(1)))
+        self.emit(Jump(end_label))
+        self.start_block(false_label)
+        self.emit(Assign(result, Const(0)))
+        self.start_block(end_label)
+        return result, "int"
+
+    def eval_call(self, expr: ast.CallExpr) -> Tuple[Reg, str]:
+        signature = self.generator.signatures.get(expr.name)
+        if signature is None:
+            raise CompileError(f"call to undeclared function {expr.name!r}", expr.line)
+        ret_type, params = signature
+        if len(expr.args) != len(params):
+            raise CompileError(
+                f"{expr.name} expects {len(params)} arguments, got {len(expr.args)}",
+                expr.line,
+            )
+        values: List[Reg] = []
+        for arg, param in zip(expr.args, params):
+            if param.is_array:
+                if isinstance(arg, ast.Var):
+                    symbol = self.lookup(arg.name, arg.line)
+                    if symbol.is_array:
+                        values.append(self.array_base(symbol))
+                        continue
+                raise CompileError(
+                    f"argument to array parameter {param.name!r} must be an array",
+                    expr.line,
+                )
+            value, typ = self.eval_expr(arg)
+            values.append(self.convert(value, typ, param.typ))
+        for i, value in enumerate(values):
+            self.emit(Assign(ARG_REGS[i], value))
+        self.emit(Call(expr.name, len(values)))
+        if ret_type == "void":
+            return RV, "int"  # value must not be used; typechecked below
+        result = self.fresh()
+        self.emit(Assign(result, RV))
+        return result, ret_type
+
+    def eval_assign(self, expr: ast.AssignExpr) -> Tuple[Reg, str]:
+        target = expr.target
+        if isinstance(target, ast.Var):
+            symbol = self.lookup(target.name, target.line)
+            if symbol.is_array:
+                raise CompileError("cannot assign to an array", expr.line)
+            target_typ = symbol.typ
+
+            def make_addr():
+                if symbol.kind == "local":
+                    return self.local_addr(symbol.slot.offset)
+                return self.global_addr(symbol.glob.name)
+
+        else:
+            assert isinstance(target, ast.Index)
+            __, target_typ = self.lookup(target.base, target.line).typ, None
+            symbol = self.lookup(target.base, target.line)
+            target_typ = symbol.typ
+
+            def make_addr():
+                addr, __ = self.element_addr(target)
+                return addr
+
+        if expr.op == "=":
+            value, value_typ = self.eval_expr(expr.value)
+            value = self.convert(value, value_typ, target_typ)
+            addr = make_addr()
+            self.emit(Assign(Mem(addr), value))
+            return value, target_typ
+
+        # Compound assignment: read-modify-write, naively recomputing
+        # the address (CSE later removes the duplicate computation).
+        op_text = expr.op[:-1]
+        load_addr = make_addr()
+        old = self.fresh()
+        self.emit(Assign(old, Mem(load_addr)))
+        rhs, rhs_typ = self.eval_expr(expr.value)
+        if op_text in _INT_ONLY:
+            if target_typ != "int" or rhs_typ != "int":
+                raise CompileError(f"{expr.op} requires int operands", expr.line)
+            common = "int"
+        else:
+            common = "float" if "float" in (target_typ, rhs_typ) else "int"
+        left = self.convert(old, target_typ, common)
+        right = self.convert(rhs, rhs_typ, common)
+        op = _FLOAT_BINOPS[op_text] if common == "float" else _INT_BINOPS[op_text]
+        computed = self.fresh()
+        self.emit(Assign(computed, BinOp(op, left, right)))
+        value = self.convert(computed, common, target_typ)
+        store_addr = make_addr()
+        self.emit(Assign(Mem(store_addr), value))
+        return value, target_typ
+
+    def eval_incdec(self, expr: ast.IncDec) -> Tuple[Reg, str]:
+        binary_op = "+" if expr.op == "++" else "-"
+        one = ast.IntLit(line=expr.line, value=1)
+        assign = ast.AssignExpr(
+            line=expr.line, target=expr.target, op=binary_op + "=", value=one
+        )
+        if expr.prefix:
+            return self.eval_assign(assign)
+        # Postfix: remember the old value first.
+        old, typ = self.eval_expr(expr.target)
+        self.eval_assign(assign)
+        return old, typ
+
+
+class CodeGenerator:
+    """Translate a parsed translation unit into a :class:`Program`."""
+
+    def __init__(self):
+        self.program = Program()
+        self.signatures: Dict[str, Tuple[str, List[ast.Param]]] = {}
+
+    def generate(self, unit: ast.TranslationUnit) -> Program:
+        for decl in unit.globals:
+            words = decl.array_size if decl.array_size is not None else 1
+            init: List[Union[int, float]] = list(decl.init or [])
+            if len(init) > words:
+                raise CompileError(f"too many initializers for {decl.name!r}", decl.line)
+            zero: Union[int, float] = 0.0 if decl.typ == "float" else 0
+            init.extend([zero] * (words - len(init)))
+            self.program.add_global(
+                GlobalVar(decl.name, words, decl.typ, init, decl.array_size is not None)
+            )
+        for node in unit.functions:
+            if node.name in self.signatures:
+                raise CompileError(f"redefinition of {node.name!r}", node.line)
+            self.signatures[node.name] = (node.ret_type, node.params)
+        for node in unit.functions:
+            func = _FunctionCodegen(self, node).run()
+            self.program.add_function(func)
+        return self.program
+
+
+def compile_source(source: str) -> Program:
+    """Compile mini-C *source* into a Program of naive RTL functions."""
+    return CodeGenerator().generate(parse(source))

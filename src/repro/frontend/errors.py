@@ -1,0 +1,14 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A lexical, syntactic, or semantic error in mini-C source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")

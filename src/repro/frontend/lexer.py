@@ -1,0 +1,185 @@
+"""Tokenizer for the mini-C subset."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional, Union
+
+from repro.frontend.errors import CompileError
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+]
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39}
+
+
+class Token(NamedTuple):
+    kind: str  # 'int', 'float', 'ident', 'keyword', 'op', 'eof'
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*; raises CompileError on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        column = i - line_start + 1
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated comment", line, column)
+            line += source.count("\n", i, end)
+            if "\n" in source[i:end]:
+                line_start = source.rfind("\n", i, end) + 1
+            i = end + 2
+            continue
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                tokens.append(Token("int", int(source[start:i], 16), line, column))
+                continue
+            while i < n and source[i].isdigit():
+                i += 1
+            is_float = False
+            if i < n and source[i] == ".":
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            if i < n and source[i] in "fF" and is_float:
+                i += 1
+            if is_float:
+                tokens.append(Token("float", float(text), line, column))
+            else:
+                tokens.append(Token("int", int(text), line, column))
+            continue
+        # Character literal (yields an int).
+        if ch == "'":
+            i += 1
+            if i >= n:
+                raise CompileError("unterminated char literal", line, column)
+            if source[i] == "\\":
+                i += 1
+                if i >= n or source[i] not in _ESCAPES:
+                    raise CompileError("bad escape in char literal", line, column)
+                value = _ESCAPES[source[i]]
+                i += 1
+            else:
+                value = ord(source[i])
+                i += 1
+            if i >= n or source[i] != "'":
+                raise CompileError("unterminated char literal", line, column)
+            i += 1
+            tokens.append(Token("int", value, line, column))
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            continue
+        # Operators and punctuation.
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, column))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, n - line_start + 1))
+    return tokens

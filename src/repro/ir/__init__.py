@@ -1,0 +1,62 @@
+"""RTL intermediate representation (register transfer lists).
+
+The IR mirrors VPO's single low-level representation: a function is an
+ordered list of basic blocks (positional order is semantic — a block
+without a control transfer falls through to the next positional block),
+each holding a list of immutable RTL instructions.
+"""
+
+from repro.ir.operands import (
+    BinOp,
+    Const,
+    Expr,
+    Mem,
+    Reg,
+    Sym,
+    UnOp,
+)
+from repro.ir.instructions import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    Instruction,
+    Jump,
+    Return,
+    INVERTED_RELOP,
+)
+from repro.ir.function import BasicBlock, Function, GlobalVar, Program
+from repro.ir.cfg import (
+    CFG,
+    build_cfg,
+    validate_function,
+)
+from repro.ir.printer import format_expr, format_instruction, format_function
+
+__all__ = [
+    "Expr",
+    "Reg",
+    "Const",
+    "Sym",
+    "Mem",
+    "BinOp",
+    "UnOp",
+    "Instruction",
+    "Assign",
+    "Compare",
+    "CondBranch",
+    "Jump",
+    "Call",
+    "Return",
+    "INVERTED_RELOP",
+    "BasicBlock",
+    "Function",
+    "GlobalVar",
+    "Program",
+    "CFG",
+    "build_cfg",
+    "validate_function",
+    "format_expr",
+    "format_instruction",
+    "format_function",
+]

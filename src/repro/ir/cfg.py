@@ -1,0 +1,111 @@
+"""Control-flow graph construction and IR validation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import CondBranch, Jump, Return
+
+
+class CFG:
+    """Successor/predecessor maps over a function's basic blocks.
+
+    The CFG is a snapshot: phases that restructure blocks rebuild it.
+    """
+
+    __slots__ = ("succs", "preds", "order")
+
+    def __init__(self, succs: Dict[str, List[str]], order: List[str]):
+        self.succs = succs
+        self.order = order
+        self.preds: Dict[str, List[str]] = {label: [] for label in succs}
+        for label, targets in succs.items():
+            for target in targets:
+                self.preds[target].append(label)
+
+    def reachable(self, entry: str) -> Set[str]:
+        """Labels reachable from *entry*."""
+        seen = {entry}
+        stack = [entry]
+        while stack:
+            label = stack.pop()
+            for succ in self.succs.get(label, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def reverse_postorder(self, entry: str) -> List[str]:
+        """Blocks in reverse postorder from *entry* (reachable only)."""
+        seen: Set[str] = set()
+        postorder: List[str] = []
+
+        def visit(label: str):
+            stack = [(label, iter(self.succs.get(label, ())))]
+            seen.add(label)
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.succs.get(succ, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(current)
+                    stack.pop()
+
+        visit(entry)
+        return list(reversed(postorder))
+
+
+def build_cfg(func: Function) -> CFG:
+    """Build the CFG of *func* from terminators and positional order."""
+    succs: Dict[str, List[str]] = {}
+    blocks = func.blocks
+    for i, block in enumerate(blocks):
+        term = block.terminator()
+        targets: List[str] = []
+        if isinstance(term, Jump):
+            targets = [term.target]
+        elif isinstance(term, CondBranch):
+            targets = [term.target]
+            if i + 1 < len(blocks):
+                fallthrough = blocks[i + 1].label
+                if fallthrough != term.target:
+                    targets.append(fallthrough)
+        elif isinstance(term, Return):
+            targets = []
+        else:
+            if i + 1 < len(blocks):
+                targets = [blocks[i + 1].label]
+        succs[block.label] = targets
+    return CFG(succs, [block.label for block in blocks])
+
+
+def validate_function(func: Function) -> None:
+    """Check structural IR invariants; raise ValueError on violation."""
+    if not func.blocks:
+        raise ValueError(f"{func.name}: function has no blocks")
+    labels = [block.label for block in func.blocks]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"{func.name}: duplicate block labels")
+    label_set = set(labels)
+    for i, block in enumerate(func.blocks):
+        for j, inst in enumerate(block.insts):
+            if inst.is_transfer and j != len(block.insts) - 1:
+                raise ValueError(
+                    f"{func.name}/{block.label}: transfer not at block end"
+                )
+        term = block.terminator()
+        if isinstance(term, (Jump, CondBranch)) and term.target not in label_set:
+            raise ValueError(
+                f"{func.name}/{block.label}: branch to unknown label {term.target}"
+            )
+        falls_through = not isinstance(term, (Jump, Return))
+        if falls_through and i == len(func.blocks) - 1:
+            raise ValueError(
+                f"{func.name}/{block.label}: last block falls off the function"
+            )

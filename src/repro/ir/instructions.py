@@ -1,0 +1,290 @@
+"""RTL instructions.
+
+Instructions are immutable; phases build new instructions instead of
+mutating them, which makes cloning a function cheap (instruction objects
+are shared between clones).
+
+Control transfers (:class:`Jump`, :class:`CondBranch`, :class:`Return`)
+may appear only as the last instruction of a basic block.  A block whose
+last instruction is not a transfer falls through to the next positional
+block.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Tuple, Union
+
+from repro.ir.operands import Const, Expr, Mem, Reg, Sym, BinOp, UnOp
+
+RELOPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+INVERTED_RELOP = {
+    "lt": "ge",
+    "le": "gt",
+    "gt": "le",
+    "ge": "lt",
+    "eq": "ne",
+    "ne": "eq",
+}
+
+SWAPPED_RELOP = {
+    "lt": "gt",
+    "le": "ge",
+    "gt": "lt",
+    "ge": "le",
+    "eq": "eq",
+    "ne": "ne",
+}
+
+
+class Instruction:
+    """Base class for RTL instructions."""
+
+    __slots__ = ()
+
+    is_transfer = False
+
+    def defs(self) -> FrozenSet[Reg]:
+        """Registers whose value this instruction (re)defines."""
+        return frozenset()
+
+    def uses(self) -> FrozenSet[Reg]:
+        """Registers whose value this instruction reads."""
+        return frozenset()
+
+    def sets_cc(self) -> bool:
+        return False
+
+    def uses_cc(self) -> bool:
+        return False
+
+    def reads_memory(self) -> bool:
+        return False
+
+    def writes_memory(self) -> bool:
+        return False
+
+
+class Assign(Instruction):
+    """``dst = src`` where dst is a register or a memory reference."""
+
+    __slots__ = ("dst", "src", "_hash", "_defs", "_uses")
+
+    def __init__(self, dst: Union[Reg, Mem], src: Expr):
+        if not isinstance(dst, (Reg, Mem)):
+            raise TypeError(f"bad assignment destination: {dst!r}")
+        object.__setattr__(self, "dst", dst)
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "_hash", hash((Assign, dst, src)))
+        object.__setattr__(self, "_defs", None)
+        object.__setattr__(self, "_uses", None)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Assign is immutable")
+
+    def __eq__(self, other):
+        return type(other) is Assign and other.dst == self.dst and other.src == self.src
+
+    def __hash__(self):
+        return self._hash
+
+    def defs(self):
+        cached = self._defs
+        if cached is None:
+            if isinstance(self.dst, Reg):
+                cached = frozenset((self.dst,))
+            else:
+                cached = frozenset()
+            object.__setattr__(self, "_defs", cached)
+        return cached
+
+    def uses(self):
+        cached = self._uses
+        if cached is None:
+            regs = set(self.src.registers())
+            if isinstance(self.dst, Mem):
+                regs.update(self.dst.addr.registers())
+            cached = frozenset(regs)
+            object.__setattr__(self, "_uses", cached)
+        return cached
+
+    def reads_memory(self):
+        return self.src.reads_memory()
+
+    def writes_memory(self):
+        return isinstance(self.dst, Mem)
+
+    def __repr__(self):
+        return f"{self.dst!r}={self.src!r};"
+
+
+class Compare(Instruction):
+    """``IC = left ? right`` — set the condition code."""
+
+    __slots__ = ("left", "right", "_hash", "_uses")
+
+    def __init__(self, left: Expr, right: Expr):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "_hash", hash((Compare, left, right)))
+        object.__setattr__(self, "_uses", None)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Compare is immutable")
+
+    def __eq__(self, other):
+        return (
+            type(other) is Compare
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def uses(self):
+        cached = self._uses
+        if cached is None:
+            regs = set(self.left.registers())
+            regs.update(self.right.registers())
+            cached = frozenset(regs)
+            object.__setattr__(self, "_uses", cached)
+        return cached
+
+    def sets_cc(self):
+        return True
+
+    def reads_memory(self):
+        return self.left.reads_memory() or self.right.reads_memory()
+
+    def __repr__(self):
+        return f"IC={self.left!r}?{self.right!r};"
+
+
+class CondBranch(Instruction):
+    """``PC = IC relop 0, target`` — branch when the condition holds."""
+
+    __slots__ = ("relop", "target", "_hash")
+
+    is_transfer = True
+
+    def __init__(self, relop: str, target: str):
+        if relop not in RELOPS:
+            raise ValueError(f"bad relop: {relop!r}")
+        object.__setattr__(self, "relop", relop)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "_hash", hash((CondBranch, relop, target)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("CondBranch is immutable")
+
+    def __eq__(self, other):
+        return (
+            type(other) is CondBranch
+            and other.relop == self.relop
+            and other.target == self.target
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    def uses_cc(self):
+        return True
+
+    def __repr__(self):
+        return f"PC=IC {self.relop} 0,{self.target};"
+
+
+class Jump(Instruction):
+    """``PC = target`` — unconditional jump."""
+
+    __slots__ = ("target", "_hash")
+
+    is_transfer = True
+
+    def __init__(self, target: str):
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "_hash", hash((Jump, target)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Jump is immutable")
+
+    def __eq__(self, other):
+        return type(other) is Jump and other.target == self.target
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return f"PC={self.target};"
+
+
+class Call(Instruction):
+    """Call a named function; arguments are in r0..r3 by convention.
+
+    A call uses the argument registers and clobbers all caller-saved
+    registers (r0..r3); the return value, if any, is left in r0.
+    """
+
+    __slots__ = ("name", "nargs", "_hash")
+
+    def __init__(self, name: str, nargs: int):
+        if nargs > 4:
+            raise ValueError("at most 4 register arguments are supported")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "nargs", nargs)
+        object.__setattr__(self, "_hash", hash((Call, name, nargs)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Call is immutable")
+
+    def __eq__(self, other):
+        return (
+            type(other) is Call and other.name == self.name and other.nargs == self.nargs
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    _CLOBBERS = frozenset(Reg(i, pseudo=False) for i in range(4))
+    _ARG_SETS = tuple(
+        frozenset(Reg(i, pseudo=False) for i in range(n)) for n in range(5)
+    )
+
+    def defs(self):
+        return self._CLOBBERS
+
+    def uses(self):
+        return self._ARG_SETS[self.nargs]
+
+    def reads_memory(self):
+        return True
+
+    def writes_memory(self):
+        return True
+
+    def __repr__(self):
+        return f"CALL {self.name},{self.nargs};"
+
+
+class Return(Instruction):
+    """Return from the function (the value, if any, is in r0)."""
+
+    __slots__ = ("_hash",)
+
+    is_transfer = True
+
+    def __init__(self):
+        object.__setattr__(self, "_hash", hash((Return,)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Return is immutable")
+
+    def __eq__(self, other):
+        return type(other) is Return
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return "RET;"

@@ -1,0 +1,232 @@
+"""Parser for the VPO-style textual RTL form.
+
+Round-trips :func:`repro.ir.printer.format_function`: any function the
+printer renders can be parsed back into an identical structure.  Useful
+for writing tests compactly and for loading dumped instances.
+
+The printed expression grammar is intentionally shallow — the VPO
+invariant keeps every RTL a legal machine instruction, so a source
+expression is at most ``operand op operand`` with the right operand
+possibly a parenthesized shifted form::
+
+    function := block*
+    block    := LABEL ':' instruction*
+    instr    := 'RET;' | 'CALL' name ',' int ';'
+              | 'PC=' label ';' | 'PC=IC' relop '0,' label ';'
+              | 'IC=' expr '?' expr ';' | lvalue '=' expr ';'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    Jump,
+    Return,
+)
+from repro.ir.operands import BinOp, Const, Expr, Mem, Reg, Sym, UnOp
+
+
+class RTLParseError(Exception):
+    """Malformed textual RTL."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<reg>[rt]\[\d+\])
+  | (?P<mem>M\[)
+  | (?P<sym>(?:HI|LO)\[[A-Za-z_][A-Za-z0-9_]*\])
+  | (?P<float>\d+\.\d*(?:e[+-]?\d+)?|\d+e[+-]?\d+|inf|nan)
+  | (?P<int>\d+)
+  | (?P<conv>\((?:f|i)\))
+  | (?P<op>>>l|<<|>>|\+f|-f|\*f|/f|[-+*/%&|^~()?=;:,\]])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+_BINOP_BY_SYMBOL = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "rem",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "lsl",
+    ">>l": "lsr",
+    ">>": "asr",
+    "+f": "fadd",
+    "-f": "fsub",
+    "*f": "fmul",
+    "/f": "fdiv",
+}
+
+_RELOP_BY_SYMBOL = {
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "==": "eq",
+    "!=": "ne",
+}
+
+# relops appear only inside "PC=IC<relop>0,label;" — tokenize that
+# region separately because "<" would otherwise clash with "<<".
+_BRANCH_RE = re.compile(
+    r"^PC=IC(?P<relop><=|>=|==|!=|<|>)0,(?P<target>[A-Za-z_][A-Za-z0-9_]*);$"
+)
+_JUMP_RE = re.compile(r"^PC=(?P<target>[A-Za-z_][A-Za-z0-9_]*);$")
+_CALL_RE = re.compile(r"^CALL\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*),(?P<nargs>\d+);$")
+_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_][A-Za-z0-9_]*):$")
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise RTLParseError(f"bad RTL at ...{text[position:position+20]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+    return tokens
+
+
+class _ExprParser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise RTLParseError("unexpected end of RTL expression")
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        kind, value = self.take()
+        if value != text:
+            raise RTLParseError(f"expected {text!r}, found {value!r}")
+
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_operand()
+        token = self.peek()
+        if token is not None and token[0] == "op" and token[1] in _BINOP_BY_SYMBOL:
+            symbol = self.take()[1]
+            right = self.parse_operand(allow_parenthesized=True)
+            return BinOp(_BINOP_BY_SYMBOL[symbol], left, right)
+        return left
+
+    def parse_operand(self, allow_parenthesized: bool = False) -> Expr:
+        kind, text = self.take()
+        if kind == "reg":
+            return Reg(int(text[2:-1]), pseudo=text[0] == "t")
+        if kind == "int":
+            return Const(int(text))
+        if kind == "float":
+            return Const(float(text))
+        if kind == "sym":
+            part = "hi" if text.startswith("HI") else "lo"
+            return Sym(text[3:-1], part)
+        if kind == "mem":
+            addr = self.parse_expr()
+            self.expect("]")
+            return Mem(addr)
+        if kind == "conv":
+            op = "itof" if text == "(f)" else "ftoi"
+            return UnOp(op, self.parse_operand())
+        if kind == "op" and text == "~":
+            return UnOp("not", self.parse_operand())
+        if kind == "op" and text == "-":
+            # negative literal ("-3") or unary negate ("-t[1]")
+            nxt = self.peek()
+            if nxt is not None and nxt[0] in ("int", "float"):
+                literal_kind, literal = self.take()
+                if literal_kind == "int":
+                    return Const(-int(literal))
+                return Const(-float(literal))
+            return UnOp("neg", self.parse_operand())
+        if kind == "op" and text == "-f":
+            return UnOp("fneg", self.parse_operand())
+        if kind == "op" and text == "(" and allow_parenthesized:
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        raise RTLParseError(f"unexpected token {text!r} in RTL expression")
+
+
+def parse_instruction(line: str):
+    """Parse one printed RTL instruction."""
+    line = line.strip()
+    if line == "RET;":
+        return Return()
+    match = _CALL_RE.match(line)
+    if match:
+        return Call(match.group("name"), int(match.group("nargs")))
+    match = _BRANCH_RE.match(line)
+    if match:
+        return CondBranch(_RELOP_BY_SYMBOL[match.group("relop")], match.group("target"))
+    match = _JUMP_RE.match(line)
+    if match:
+        return Jump(match.group("target"))
+    if not line.endswith(";"):
+        raise RTLParseError(f"missing semicolon: {line!r}")
+    body = line[:-1]
+    if body.startswith("IC="):
+        tokens = _tokenize(body[3:])
+        parser = _ExprParser(tokens)
+        left = parser.parse_expr()
+        parser.expect("?")
+        right = parser.parse_expr()
+        if parser.peek() is not None:
+            raise RTLParseError(f"trailing tokens in {line!r}")
+        return Compare(left, right)
+    # assignment: lvalue=expr
+    tokens = _tokenize(body)
+    parser = _ExprParser(tokens)
+    dst = parser.parse_operand()
+    if not isinstance(dst, (Reg, Mem)):
+        raise RTLParseError(f"bad destination in {line!r}")
+    parser.expect("=")
+    src = parser.parse_expr()
+    if parser.peek() is not None:
+        raise RTLParseError(f"trailing tokens in {line!r}")
+    return Assign(dst, src)
+
+
+def parse_function(text: str, name: str = "parsed") -> Function:
+    """Parse a whole printed function back into IR."""
+    func = Function(name)
+    current: Optional[BasicBlock] = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            current = BasicBlock(match.group("label"))
+            func.blocks.append(current)
+            continue
+        if current is None:
+            raise RTLParseError("instruction before any block label")
+        current.insts.append(parse_instruction(line))
+    if not func.blocks:
+        raise RTLParseError("no blocks found")
+    return func

@@ -1,0 +1,123 @@
+"""VPO-style textual rendering of RTL.
+
+The printed form is both the human-readable dump and the byte stream
+fingerprinting hashes (section 4.2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    Instruction,
+    Jump,
+    Return,
+)
+from repro.ir.operands import BinOp, Const, Expr, Mem, Reg, Sym, UnOp
+
+_BINOP_SYMBOL = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "rem": "%",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "lsl": "<<",
+    "lsr": ">>l",
+    "asr": ">>",
+    "fadd": "+f",
+    "fsub": "-f",
+    "fmul": "*f",
+    "fdiv": "/f",
+}
+
+_UNOP_SYMBOL = {
+    "neg": "-",
+    "not": "~",
+    "fneg": "-f",
+    "itof": "(f)",
+    "ftoi": "(i)",
+}
+
+_RELOP_SYMBOL = {
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "eq": "==",
+    "ne": "!=",
+}
+
+RegNamer = Callable[[Reg], str]
+LabelNamer = Callable[[str], str]
+
+
+def _default_reg_namer(reg: Reg) -> str:
+    return f"t[{reg.index}]" if reg.pseudo else f"r[{reg.index}]"
+
+
+def format_expr(
+    expr: Expr,
+    reg_namer: Optional[RegNamer] = None,
+) -> str:
+    """Render an expression; *reg_namer* customizes register spelling."""
+    namer = reg_namer or _default_reg_namer
+    if isinstance(expr, Reg):
+        return namer(expr)
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Sym):
+        return f"{expr.part.upper()}[{expr.name}]"
+    if isinstance(expr, Mem):
+        return f"M[{format_expr(expr.addr, namer)}]"
+    if isinstance(expr, BinOp):
+        left = format_expr(expr.left, namer)
+        right = format_expr(expr.right, namer)
+        symbol = _BINOP_SYMBOL[expr.op]
+        if isinstance(expr.right, BinOp):
+            right = f"({right})"
+        return f"{left}{symbol}{right}"
+    if isinstance(expr, UnOp):
+        operand = format_expr(expr.operand, namer)
+        return f"{_UNOP_SYMBOL[expr.op]}{operand}"
+    raise TypeError(f"cannot format {expr!r}")
+
+
+def format_instruction(
+    inst: Instruction,
+    reg_namer: Optional[RegNamer] = None,
+    label_namer: Optional[LabelNamer] = None,
+) -> str:
+    """Render one instruction in VPO RTL syntax."""
+    namer = reg_namer or _default_reg_namer
+    labeler = label_namer or (lambda label: label)
+    if isinstance(inst, Assign):
+        return f"{format_expr(inst.dst, namer)}={format_expr(inst.src, namer)};"
+    if isinstance(inst, Compare):
+        return f"IC={format_expr(inst.left, namer)}?{format_expr(inst.right, namer)};"
+    if isinstance(inst, CondBranch):
+        return f"PC=IC{_RELOP_SYMBOL[inst.relop]}0,{labeler(inst.target)};"
+    if isinstance(inst, Jump):
+        return f"PC={labeler(inst.target)};"
+    if isinstance(inst, Call):
+        return f"CALL {inst.name},{inst.nargs};"
+    if isinstance(inst, Return):
+        return "RET;"
+    raise TypeError(f"cannot format {inst!r}")
+
+
+def format_function(func: Function) -> str:
+    """Render a whole function: one label line per block, one RTL per line."""
+    lines = []
+    for block in func.blocks:
+        lines.append(f"{block.label}:")
+        for inst in block.insts:
+            lines.append(f"    {format_instruction(inst)}")
+    return "\n".join(lines)

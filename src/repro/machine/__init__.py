@@ -1,0 +1,23 @@
+"""Target machine description (ARM-like load/store architecture)."""
+
+from repro.machine.target import (
+    Target,
+    FP,
+    SP,
+    RV,
+    NUM_HW_REGS,
+    ARG_REGS,
+    CALL_CLOBBERED,
+    ALLOCATABLE,
+)
+
+__all__ = [
+    "Target",
+    "FP",
+    "SP",
+    "RV",
+    "NUM_HW_REGS",
+    "ARG_REGS",
+    "CALL_CLOBBERED",
+    "ALLOCATABLE",
+]

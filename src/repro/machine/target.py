@@ -1,0 +1,215 @@
+"""ARM-like target machine description.
+
+The backend follows the VPO invariant: every RTL in the program is a
+legal machine instruction at all times.  The :class:`Target` class is
+the single authority on legality — instruction selection asks it before
+committing a combined RTL, and the naive code generator only emits RTLs
+it accepts.
+
+Register file (sixteen general purpose registers):
+
+========  =====================================================
+r0..r3    argument registers; r0 doubles as the return value
+r0..r12   allocatable by register assignment / allocation
+r13       frame pointer (``fp``)
+r14       stack pointer (``sp``)
+r15       not modeled (program counter)
+========  =====================================================
+
+Calls clobber r0..r3 (caller-saved); r4..r12 are preserved across
+calls by the runtime, so register assignment may keep values in them
+across calls.
+"""
+
+from __future__ import annotations
+
+from repro.ir.operands import (
+    BinOp,
+    Const,
+    Mem,
+    Reg,
+    Sym,
+    UnOp,
+)
+from repro.ir.instructions import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    Instruction,
+    Jump,
+    Return,
+)
+
+NUM_HW_REGS = 15
+FP = Reg(13, pseudo=False)
+SP = Reg(14, pseudo=False)
+RV = Reg(0, pseudo=False)
+ARG_REGS = tuple(Reg(i, pseudo=False) for i in range(4))
+CALL_CLOBBERED = frozenset(range(4))
+ALLOCATABLE = tuple(range(13))
+
+# Integer ALU operations that accept an immediate second operand.
+_IMM_OPS = frozenset(
+    {"add", "sub", "mul", "div", "rem", "and", "or", "xor", "lsl", "lsr", "asr"}
+)
+_INT_OPS = _IMM_OPS
+_FLOAT_OPS = frozenset({"fadd", "fsub", "fmul", "fdiv"})
+_SHIFT_OPS = frozenset({"lsl", "lsr", "asr"})
+_UNARY_OPS = frozenset({"neg", "not", "fneg", "itof", "ftoi"})
+
+ALU_IMM_LIMIT = 65536
+MEM_OFFSET_LIMIT = 4096
+CMP_IMM_LIMIT = 65536
+
+
+class Target:
+    """Legality and cost model for the ARM-like target.
+
+    The model is intentionally close to a classic ARM:
+
+    - load/store architecture — memory operands appear only in plain
+      loads (``r = M[addr]``) and stores (``M[addr] = r``);
+    - addressing modes: register, register+small-constant,
+      register+register;
+    - ALU operand2 may be a register, a small immediate, or a register
+      shifted by a constant (the ARM barrel shifter);
+    - a 32-bit symbol address needs a ``HI``/``LO`` instruction pair;
+    - multiply accepts a register or a small immediate (the immediate
+      form is what strength reduction rewrites into shifts and adds).
+    """
+
+    def __init__(
+        self,
+        alu_imm_limit: int = ALU_IMM_LIMIT,
+        mem_offset_limit: int = MEM_OFFSET_LIMIT,
+        cmp_imm_limit: int = CMP_IMM_LIMIT,
+    ):
+        self.alu_imm_limit = alu_imm_limit
+        self.mem_offset_limit = mem_offset_limit
+        self.cmp_imm_limit = cmp_imm_limit
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+
+    def is_legal(self, inst: Instruction) -> bool:
+        """Return True when *inst* is a single legal machine instruction."""
+        if isinstance(inst, (Jump, Return, Call)):
+            return True
+        if isinstance(inst, CondBranch):
+            return True
+        if isinstance(inst, Compare):
+            return self._legal_compare(inst)
+        if isinstance(inst, Assign):
+            return self._legal_assign(inst)
+        return False
+
+    def _legal_compare(self, inst: Compare) -> bool:
+        if not isinstance(inst.left, Reg):
+            return False
+        if isinstance(inst.right, Reg):
+            return True
+        if isinstance(inst.right, Const):
+            value = inst.right.value
+            if isinstance(value, float):
+                return False
+            return abs(value) <= self.cmp_imm_limit
+        return False
+
+    def _legal_assign(self, inst: Assign) -> bool:
+        dst, src = inst.dst, inst.src
+        if isinstance(dst, Mem):
+            # Store: value must be a register, address must be legal.
+            return isinstance(src, Reg) and self._legal_address(dst.addr)
+        if not isinstance(dst, Reg):
+            return False
+        return self._legal_src(src)
+
+    def _legal_src(self, src) -> bool:
+        if isinstance(src, Reg):
+            return True
+        if isinstance(src, Const):
+            if isinstance(src.value, float):
+                return True  # float literal load (pretend constant pool)
+            return abs(src.value) <= self.alu_imm_limit
+        if isinstance(src, Sym):
+            # Only the HI half may be loaded directly.
+            return src.part == "hi"
+        if isinstance(src, Mem):
+            return self._legal_address(src.addr)
+        if isinstance(src, UnOp):
+            return src.op in _UNARY_OPS and isinstance(src.operand, Reg)
+        if isinstance(src, BinOp):
+            return self._legal_binop(src)
+        return False
+
+    def _legal_binop(self, src: BinOp) -> bool:
+        op = src.op
+        if op in _FLOAT_OPS:
+            return isinstance(src.left, Reg) and isinstance(src.right, Reg)
+        if op not in _INT_OPS:
+            return False
+        if not isinstance(src.left, Reg):
+            return False
+        right = src.right
+        if isinstance(right, Reg):
+            return True
+        if isinstance(right, Const):
+            if isinstance(right.value, float):
+                return False
+            return abs(right.value) <= self.alu_imm_limit
+        if isinstance(right, Sym):
+            # r = r + LO[sym]
+            return op == "add" and right.part == "lo"
+        if isinstance(right, BinOp):
+            # Barrel shifter: reg op (reg shift const).  Shifts cannot
+            # themselves take a shifted operand.
+            return (
+                op not in _SHIFT_OPS
+                and op not in ("mul", "div", "rem")
+                and right.op in _SHIFT_OPS
+                and isinstance(right.left, Reg)
+                and isinstance(right.right, Const)
+            )
+        return False
+
+    def _legal_address(self, addr) -> bool:
+        if isinstance(addr, Reg):
+            return True
+        if isinstance(addr, BinOp) and addr.op == "add":
+            left, right = addr.left, addr.right
+            if not isinstance(left, Reg):
+                return False
+            if isinstance(right, Reg):
+                return True
+            if isinstance(right, Const) and not isinstance(right.value, float):
+                return abs(right.value) <= self.mem_offset_limit
+        return False
+
+    # ------------------------------------------------------------------
+    # Costs (static estimates used by phases when deciding profitability)
+    # ------------------------------------------------------------------
+
+    MUL_COST = 4
+    DIV_COST = 12
+    MEM_COST = 2
+    ALU_COST = 1
+
+    def cost(self, inst: Instruction) -> int:
+        """Rough cycle estimate of one instruction."""
+        if isinstance(inst, Assign):
+            if isinstance(inst.dst, Mem) or isinstance(inst.src, Mem):
+                return self.MEM_COST
+            if isinstance(inst.src, BinOp):
+                if inst.src.op in ("mul", "fmul"):
+                    return self.MUL_COST
+                if inst.src.op in ("div", "rem", "fdiv"):
+                    return self.DIV_COST
+            return self.ALU_COST
+        if isinstance(inst, Call):
+            return 2
+        return self.ALU_COST
+
+
+DEFAULT_TARGET = Target()

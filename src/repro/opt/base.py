@@ -1,0 +1,124 @@
+"""Phase framework: the Phase interface and application driver.
+
+A phase is *active* when running it changes the code, and *dormant*
+otherwise (paper section 4.1).  A phase that is illegal at the current
+compilation state (e.g. evaluation order determination after register
+assignment) is trivially dormant.
+
+``apply_phase`` implements VPO's implicit behaviour around a phase:
+
+- compulsory register assignment runs before the first phase in a
+  sequence that requires it (c and k);
+- the implicit merge-basic-blocks / eliminate-empty-blocks cleanup runs
+  after any active phase (these only canonicalize control flow and are
+  not part of the candidate phase set);
+- the function's legality flags are updated when s or k is active.
+
+A dormant attempt leaves the function unchanged (callers that need the
+original must apply phases to a clone, as the enumerator does).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.function import Function
+from repro.machine.target import DEFAULT_TARGET, Target
+
+
+class Phase:
+    """Base class for the fifteen candidate optimization phases."""
+
+    #: single-letter designation from Table 1 of the paper
+    id: str = "?"
+    name: str = "?"
+    #: phase needs the compulsory register assignment to have run
+    requires_assignment: bool = False
+
+    def applicable(self, func: Function) -> bool:
+        """Legality of attempting this phase in the current state."""
+        return True
+
+    def run(self, func: Function, target: Target) -> bool:
+        """Apply the phase in place; return True when code changed."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<Phase {self.id}: {self.name}>"
+
+
+def apply_phase(func: Function, phase: Phase, target: Optional[Target] = None) -> bool:
+    """Attempt *phase* on *func* with VPO's implicit behaviours.
+
+    Returns True when the phase was active.  When the phase is dormant
+    the function is left exactly as it was — including not committing
+    the implicit register assignment, so a dormant attempt never
+    changes the instance (see DESIGN.md).
+    """
+    from repro.opt.cleanup import implicit_cleanup
+    from repro.opt.register_assignment import assign_registers
+
+    if target is None:
+        target = DEFAULT_TARGET
+    if not phase.applicable(func):
+        return False
+
+    if phase.requires_assignment and not func.reg_assigned:
+        # Attempt on a scratch copy first so a dormant phase does not
+        # commit the assignment.
+        scratch = func.clone()
+        assign_registers(scratch, target)
+        scratch.reg_assigned = True
+        if not phase.run(scratch, target):
+            return False
+        _cleanup_fixpoint(scratch, phase, target)
+        _copy_into(scratch, func)
+        _note_active(func, phase)
+        return True
+
+    changed = phase.run(func, target)
+    if changed:
+        _cleanup_fixpoint(func, phase, target)
+        _note_active(func, phase)
+    return changed
+
+
+def _cleanup_fixpoint(func: Function, phase: Phase, target: Target) -> None:
+    """Run the implicit cleanup and re-run *phase* to a joint fixpoint.
+
+    The implicit block merging can expose new opportunities for the
+    phase that just ran (e.g. removing an empty block brings a
+    conditional branch and the jump it skips next to each other for r).
+    Re-running until dormant preserves the paper's invariant that no
+    phase is ever successfully applied twice in a row.
+    """
+    from repro.opt.cleanup import implicit_cleanup
+
+    implicit_cleanup(func)
+    for _ in range(100):
+        if not phase.run(func, target):
+            return
+        implicit_cleanup(func)
+    raise RuntimeError(
+        f"{func.name}: phase {phase.id} did not reach a fixpoint with cleanup"
+    )
+
+
+def _note_active(func: Function, phase: Phase) -> None:
+    if phase.id == "s":
+        func.sel_applied = True
+    elif phase.id == "k":
+        func.alloc_applied = True
+
+
+def _copy_into(source: Function, dest: Function) -> None:
+    """Overwrite *dest* in place with *source*'s state."""
+    dest.blocks = source.blocks
+    dest.frame = source.frame
+    dest.frame_size = source.frame_size
+    dest.next_pseudo = source.next_pseudo
+    dest.next_label = source.next_label
+    dest.reg_assigned = source.reg_assigned
+    dest.sel_applied = source.sel_applied
+    dest.alloc_applied = source.alloc_applied
+    dest.unrolled = source.unrolled

@@ -1,0 +1,97 @@
+"""Implicit control-flow canonicalization.
+
+VPO performs *merge basic blocks* and *eliminate empty blocks*
+implicitly after any transformation that may enable them; they are not
+candidate phases because they only change the compiler's internal
+control-flow representation (paper section 3).  We run them after each
+active phase and once on frontend output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.cfg import build_cfg
+from repro.ir.function import Function
+from repro.ir.instructions import CondBranch, Jump
+
+
+def _retarget(func: Function, mapping: Dict[str, str]) -> None:
+    """Rewrite all branch targets through *mapping* (applied once)."""
+    if not mapping:
+        return
+    for block in func.blocks:
+        if not block.insts:
+            continue
+        last = block.insts[-1]
+        if isinstance(last, Jump) and last.target in mapping:
+            block.insts[-1] = Jump(mapping[last.target])
+        elif isinstance(last, CondBranch) and last.target in mapping:
+            block.insts[-1] = CondBranch(last.relop, mapping[last.target])
+
+
+def remove_empty_blocks(func: Function) -> bool:
+    """Delete blocks with no instructions, retargeting branches to them.
+
+    An empty block simply falls through; every reference to it can be
+    redirected to its positional successor.  The entry block is kept
+    even when empty (it anchors the function).
+    """
+    changed = False
+    while True:
+        mapping: Dict[str, str] = {}
+        for i, block in enumerate(func.blocks[:-1]):
+            if i == 0 or block.insts:
+                continue
+            mapping[block.label] = func.blocks[i + 1].label
+        if not mapping:
+            return changed
+        # Resolve chains of empty blocks to their final target.
+        resolved: Dict[str, str] = {}
+        for label in mapping:
+            target = mapping[label]
+            seen = {label}
+            while target in mapping and target not in seen:
+                seen.add(target)
+                target = mapping[target]
+            resolved[label] = target
+        _retarget(func, resolved)
+        func.blocks = [
+            block
+            for i, block in enumerate(func.blocks)
+            if i == 0 or block.insts or i == len(func.blocks) - 1
+        ]
+        changed = True
+
+
+def merge_fallthrough_blocks(func: Function) -> bool:
+    """Merge a block into its fallthrough-only single predecessor."""
+    changed = False
+    while True:
+        cfg = build_cfg(func)
+        merged = False
+        for i in range(len(func.blocks) - 1):
+            upper = func.blocks[i]
+            lower = func.blocks[i + 1]
+            if upper.terminator() is not None:
+                continue
+            if len(cfg.preds.get(lower.label, ())) != 1:
+                continue
+            upper.insts.extend(lower.insts)
+            del func.blocks[i + 1]
+            merged = True
+            changed = True
+            break
+        if not merged:
+            return changed
+
+
+def implicit_cleanup(func: Function) -> bool:
+    """Run both canonicalizations to a fixpoint."""
+    changed = False
+    while True:
+        step = remove_empty_blocks(func)
+        step |= merge_fallthrough_blocks(func)
+        if not step:
+            return changed
+        changed = True

@@ -1,0 +1,60 @@
+"""Phase r — reverse branches.
+
+Table 1: "Removes an unconditional jump by reversing a conditional
+branch branching over the jump."
+
+Pattern::
+
+    B1:  ... ; IC=... ; PC=IC cc 0, L2
+    B2:  PC=L3                            (only reached from B1)
+    L2:  ...
+
+becomes::
+
+    B1:  ... ; IC=... ; PC=IC !cc 0, L3
+    L2:  ...
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import build_cfg
+from repro.ir.function import Function
+from repro.ir.instructions import CondBranch, INVERTED_RELOP, Jump
+from repro.machine.target import Target
+from repro.opt.base import Phase
+
+
+class ReverseBranches(Phase):
+    id = "r"
+    name = "reverse branches"
+
+    def run(self, func: Function, target: Target) -> bool:
+        changed = False
+        while True:
+            cfg = build_cfg(func)
+            applied = False
+            for i in range(len(func.blocks) - 2):
+                upper = func.blocks[i]
+                middle = func.blocks[i + 1]
+                lower = func.blocks[i + 2]
+                term = upper.terminator()
+                if not isinstance(term, CondBranch):
+                    continue
+                if term.target != lower.label:
+                    continue
+                if len(middle.insts) != 1 or not isinstance(middle.insts[0], Jump):
+                    continue
+                if cfg.preds.get(middle.label) != [upper.label]:
+                    continue
+                jump_target = middle.insts[0].target
+                if jump_target == middle.label:
+                    continue  # degenerate self-loop
+                upper.insts[-1] = CondBranch(
+                    INVERTED_RELOP[term.relop], jump_target
+                )
+                del func.blocks[i + 1]
+                applied = True
+                changed = True
+                break
+            if not applied:
+                return changed

@@ -1,0 +1,25 @@
+"""Phase d — remove unreachable code.
+
+Table 1: "Removes basic blocks that cannot be reached from the function
+entry block."
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import build_cfg
+from repro.ir.function import Function
+from repro.machine.target import Target
+from repro.opt.base import Phase
+
+
+class RemoveUnreachableCode(Phase):
+    id = "d"
+    name = "remove unreachable code"
+
+    def run(self, func: Function, target: Target) -> bool:
+        cfg = build_cfg(func)
+        reachable = cfg.reachable(func.entry.label)
+        if all(block.label in reachable for block in func.blocks):
+            return False
+        func.blocks = [block for block in func.blocks if block.label in reachable]
+        return True

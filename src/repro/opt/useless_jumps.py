@@ -1,0 +1,27 @@
+"""Phase u — remove useless jumps.
+
+Table 1: "Removes jumps and branches whose target is the following
+positional block."
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import CondBranch, Jump
+from repro.machine.target import Target
+from repro.opt.base import Phase
+
+
+class RemoveUselessJumps(Phase):
+    id = "u"
+    name = "remove useless jumps"
+
+    def run(self, func: Function, target: Target) -> bool:
+        changed = False
+        for i, block in enumerate(func.blocks[:-1]):
+            term = block.terminator()
+            next_label = func.blocks[i + 1].label
+            if isinstance(term, (Jump, CondBranch)) and term.target == next_label:
+                block.insts.pop()
+                changed = True
+        return changed

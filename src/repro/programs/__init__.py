@@ -1,0 +1,59 @@
+"""MiBench-like benchmark programs in mini-C (paper Table 2).
+
+The paper evaluates one benchmark from each of MiBench's six embedded
+categories: bitcount (auto), dijkstra (network), fft (telecomm), jpeg
+(consumer), sha (security), and stringsearch (office).  The programs
+here re-implement representative kernels of each benchmark in the
+mini-C subset, preserving the mix of control flow, loop structure, and
+arithmetic that shaped the paper's per-function search spaces.
+
+Every program is self-checking: ``main`` returns a checksum that must
+be identical under every optimization phase ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.frontend import compile_source
+from repro.ir.function import Program
+from repro.programs._program import BenchmarkProgram
+
+from repro.programs.bitcount import BITCOUNT
+from repro.programs.dijkstra import DIJKSTRA
+from repro.programs.fft import FFT
+from repro.programs.jpeg import JPEG
+from repro.programs.sha import SHA
+from repro.programs.stringsearch import STRINGSEARCH
+
+
+PROGRAMS: Dict[str, BenchmarkProgram] = {
+    program.name: program
+    for program in (BITCOUNT, DIJKSTRA, FFT, JPEG, SHA, STRINGSEARCH)
+}
+
+
+def compile_benchmark(name: str) -> Program:
+    """Compile benchmark *name* to naive RTL."""
+    return compile_source(PROGRAMS[name].source)
+
+
+def all_study_functions():
+    """Yield (benchmark, function_name) for every studied function."""
+    for program in PROGRAMS.values():
+        for function_name in program.study_functions:
+            yield program, function_name
+
+
+__all__ = [
+    "BenchmarkProgram",
+    "PROGRAMS",
+    "compile_benchmark",
+    "all_study_functions",
+    "BITCOUNT",
+    "DIJKSTRA",
+    "FFT",
+    "JPEG",
+    "SHA",
+    "STRINGSEARCH",
+]

@@ -1,0 +1,26 @@
+"""Shared benchmark-program record type."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+
+class BenchmarkProgram(NamedTuple):
+    """A benchmark: its category, mini-C source, and study functions."""
+
+    name: str
+    category: str
+    source: str
+    entry: str
+    #: functions whose phase order spaces the experiments enumerate
+    study_functions: List[str]
+
+
+def make_program(
+    name: str,
+    category: str,
+    source: str,
+    entry: str,
+    study_functions: List[str],
+) -> BenchmarkProgram:
+    return BenchmarkProgram(name, category, source, entry, study_functions)

@@ -1,0 +1,176 @@
+"""dijkstra — MiBench ``network`` category.
+
+Dijkstra's shortest path algorithm over a dense pseudo-random adjacency
+matrix (O(n^2) selection, as in the MiBench original).
+"""
+
+from __future__ import annotations
+
+from repro.programs._program import make_program
+
+_SOURCE = """
+int adj[400];       /* 20 x 20 weight matrix, 0 = no edge */
+int dist[20];
+int visited[20];
+
+int next_rand(int seed) {
+    return seed * 1103515245 + 12345;
+}
+
+void init_graph(int seed) {
+    int i;
+    int j;
+    int v = seed;
+    for (i = 0; i < 20; i++) {
+        for (j = 0; j < 20; j++) {
+            v = next_rand(v);
+            if (i == j) {
+                adj[i * 20 + j] = 0;
+            } else {
+                int w = (v >> 16) & 31;
+                if (w < 4) {
+                    adj[i * 20 + j] = 0;       /* no edge */
+                } else {
+                    adj[i * 20 + j] = w;
+                }
+            }
+        }
+    }
+}
+
+int enqueue_min(void) {
+    /* Select the unvisited node with the smallest distance. */
+    int best = 1000000;
+    int u = -1;
+    int i;
+    for (i = 0; i < 20; i++) {
+        if (!visited[i] && dist[i] < best) {
+            best = dist[i];
+            u = i;
+        }
+    }
+    return u;
+}
+
+int dijkstra(int src) {
+    int i;
+    int count;
+    for (i = 0; i < 20; i++) {
+        dist[i] = 1000000;
+        visited[i] = 0;
+    }
+    dist[src] = 0;
+    for (count = 0; count < 20; count++) {
+        int u = enqueue_min();
+        if (u < 0)
+            break;
+        visited[u] = 1;
+        for (i = 0; i < 20; i++) {
+            int w = adj[u * 20 + i];
+            if (w > 0 && dist[u] + w < dist[i])
+                dist[i] = dist[u] + w;
+        }
+    }
+    return dist[19];
+}
+
+int main(void) {
+    int total = 0;
+    int src;
+    init_graph(42);
+    for (src = 0; src < 10; src++) {
+        int d = dijkstra(src);
+        if (d < 1000000)
+            total += d;
+        else
+            total += 7;     /* unreachable marker */
+    }
+    return total;
+}
+
+/* MiBench's dijkstra keeps a work queue (enqueue/dequeue/qcount);
+   this variant drives the same relaxation through one. */
+int queue[64];
+int qhead;
+int qtail;
+
+void qinit(void) {
+    qhead = 0;
+    qtail = 0;
+}
+
+int qcount(void) {
+    return qtail - qhead;
+}
+
+void enqueue(int node) {
+    queue[qtail & 63] = node;
+    qtail++;
+}
+
+int dequeue(void) {
+    int node = queue[qhead & 63];
+    qhead++;
+    return node;
+}
+
+int dijkstra_queued(int src) {
+    int i;
+    for (i = 0; i < 20; i++) {
+        dist[i] = 1000000;
+        visited[i] = 0;
+    }
+    dist[src] = 0;
+    qinit();
+    enqueue(src);
+    while (qcount() > 0) {
+        int u = dequeue();
+        if (visited[u])
+            continue;
+        visited[u] = 1;
+        for (i = 0; i < 20; i++) {
+            int w = adj[u * 20 + i];
+            if (w > 0 && dist[u] + w < dist[i]) {
+                dist[i] = dist[u] + w;
+                if (qcount() < 40)
+                    enqueue(i);
+            }
+        }
+    }
+    return dist[19];
+}
+
+int selftest(void) {
+    int total = 0;
+    int src;
+    init_graph(42);
+    for (src = 0; src < 6; src++) {
+        int d = dijkstra_queued(src);
+        if (d < 1000000)
+            total = total * 13 + d;
+        else
+            total = total * 13 + 7;
+    }
+    return total;
+}
+"""
+
+DIJKSTRA = make_program(
+    name="dijkstra",
+    category="network",
+    source=_SOURCE,
+    entry="main",
+    study_functions=[
+        "next_rand",
+        "init_graph",
+        "enqueue_min",
+        "dijkstra",
+        "main",
+        "qinit",
+        "qcount",
+        "enqueue",
+        "dequeue",
+        "dijkstra_queued",
+        "selftest",
+    ],
+)

@@ -1,0 +1,183 @@
+"""fft — MiBench ``telecomm`` category.
+
+An iterative radix-2 complex FFT over 32 points, with sine/cosine
+computed by a range-reduced Taylor series (the paper's fft benchmark is
+the float-heavy one — ``fft_float`` and ``main`` are its two functions
+whose spaces were too big to enumerate, a property our Table 3
+experiment reproduces in miniature).
+"""
+
+from __future__ import annotations
+
+from repro.programs._program import make_program
+
+_SOURCE = """
+float fr[32];
+float fi[32];
+
+float fsin(float x) {
+    float x2;
+    float term;
+    float sum;
+    int i;
+    while (x > 3.14159265358979)
+        x -= 6.28318530717959;
+    while (x < -3.14159265358979)
+        x += 6.28318530717959;
+    x2 = x * x;
+    term = x;
+    sum = x;
+    for (i = 1; i <= 9; i++) {
+        term = -term * x2 / ((2 * i) * (2 * i + 1));
+        sum += term;
+    }
+    return sum;
+}
+
+float fcos(float x) {
+    return fsin(x + 1.5707963267949);
+}
+
+void fft_init(int seed) {
+    int i;
+    int v = seed;
+    for (i = 0; i < 32; i++) {
+        v = v * 1664525 + 1013904223;
+        fr[i] = ((v >> 16) & 255) - 128;
+        fi[i] = 0.0;
+    }
+}
+
+void bit_reverse(int n, int bits) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int rev = 0;
+        int bit;
+        int x = i;
+        for (bit = 0; bit < bits; bit++) {
+            rev = (rev << 1) | (x & 1);
+            x >>= 1;
+        }
+        if (rev > i) {
+            float tr = fr[i];
+            float ti = fi[i];
+            fr[i] = fr[rev];
+            fi[i] = fi[rev];
+            fr[rev] = tr;
+            fi[rev] = ti;
+        }
+    }
+}
+
+void fft_float(int n, int bits, int inverse) {
+    int len;
+    bit_reverse(n, bits);
+    for (len = 2; len <= n; len <<= 1) {
+        float ang = 6.28318530717959 / len;
+        int i;
+        if (inverse)
+            ang = -ang;
+        for (i = 0; i < n; i += len) {
+            int j;
+            for (j = 0; j + j < len; j++) {
+                float wr = fcos(ang * j);
+                float wi = fsin(ang * j);
+                int a = i + j;
+                int b = i + j + len / 2;
+                float xr = fr[b] * wr - fi[b] * wi;
+                float xi = fr[b] * wi + fi[b] * wr;
+                fr[b] = fr[a] - xr;
+                fi[b] = fi[a] - xi;
+                fr[a] = fr[a] + xr;
+                fi[a] = fi[a] + xi;
+            }
+        }
+    }
+}
+
+/* MiBench fourier's small helpers. */
+int is_power_of_two(int n) {
+    if (n < 2)
+        return 0;
+    return (n & (n - 1)) == 0;
+}
+
+int number_of_bits_needed(int n) {
+    int bits = 0;
+    if (n < 2)
+        return 0;
+    while ((1 << bits) < n)
+        bits++;
+    return bits;
+}
+
+int reverse_bits(int index, int bits) {
+    int rev = 0;
+    int i;
+    for (i = 0; i < bits; i++) {
+        rev = (rev << 1) | (index & 1);
+        index >>= 1;
+    }
+    return rev;
+}
+
+int index_to_frequency(int n, int index) {
+    if (index >= n / 2)
+        return index - n;   /* negative frequencies */
+    return index;
+}
+
+int selftest(void) {
+    int total = 0;
+    int n;
+    for (n = 1; n <= 64; n++) {
+        total += is_power_of_two(n);
+        total = total * 3 + number_of_bits_needed(n);
+    }
+    for (n = 0; n < 16; n++) {
+        total = total * 5 + reverse_bits(n, 4);
+        total += index_to_frequency(16, n);
+    }
+    return total;
+}
+
+int main(void) {
+    int checksum = 0;
+    int t;
+    int i;
+    fft_init(20250701);
+    fft_float(32, 5, 0);
+    for (i = 0; i < 32; i++) {
+        t = fr[i] * 16.0;
+        checksum += t;
+        t = fi[i] * 16.0;
+        checksum ^= t;
+    }
+    fft_float(32, 5, 1);
+    for (i = 0; i < 32; i++) {
+        t = fr[i] / 32.0;
+        checksum += t;
+    }
+    return checksum;
+}
+"""
+
+FFT = make_program(
+    name="fft",
+    category="telecomm",
+    source=_SOURCE,
+    entry="main",
+    study_functions=[
+        "fsin",
+        "fcos",
+        "fft_init",
+        "bit_reverse",
+        "fft_float",
+        "main",
+        "is_power_of_two",
+        "number_of_bits_needed",
+        "reverse_bits",
+        "index_to_frequency",
+        "selftest",
+    ],
+)

@@ -1,0 +1,253 @@
+"""jpeg — MiBench ``consumer`` category.
+
+Representative kernels of a JPEG encoder's block pipeline: quantization
+table setup, coefficient quantization, zig-zag reordering, fixed-point
+RGB-to-YCC color conversion, and sample range limiting.
+"""
+
+from __future__ import annotations
+
+from repro.programs._program import make_program
+
+_SOURCE = """
+/* Standard JPEG luminance quantization table (quality 50 base). */
+int base_quant[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99
+};
+
+/* JPEG zig-zag scan order. */
+int zigzag[64] = {
+    0, 1, 8, 16, 9, 2, 3, 10,
+    17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+
+int quant_tbl[64];
+int coef[64];
+int workspace[64];
+
+void set_quant_table(int quality) {
+    int scale;
+    int i;
+    if (quality <= 0)
+        quality = 1;
+    if (quality > 100)
+        quality = 100;
+    if (quality < 50)
+        scale = 5000 / quality;
+    else
+        scale = 200 - quality * 2;
+    for (i = 0; i < 64; i++) {
+        int q = (base_quant[i] * scale + 50) / 100;
+        if (q <= 0)
+            q = 1;
+        if (q > 255)
+            q = 255;
+        quant_tbl[i] = q;
+    }
+}
+
+int descale(int x, int n) {
+    return (x + (1 << (n - 1))) >> n;
+}
+
+int range_limit(int x) {
+    if (x < 0)
+        return 0;
+    if (x > 255)
+        return 255;
+    return x;
+}
+
+void quantize_block(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        int q = quant_tbl[i];
+        int c = coef[i];
+        if (c < 0) {
+            c = -c;
+            c += q >> 1;
+            c /= q;
+            coef[i] = -c;
+        } else {
+            c += q >> 1;
+            c /= q;
+            coef[i] = c;
+        }
+    }
+}
+
+void zigzag_block(void) {
+    int i;
+    for (i = 0; i < 64; i++)
+        workspace[i] = coef[zigzag[i]];
+}
+
+/* Fixed-point RGB -> luma (the jpeg color conversion kernel). */
+int rgb_to_y(int r, int g, int b) {
+    return descale(19595 * r + 38470 * g + 7471 * b, 16);
+}
+
+int rgb_to_cb(int r, int g, int b) {
+    return range_limit(descale(-11059 * r - 21709 * g + 32768 * b, 16) + 128);
+}
+
+/* One row of the AAN forward DCT (adds, subs and shifted multiplies —
+   the shape of jdct.c's fast path). */
+void fdct_row(int row) {
+    int base = row * 8;
+    int tmp0 = coef[base + 0] + coef[base + 7];
+    int tmp7 = coef[base + 0] - coef[base + 7];
+    int tmp1 = coef[base + 1] + coef[base + 6];
+    int tmp6 = coef[base + 1] - coef[base + 6];
+    int tmp2 = coef[base + 2] + coef[base + 5];
+    int tmp5 = coef[base + 2] - coef[base + 5];
+    int tmp3 = coef[base + 3] + coef[base + 4];
+    int tmp4 = coef[base + 3] - coef[base + 4];
+    int tmp10 = tmp0 + tmp3;
+    int tmp13 = tmp0 - tmp3;
+    int tmp11 = tmp1 + tmp2;
+    int tmp12 = tmp1 - tmp2;
+    coef[base + 0] = tmp10 + tmp11;
+    coef[base + 4] = tmp10 - tmp11;
+    coef[base + 2] = tmp13 + descale(tmp12 * 181, 7);
+    coef[base + 6] = tmp13 - descale(tmp12 * 181, 7);
+    coef[base + 1] = tmp4 + descale((tmp5 + tmp6) * 98, 7);
+    coef[base + 5] = tmp7 - descale((tmp5 - tmp6) * 139, 7);
+    coef[base + 3] = tmp4 - tmp7;
+    coef[base + 7] = tmp5 + tmp6 + tmp4;
+}
+
+/* Huffman-style bit packing (jchuff.c's emit_bits shape). */
+int bit_buffer;
+int bits_in_buffer;
+int emitted_words;
+
+void emit_reset(void) {
+    bit_buffer = 0;
+    bits_in_buffer = 0;
+    emitted_words = 0;
+}
+
+int emit_bits(int code, int size) {
+    int out = 0;
+    bit_buffer = (bit_buffer << size) | (code & ((1 << size) - 1));
+    bits_in_buffer += size;
+    while (bits_in_buffer >= 16) {
+        bits_in_buffer -= 16;
+        out = (bit_buffer >> bits_in_buffer) & 0xffff;
+        emitted_words++;
+    }
+    return out;
+}
+
+int ycc_to_r(int y, int cr) {
+    return range_limit(y + descale(91881 * (cr - 128), 16));
+}
+
+/* jdmarker-style dispatch: classify a JPEG marker byte. */
+int marker_category(int marker) {
+    switch (marker) {
+    case 0xd8:          /* SOI */
+    case 0xd9:          /* EOI */
+        return 1;       /* standalone */
+    case 0xc0:          /* SOF0 */
+    case 0xc1:          /* SOF1 */
+    case 0xc2:          /* SOF2 */
+        return 2;       /* frame header */
+    case 0xc4:          /* DHT */
+    case 0xdb:          /* DQT */
+        return 3;       /* table definition */
+    case 0xda:          /* SOS */
+        return 4;       /* scan */
+    default:
+        if (marker >= 0xd0 && marker <= 0xd7)
+            return 5;   /* RSTn */
+        if (marker >= 0xe0 && marker <= 0xef)
+            return 6;   /* APPn */
+        return 0;       /* unknown / skip */
+    }
+}
+
+int selftest(void) {
+    int seed = 24036583;
+    int total = 0;
+    int i;
+    for (i = 0; i < 64; i++) {
+        seed = seed * 48271 + 11;
+        coef[i] = ((seed >> 9) & 511) - 256;
+    }
+    for (i = 0; i < 8; i++)
+        fdct_row(i);
+    for (i = 0; i < 64; i++)
+        total = total * 7 + coef[i] % 997;
+    emit_reset();
+    for (i = 0; i < 32; i++)
+        total += emit_bits(i * 11, 5 + (i & 3));
+    total = total * 31 + emitted_words;
+    for (i = 0; i < 8; i++)
+        total += ycc_to_r(i * 30, 255 - i * 17);
+    for (i = 0xc0; i <= 0xef; i++)
+        total = total * 3 + marker_category(i);
+    return total;
+}
+
+int main(void) {
+    int seed = 48271;
+    int total = 0;
+    int i;
+    set_quant_table(75);
+    for (i = 0; i < 64; i++) {
+        seed = seed * 48271 + 3;
+        coef[i] = ((seed >> 12) & 2047) - 1024;
+    }
+    quantize_block();
+    zigzag_block();
+    for (i = 0; i < 64; i++)
+        total += workspace[i] * (i + 1);
+    for (i = 0; i < 16; i++) {
+        int r = (i * 37) & 255;
+        int g = (i * 73) & 255;
+        int b = (i * 111) & 255;
+        total += rgb_to_y(r, g, b);
+        total += rgb_to_cb(r, g, b);
+        total += range_limit(r - 200);
+    }
+    return total;
+}
+"""
+
+JPEG = make_program(
+    name="jpeg",
+    category="consumer",
+    source=_SOURCE,
+    entry="main",
+    study_functions=[
+        "set_quant_table",
+        "descale",
+        "range_limit",
+        "quantize_block",
+        "zigzag_block",
+        "rgb_to_y",
+        "rgb_to_cb",
+        "fdct_row",
+        "emit_reset",
+        "emit_bits",
+        "ycc_to_r",
+        "marker_category",
+        "main",
+        "selftest",
+    ],
+)

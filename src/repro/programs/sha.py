@@ -1,0 +1,179 @@
+"""sha — MiBench ``security`` category.
+
+The SHA-1 compression function (``sha_transform`` with its 80-round
+loop and message schedule expansion), a byte-reversal helper, and a
+driver hashing a pseudo-random buffer.
+"""
+
+from __future__ import annotations
+
+from repro.programs._program import make_program
+
+_SOURCE = """
+int sha_digest[5];
+int sha_data[16];
+int W[80];
+
+int rol(int x, int n) {
+    /* 32-bit rotate left built from shifts (mask clears the sign
+       extension of the arithmetic right shift). */
+    int right = (x >> (32 - n)) & ((1 << n) - 1);
+    return (x << n) | right;
+}
+
+void byte_reverse(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = sha_data[i];
+        int b0 = v & 255;
+        int b1 = (v >> 8) & 255;
+        int b2 = (v >> 16) & 255;
+        int b3 = (v >> 24) & 255;
+        sha_data[i] = (b0 << 24) | (b1 << 16) | (b2 << 8) | b3;
+    }
+}
+
+void sha_init(void) {
+    sha_digest[0] = 0x67452301;
+    sha_digest[1] = 0xefcdab89;
+    sha_digest[2] = 0x98badcfe;
+    sha_digest[3] = 0x10325476;
+    sha_digest[4] = 0xc3d2e1f0;
+}
+
+void sha_transform(void) {
+    int i;
+    int a;
+    int b;
+    int c;
+    int d;
+    int e;
+    int temp;
+
+    for (i = 0; i < 16; i++)
+        W[i] = sha_data[i];
+    for (i = 16; i < 80; i++)
+        W[i] = W[i - 3] ^ W[i - 8] ^ W[i - 14] ^ W[i - 16];
+
+    a = sha_digest[0];
+    b = sha_digest[1];
+    c = sha_digest[2];
+    d = sha_digest[3];
+    e = sha_digest[4];
+
+    for (i = 0; i < 20; i++) {
+        temp = rol(a, 5) + ((b & c) | (~b & d)) + e + W[i] + 0x5a827999;
+        e = d;
+        d = c;
+        c = rol(b, 30);
+        b = a;
+        a = temp;
+    }
+    for (i = 20; i < 40; i++) {
+        temp = rol(a, 5) + (b ^ c ^ d) + e + W[i] + 0x6ed9eba1;
+        e = d;
+        d = c;
+        c = rol(b, 30);
+        b = a;
+        a = temp;
+    }
+    for (i = 40; i < 60; i++) {
+        temp = rol(a, 5) + ((b & c) | (b & d) | (c & d)) + e + W[i] + 0x8f1bbcdc;
+        e = d;
+        d = c;
+        c = rol(b, 30);
+        b = a;
+        a = temp;
+    }
+    for (i = 60; i < 80; i++) {
+        temp = rol(a, 5) + (b ^ c ^ d) + e + W[i] + 0xca62c1d6;
+        e = d;
+        d = c;
+        c = rol(b, 30);
+        b = a;
+        a = temp;
+    }
+
+    sha_digest[0] = sha_digest[0] + a;
+    sha_digest[1] = sha_digest[1] + b;
+    sha_digest[2] = sha_digest[2] + c;
+    sha_digest[3] = sha_digest[3] + d;
+    sha_digest[4] = sha_digest[4] + e;
+}
+
+/* sha_update's block-feeding loop, simplified to whole words. */
+int sha_count;
+
+void sha_update_words(int words[], int count) {
+    int consumed = 0;
+    while (consumed < count) {
+        int chunk = count - consumed;
+        int i;
+        if (chunk > 16)
+            chunk = 16;
+        for (i = 0; i < chunk; i++)
+            sha_data[i] = words[consumed + i];
+        for (i = chunk; i < 16; i++)
+            sha_data[i] = 0;
+        byte_reverse(16);
+        sha_transform();
+        consumed += chunk;
+        sha_count += chunk * 4;
+    }
+}
+
+int sha_final_word(void) {
+    /* fold the digest, mixing in the processed byte count */
+    return sha_digest[0] ^ sha_digest[1] ^ sha_digest[2]
+         ^ sha_digest[3] ^ sha_digest[4] ^ sha_count;
+}
+
+int message[40];
+
+int selftest(void) {
+    int seed = 0x2545f491;
+    int i;
+    sha_count = 0;
+    sha_init();
+    for (i = 0; i < 40; i++) {
+        seed = seed * 69069 + 1;
+        message[i] = seed;
+    }
+    sha_update_words(message, 40);
+    return sha_final_word();
+}
+
+int main(void) {
+    int seed = 0x517cc1b7;
+    int block;
+    int i;
+    sha_init();
+    for (block = 0; block < 4; block++) {
+        for (i = 0; i < 16; i++) {
+            seed = seed * 69069 + 1234567;
+            sha_data[i] = seed;
+        }
+        byte_reverse(16);
+        sha_transform();
+    }
+    return sha_digest[0] ^ sha_digest[1] ^ sha_digest[2]
+         ^ sha_digest[3] ^ sha_digest[4];
+}
+"""
+
+SHA = make_program(
+    name="sha",
+    category="security",
+    source=_SOURCE,
+    entry="main",
+    study_functions=[
+        "rol",
+        "byte_reverse",
+        "sha_init",
+        "sha_transform",
+        "sha_update_words",
+        "sha_final_word",
+        "main",
+        "selftest",
+    ],
+)

@@ -1,0 +1,200 @@
+"""stringsearch — MiBench ``office`` category.
+
+Boyer-Moore-Horspool search for given words in a pseudo-random text
+(the paper's bmh_init / bmh_search / bmha / bmhi function family).
+Characters are stored one per word.
+"""
+
+from __future__ import annotations
+
+from repro.programs._program import make_program
+
+_SOURCE = """
+int search_text[256];
+int pattern[16];
+int skip[128];
+
+void make_text(int seed) {
+    int i;
+    int v = seed;
+    for (i = 0; i < 256; i++) {
+        v = v * 1103515245 + 12345;
+        search_text[i] = 97 + ((v >> 16) & 0x7fff) % 26;   /* 'a'..'z' */
+    }
+}
+
+void plant_pattern(int at, int patlen) {
+    int i;
+    for (i = 0; i < patlen; i++)
+        search_text[at + i] = pattern[i];
+}
+
+int set_pattern(int which) {
+    /* Returns the pattern length. */
+    switch (which) {
+    case 0:
+        pattern[0] = 'h'; pattern[1] = 'e'; pattern[2] = 'r';
+        pattern[3] = 'e'; return 4;
+    case 1:
+        pattern[0] = 'w'; pattern[1] = 'o'; pattern[2] = 'r';
+        pattern[3] = 'l'; pattern[4] = 'd'; return 5;
+    case 2:
+        pattern[0] = 'q'; pattern[1] = 'z'; pattern[2] = 'x';
+        return 3;
+    default:
+        pattern[0] = 'a'; pattern[1] = 'b'; pattern[2] = 'a';
+        pattern[3] = 'b'; pattern[4] = 'a'; pattern[5] = 'b';
+        return 6;
+    }
+}
+
+void bmh_init(int patlen) {
+    int i;
+    for (i = 0; i < 128; i++)
+        skip[i] = patlen;
+    for (i = 0; i < patlen - 1; i++)
+        skip[pattern[i] & 127] = patlen - 1 - i;
+}
+
+int bmh_search(int textlen, int patlen) {
+    int pos = patlen - 1;
+    while (pos < textlen) {
+        int i = patlen - 1;
+        int j = pos;
+        while (i >= 0 && search_text[j] == pattern[i]) {
+            i--;
+            j--;
+        }
+        if (i < 0)
+            return pos - patlen + 1;
+        pos += skip[search_text[pos] & 127];
+    }
+    return -1;
+}
+
+/* Case-insensitive variant (bmhi in the paper's tables). */
+int bmhi_search(int textlen, int patlen) {
+    int pos = patlen - 1;
+    while (pos < textlen) {
+        int i = patlen - 1;
+        int j = pos;
+        while (i >= 0) {
+            int t = search_text[j];
+            int p = pattern[i];
+            if (t >= 65 && t <= 90)
+                t += 32;
+            if (p >= 65 && p <= 90)
+                p += 32;
+            if (t != p)
+                break;
+            i--;
+            j--;
+        }
+        if (i < 0)
+            return pos - patlen + 1;
+        pos += skip[search_text[pos] & 127];
+    }
+    return -1;
+}
+
+int strsearch(int which, int textlen) {
+    int patlen = set_pattern(which);
+    bmh_init(patlen);
+    return bmh_search(textlen, patlen);
+}
+
+/* Naive O(n*m) search, the baseline BMH beats. */
+int simple_search(int textlen, int patlen) {
+    int pos;
+    for (pos = 0; pos + patlen <= textlen; pos++) {
+        int i = 0;
+        while (i < patlen && search_text[pos + i] == pattern[i])
+            i++;
+        if (i == patlen)
+            return pos;
+    }
+    return -1;
+}
+
+int to_lower(int c) {
+    if (c >= 'A' && c <= 'Z')
+        return c + 32;
+    return c;
+}
+
+int count_occurrences(int textlen, int patlen) {
+    int found = 0;
+    int pos = patlen - 1;
+    while (pos < textlen) {
+        int i = patlen - 1;
+        int j = pos;
+        while (i >= 0 && search_text[j] == pattern[i]) {
+            i--;
+            j--;
+        }
+        if (i < 0) {
+            found++;
+            pos += patlen;
+        } else {
+            pos += skip[search_text[pos] & 127];
+        }
+    }
+    return found;
+}
+
+int selftest(void) {
+    int total = 0;
+    int which;
+    make_text(19991231);
+    for (which = 0; which < 4; which++) {
+        int patlen = set_pattern(which);
+        bmh_init(patlen);
+        total = total * 31 + simple_search(256, patlen);
+        total = total * 31 + count_occurrences(256, patlen);
+        /* naive and BMH must agree on the first match */
+        if (simple_search(256, patlen) != bmh_search(256, patlen))
+            total += 1000000;
+    }
+    total = total * 31 + to_lower('Q') + to_lower('q') + to_lower('!');
+    return total;
+}
+
+int main(void) {
+    int total = 0;
+    int which;
+    make_text(20060325);
+    set_pattern(0);
+    plant_pattern(100, 4);
+    set_pattern(1);
+    plant_pattern(200, 5);
+    for (which = 0; which < 4; which++) {
+        int found = strsearch(which, 256);
+        total = total * 31 + found;
+    }
+    set_pattern(1);
+    bmh_init(5);
+    total = total * 31 + bmhi_search(256, 5);
+    return total;
+}
+"""
+
+STRINGSEARCH = make_program(
+    name="stringsearch",
+    category="office",
+    source=_SOURCE,
+    entry="main",
+    study_functions=[
+        "make_text",
+        "plant_pattern",
+        "set_pattern",
+        "bmh_init",
+        "bmh_search",
+        "bmhi_search",
+        "strsearch",
+        "simple_search",
+        "to_lower",
+        "count_occurrences",
+        "main",
+        "selftest",
+    ],
+)

@@ -1,0 +1,18 @@
+"""Non-exhaustive phase order search (the paper's related work [14]
+and its section 7 future-work idea of probability-guided searching)."""
+
+from repro.search.genetic import (
+    GeneticSearcher,
+    GeneticSearchResult,
+    codesize_objective,
+    dynamic_count_objective,
+)
+from repro.search.hillclimb import HillClimber
+
+__all__ = [
+    "GeneticSearcher",
+    "GeneticSearchResult",
+    "HillClimber",
+    "codesize_objective",
+    "dynamic_count_objective",
+]

@@ -1,0 +1,221 @@
+"""Genetic algorithm search for effective phase sequences.
+
+The paper's related work ([3], [4], [14]) searches the attempted space
+with genetic algorithms instead of enumerating it; its section 7
+proposes two improvements that this module implements:
+
+- **redundancy detection by fingerprinting** ([14], also section 4.2):
+  sequences producing an already-seen function instance are not
+  re-evaluated — the fitness cache is keyed by the instance
+  fingerprint, not the sequence text;
+- **interaction-guided mutation** (section 7): instead of uniform
+  random phases, mutations sample the next phase from the measured
+  enabling probabilities given the preceding gene, so the search
+  spends its budget on sequences whose phases can actually be active.
+
+With the space enumerated exhaustively (this repository's main
+result), the GA's answer can be *checked against the true optimum* —
+see ``tests/search/test_genetic.py`` and the ablation bench.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.fingerprint import fingerprint_function
+from repro.core.interactions import InteractionAnalysis
+from repro.ir.function import Function
+from repro.machine.target import DEFAULT_TARGET, Target
+from repro.opt import PHASE_IDS, apply_phase, phase_by_id
+
+
+def codesize_objective(func: Function) -> float:
+    """Static instruction count (the paper's code-size criterion)."""
+    return float(func.num_instructions())
+
+
+def dynamic_count_objective(run: Callable[[Function], int]):
+    """Wrap a measurement callback into an objective."""
+
+    def objective(func: Function) -> float:
+        return float(run(func))
+
+    return objective
+
+
+class GeneticSearchResult:
+    """Outcome of one GA search."""
+
+    __slots__ = (
+        "best_sequence",
+        "best_fitness",
+        "best_function",
+        "evaluations",
+        "cache_hits",
+        "history",
+    )
+
+    def __init__(self, best_sequence, best_fitness, best_function, evaluations, cache_hits, history):
+        self.best_sequence = best_sequence
+        self.best_fitness = best_fitness
+        self.best_function = best_function
+        #: objective evaluations actually performed
+        self.evaluations = evaluations
+        #: evaluations avoided by the fingerprint cache
+        self.cache_hits = cache_hits
+        #: best fitness after each generation
+        self.history = history
+
+    def __repr__(self):
+        return (
+            f"<GeneticSearchResult fitness={self.best_fitness} "
+            f"seq={''.join(self.best_sequence)} evals={self.evaluations}>"
+        )
+
+
+class GeneticSearcher:
+    """Search phase sequences with a generational GA.
+
+    Chromosomes are fixed-length phase-id strings; applying one means
+    attempting each phase in order (dormant attempts are no-ops, as in
+    the paper's GA experiments).
+    """
+
+    def __init__(
+        self,
+        func: Function,
+        objective: Callable[[Function], float] = codesize_objective,
+        sequence_length: int = 12,
+        population_size: int = 16,
+        generations: int = 20,
+        mutation_rate: float = 0.15,
+        elite: int = 2,
+        seed: int = 2006,
+        interactions: Optional[InteractionAnalysis] = None,
+        target: Optional[Target] = None,
+    ):
+        self.base = func.clone()
+        self.objective = objective
+        self.sequence_length = sequence_length
+        self.population_size = population_size
+        self.generations = generations
+        self.mutation_rate = mutation_rate
+        self.elite = elite
+        self.rng = random.Random(seed)
+        self.interactions = interactions
+        self.target = target or DEFAULT_TARGET
+        self._fitness_by_instance: Dict[object, float] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Chromosome construction
+    # ------------------------------------------------------------------
+
+    def _sample_phase(self, previous: Optional[str]) -> str:
+        """Next gene: uniform, or weighted by enabling probabilities."""
+        if self.interactions is None:
+            return self.rng.choice(PHASE_IDS)
+        if previous is None:
+            weights = [
+                max(self.interactions.start.get(pid, 0.0), 0.02)
+                for pid in PHASE_IDS
+            ]
+        else:
+            weights = [
+                max(
+                    self.interactions.enabling.get(pid, {}).get(previous, 0.0),
+                    0.02,
+                )
+                for pid in PHASE_IDS
+            ]
+        return self.rng.choices(PHASE_IDS, weights=weights, k=1)[0]
+
+    def _random_sequence(self) -> Tuple[str, ...]:
+        sequence: List[str] = []
+        previous: Optional[str] = None
+        for _ in range(self.sequence_length):
+            gene = self._sample_phase(previous)
+            sequence.append(gene)
+            previous = gene
+        return tuple(sequence)
+
+    # ------------------------------------------------------------------
+    # Evaluation (fingerprint-cached)
+    # ------------------------------------------------------------------
+
+    def _apply(self, sequence: Sequence[str]) -> Function:
+        func = self.base.clone()
+        for phase_id in sequence:
+            apply_phase(func, phase_by_id(phase_id), self.target)
+        return func
+
+    def _evaluate(self, sequence: Sequence[str]) -> Tuple[float, Function]:
+        func = self._apply(sequence)
+        key = fingerprint_function(func).key
+        cached = self._fitness_by_instance.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached, func
+        fitness = self.objective(func)
+        self._fitness_by_instance[key] = fitness
+        self.evaluations += 1
+        return fitness, func
+
+    # ------------------------------------------------------------------
+    # GA operators
+    # ------------------------------------------------------------------
+
+    def _crossover(self, a: Tuple[str, ...], b: Tuple[str, ...]) -> Tuple[str, ...]:
+        point = self.rng.randrange(1, self.sequence_length)
+        return a[:point] + b[point:]
+
+    def _mutate(self, sequence: Tuple[str, ...]) -> Tuple[str, ...]:
+        genes = list(sequence)
+        for i in range(len(genes)):
+            if self.rng.random() < self.mutation_rate:
+                previous = genes[i - 1] if i > 0 else None
+                genes[i] = self._sample_phase(previous)
+        return tuple(genes)
+
+    def _tournament(self, scored) -> Tuple[str, ...]:
+        a, b = self.rng.sample(scored, 2)
+        return a[1] if a[0] <= b[0] else b[1]
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> GeneticSearchResult:
+        population = [self._random_sequence() for _ in range(self.population_size)]
+        best_fitness = float("inf")
+        best_sequence: Tuple[str, ...] = population[0]
+        best_function = self.base.clone()
+        history: List[float] = []
+
+        for _generation in range(self.generations):
+            scored = []
+            for sequence in population:
+                fitness, func = self._evaluate(sequence)
+                scored.append((fitness, sequence))
+                if fitness < best_fitness:
+                    best_fitness = fitness
+                    best_sequence = sequence
+                    best_function = func
+            history.append(best_fitness)
+            scored.sort(key=lambda pair: (pair[0], pair[1]))
+            next_population = [seq for (_f, seq) in scored[: self.elite]]
+            while len(next_population) < self.population_size:
+                parent_a = self._tournament(scored)
+                parent_b = self._tournament(scored)
+                child = self._crossover(parent_a, parent_b)
+                next_population.append(self._mutate(child))
+            population = next_population
+
+        return GeneticSearchResult(
+            best_sequence,
+            best_fitness,
+            best_function,
+            self.evaluations,
+            self.cache_hits,
+            history,
+        )

@@ -1,0 +1,102 @@
+"""Hill-climbing phase order search (related work [5], [9]).
+
+The paper's related work reports that the phase order space "contains
+enough local minima that biased sampling techniques, such as hill
+climbers and genetic algorithms, should find good solutions" [9].  This
+steepest-descent hill climber over fixed-length sequences provides the
+baseline: neighbors differ in exactly one position, evaluation is
+fingerprint-cached like the GA's, and restarts escape local minima.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.fingerprint import fingerprint_function
+from repro.ir.function import Function
+from repro.machine.target import DEFAULT_TARGET, Target
+from repro.opt import PHASE_IDS, apply_phase, phase_by_id
+from repro.search.genetic import GeneticSearchResult, codesize_objective
+
+
+class HillClimber:
+    """Steepest-descent search with random restarts."""
+
+    def __init__(
+        self,
+        func: Function,
+        objective: Callable[[Function], float] = codesize_objective,
+        sequence_length: int = 12,
+        restarts: int = 4,
+        max_steps: int = 40,
+        seed: int = 2006,
+        target: Optional[Target] = None,
+    ):
+        self.base = func.clone()
+        self.objective = objective
+        self.sequence_length = sequence_length
+        self.restarts = restarts
+        self.max_steps = max_steps
+        self.rng = random.Random(seed)
+        self.target = target or DEFAULT_TARGET
+        self._fitness_by_instance: Dict[object, float] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    def _evaluate(self, sequence: Tuple[str, ...]) -> Tuple[float, Function]:
+        func = self.base.clone()
+        for phase_id in sequence:
+            apply_phase(func, phase_by_id(phase_id), self.target)
+        key = fingerprint_function(func).key
+        cached = self._fitness_by_instance.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached, func
+        fitness = self.objective(func)
+        self._fitness_by_instance[key] = fitness
+        self.evaluations += 1
+        return fitness, func
+
+    def _neighbors(self, sequence: Tuple[str, ...]):
+        for position in range(len(sequence)):
+            for phase_id in PHASE_IDS:
+                if phase_id != sequence[position]:
+                    yield (
+                        sequence[:position] + (phase_id,) + sequence[position + 1 :]
+                    )
+
+    def run(self) -> GeneticSearchResult:
+        best_fitness = float("inf")
+        best_sequence: Tuple[str, ...] = ()
+        best_function = self.base.clone()
+        history: List[float] = []
+        for _restart in range(self.restarts):
+            current = tuple(
+                self.rng.choice(PHASE_IDS) for _ in range(self.sequence_length)
+            )
+            current_fitness, current_function = self._evaluate(current)
+            for _step in range(self.max_steps):
+                candidates = [
+                    (self._evaluate(neighbor)[0], neighbor)
+                    for neighbor in self._neighbors(current)
+                ]
+                neighbor_fitness, neighbor = min(
+                    candidates, key=lambda pair: (pair[0], pair[1])
+                )
+                if neighbor_fitness >= current_fitness:
+                    break  # local minimum
+                current, current_fitness = neighbor, neighbor_fitness
+            if current_fitness < best_fitness:
+                best_fitness = current_fitness
+                best_sequence = current
+                best_function = self._evaluate(current)[1]
+            history.append(best_fitness)
+        return GeneticSearchResult(
+            best_sequence,
+            best_fitness,
+            best_function,
+            self.evaluations,
+            self.cache_hits,
+            history,
+        )

@@ -1,0 +1,15 @@
+"""RTL interpreter: executes compiled programs at any optimization stage.
+
+Used both as the correctness oracle (every phase ordering of a function
+must produce code with identical observable behaviour) and to measure
+dynamic instruction counts for the Table 7 experiment.
+"""
+
+from repro.vm.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    VMError,
+    VMFuelExhausted,
+)
+
+__all__ = ["Interpreter", "ExecutionResult", "VMError", "VMFuelExhausted"]

@@ -1,0 +1,104 @@
+"""Unit tests for dominator computation."""
+
+from repro.analysis.dominators import compute_dominators
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Compare, CondBranch, Jump, Return
+from repro.ir.operands import Const, Reg
+
+
+def build(edges_spec):
+    """Build a function from {label: terminator_spec} in given order.
+
+    terminator_spec: ("jump", target) | ("branch", target) | ("ret",)
+    A branch falls through to the next positional block.
+    """
+    func = Function("f")
+    labels = list(edges_spec)
+    for label in labels:
+        func.add_block(label)
+    for label, spec in edges_spec.items():
+        block = func.block(label)
+        if spec[0] == "jump":
+            block.insts.append(Jump(spec[1]))
+        elif spec[0] == "branch":
+            block.insts.append(Compare(Reg(1), Const(0)))
+            block.insts.append(CondBranch("lt", spec[1]))
+        else:
+            block.insts.append(Return())
+    return func
+
+
+class TestDominators:
+    def test_straight_line(self):
+        func = build({"a": ("jump", "b"), "b": ("jump", "c"), "c": ("ret",)})
+        dom = compute_dominators(func)
+        assert dom.idom["a"] is None
+        assert dom.idom["b"] == "a"
+        assert dom.idom["c"] == "b"
+
+    def test_diamond(self):
+        func = build(
+            {
+                "entry": ("branch", "right"),
+                "left": ("jump", "join"),
+                "right": ("jump", "join"),
+                "join": ("ret",),
+            }
+        )
+        dom = compute_dominators(func)
+        assert dom.idom["left"] == "entry"
+        assert dom.idom["right"] == "entry"
+        assert dom.idom["join"] == "entry"
+        assert dom.dominates("entry", "join")
+        assert not dom.dominates("left", "join")
+        assert dom.dominates("join", "join")
+        assert not dom.strictly_dominates("join", "join")
+
+    def test_loop(self):
+        func = build(
+            {
+                "entry": ("jump", "head"),
+                "head": ("branch", "exit"),
+                "body": ("jump", "head"),
+                "exit": ("ret",),
+            }
+        )
+        dom = compute_dominators(func)
+        assert dom.idom["head"] == "entry"
+        assert dom.idom["body"] == "head"
+        assert dom.idom["exit"] == "head"
+        assert dom.dominates("head", "body")
+
+    def test_unreachable_blocks_excluded(self):
+        func = build(
+            {"entry": ("jump", "exit"), "island": ("jump", "exit"), "exit": ("ret",)}
+        )
+        dom = compute_dominators(func)
+        assert "island" not in dom.idom
+        assert dom.idom["exit"] == "entry"
+
+    def test_depths(self):
+        func = build(
+            {
+                "entry": ("branch", "c"),
+                "b": ("jump", "d"),
+                "c": ("jump", "d"),
+                "d": ("ret",),
+            }
+        )
+        dom = compute_dominators(func)
+        assert dom.depth("entry") == 0
+        assert dom.depth("b") == 1
+        assert dom.depth("d") == 1
+
+    def test_children(self):
+        func = build(
+            {
+                "entry": ("branch", "c"),
+                "b": ("jump", "d"),
+                "c": ("jump", "d"),
+                "d": ("ret",),
+            }
+        )
+        dom = compute_dominators(func)
+        assert sorted(dom.children()["entry"]) == ["b", "c", "d"]

@@ -1,0 +1,120 @@
+"""Unit tests for the frame-reference alias analysis."""
+
+from repro.analysis.framerefs import compute_frame_refs
+from repro.ir.function import Function
+from repro.ir.instructions import Assign, Call, Compare, CondBranch, Jump, Return
+from repro.ir.operands import BinOp, Const, Mem, Reg
+from repro.machine.target import FP, RV
+
+
+def one_block(insts, locals_spec=(("x", False), ("y", False))):
+    func = Function("f", returns_value=True)
+    for name, is_array in locals_spec:
+        func.add_local(name, 4 if is_array else 1, "int", is_array)
+    block = func.add_block("L0")
+    block.insts = list(insts) + [Return()]
+    return func
+
+
+class TestClassification:
+    def test_literal_slot_access(self):
+        func = one_block([Assign(RV, Mem(BinOp("add", FP, Const(4))))])
+        refs = compute_frame_refs(func)
+        assert refs.refs["L0"][0].reads == frozenset({4})
+        assert not refs.has_wild
+
+    def test_access_through_address_register(self):
+        t = Reg(1)
+        func = one_block(
+            [
+                Assign(t, BinOp("add", FP, Const(4))),
+                Assign(RV, Mem(t)),
+            ]
+        )
+        refs = compute_frame_refs(func)
+        assert refs.refs["L0"][1].reads == frozenset({4})
+
+    def test_chained_offsets(self):
+        t1, t2 = Reg(1), Reg(2)
+        func = one_block(
+            [
+                Assign(t1, FP),
+                Assign(t2, BinOp("add", t1, Const(4))),
+                Assign(RV, Mem(t2)),
+            ]
+        )
+        refs = compute_frame_refs(func)
+        assert refs.refs["L0"][2].reads == frozenset({4})
+
+    def test_array_element_is_not_a_scalar_slot(self):
+        # base = fp + 8 (array base), addr = base + index -> in-bounds
+        # derived pointer, never aliases scalar slots.
+        base, index, addr = Reg(1), Reg(2), Reg(3)
+        func = one_block(
+            [
+                Assign(base, BinOp("add", FP, Const(8))),
+                Assign(addr, BinOp("add", base, index)),
+                Assign(RV, Mem(addr)),
+            ],
+            locals_spec=(("x", False), ("y", False), ("arr", True)),
+        )
+        refs = compute_frame_refs(func)
+        assert refs.refs["L0"][2].reads == frozenset()
+        assert not refs.has_wild
+
+    def test_loaded_value_is_not_frame_derived(self):
+        t = Reg(1)
+        func = one_block([Assign(t, Mem(FP)), Assign(RV, Mem(t))])
+        refs = compute_frame_refs(func)
+        assert refs.refs["L0"][1].reads == frozenset()
+        assert not refs.has_wild
+
+    def test_calls_do_not_touch_scalar_slots(self):
+        func = one_block([Call("g", 0)])
+        refs = compute_frame_refs(func)
+        ref = refs.refs["L0"][0]
+        assert not ref.reads and not ref.writes
+        assert not ref.wild_read and not ref.wild_write
+
+    def test_stores_classified(self):
+        func = one_block([Assign(Mem(BinOp("add", FP, Const(0))), RV)])
+        refs = compute_frame_refs(func)
+        assert refs.refs["L0"][0].writes == frozenset({0})
+
+
+class TestMerging:
+    def test_conflicting_offsets_become_wild(self):
+        # r1 = fp+0 on one path, fp+4 on the other; M[r1] afterwards
+        # must be treated as possibly touching either slot.
+        func = Function("f", returns_value=True)
+        func.add_local("x", 1, "int", False)
+        func.add_local("y", 1, "int", False)
+        entry = func.add_block("entry")
+        left = func.add_block("left")
+        right = func.add_block("right")
+        join = func.add_block("join")
+        r1 = Reg(1)
+        entry.insts = [Compare(RV, Const(0)), CondBranch("eq", "right")]
+        left.insts = [Assign(r1, FP), Jump("join")]
+        right.insts = [Assign(r1, BinOp("add", FP, Const(4)))]
+        join.insts = [Assign(RV, Mem(r1)), Return()]
+        refs = compute_frame_refs(func)
+        assert refs.refs["join"][0].wild_read
+        assert refs.has_wild
+
+    def test_consistent_offsets_stay_precise(self):
+        func = Function("f", returns_value=True)
+        func.add_local("x", 1, "int", False)
+        entry = func.add_block("entry")
+        left = func.add_block("left")
+        join = func.add_block("join")
+        r1 = Reg(1)
+        entry.insts = [
+            Assign(r1, FP),
+            Compare(RV, Const(0)),
+            CondBranch("eq", "join"),
+        ]
+        left.insts = [Assign(r1, FP)]
+        join.insts = [Assign(RV, Mem(r1)), Return()]
+        refs = compute_frame_refs(func)
+        assert refs.refs["join"][0].reads == frozenset({0})

@@ -1,0 +1,74 @@
+"""Unit tests for natural loop detection."""
+
+from repro.analysis.loops import find_natural_loops
+from repro.ir.cfg import build_cfg
+from tests.analysis.test_dominators import build
+from tests.conftest import compile_fn
+
+
+class TestFindNaturalLoops:
+    def test_no_loops(self):
+        func = build({"a": ("jump", "b"), "b": ("ret",)})
+        assert find_natural_loops(func) == []
+
+    def test_simple_while_loop(self):
+        func = build(
+            {
+                "entry": ("jump", "head"),
+                "head": ("branch", "exit"),
+                "body": ("jump", "head"),
+                "exit": ("ret",),
+            }
+        )
+        (loop,) = find_natural_loops(func)
+        assert loop.header == "head"
+        assert loop.body == {"head", "body"}
+        assert loop.latches == {"body"}
+        cfg = build_cfg(func)
+        assert loop.exits(cfg) == ["exit"]
+        assert loop.exiting_blocks(cfg) == ["head"]
+
+    def test_nested_loops_sorted_innermost_first(self):
+        func = build(
+            {
+                "entry": ("jump", "outer"),
+                "outer": ("branch", "exit"),
+                "inner": ("branch", "outer_latch"),
+                "inner_body": ("jump", "inner"),
+                "outer_latch": ("jump", "outer"),
+                "exit": ("ret",),
+            }
+        )
+        loops = find_natural_loops(func)
+        assert len(loops) == 2
+        assert loops[0].header == "inner"
+        assert loops[0].depth == 2
+        assert loops[1].header == "outer"
+        assert loops[1].depth == 1
+        assert loops[0].body < loops[1].body
+
+    def test_two_latches_share_one_loop(self):
+        func = build(
+            {
+                "entry": ("jump", "head"),
+                "head": ("branch", "exit"),
+                "a": ("branch", "latch2"),
+                "latch1": ("jump", "head"),
+                "latch2": ("jump", "head"),
+                "exit": ("ret",),
+            }
+        )
+        (loop,) = find_natural_loops(func)
+        assert loop.latches == {"latch1", "latch2"}
+
+    def test_loop_count_on_real_function(self, sum_array_func):
+        assert len(find_natural_loops(sum_array_func)) == 1
+
+    def test_self_loop(self):
+        func = build(
+            {"entry": ("jump", "head"), "head": ("branch", "head"), "exit": ("ret",)}
+        )
+        (loop,) = find_natural_loops(func)
+        assert loop.header == "head"
+        assert loop.body == {"head"}
+        assert loop.latches == {"head"}

@@ -1,0 +1,101 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.function import Function, Program
+from repro.opt import apply_phase, implicit_cleanup, phase_by_id
+from repro.vm import Interpreter
+
+SUM_ARRAY_SRC = """
+int a[100];
+int sum_array(void) {
+    int sum = 0;
+    int i;
+    for (i = 0; i < 100; i++)
+        sum += a[i];
+    return sum;
+}
+"""
+
+GCD_SRC = """
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+"""
+
+MAXI_SRC = "int maxi(int a, int b) { if (a > b) return a; return b; }"
+
+SQUARE_SRC = "int square(int x) { return x * x; }"
+
+
+def compile_fn(source: str, name: str) -> Function:
+    """Compile one function from source and canonicalize it."""
+    program = compile_source(source)
+    func = program.function(name)
+    implicit_cleanup(func)
+    return func
+
+
+def compile_prog(source: str) -> Program:
+    return compile_source(source)
+
+
+def run_value(program: Program, entry: str, args=(), fuel: int = 5_000_000):
+    """Execute and return just the produced value."""
+    return Interpreter(program, fuel=fuel).run(entry, args).value
+
+
+def apply_sequence(func: Function, sequence: str) -> str:
+    """Apply a string of phase letters; return the active subsequence."""
+    active = []
+    for phase_id in sequence:
+        if apply_phase(func, phase_by_id(phase_id)):
+            active.append(phase_id)
+    return "".join(active)
+
+
+@pytest.fixture(scope="session")
+def small_enumerations():
+    """Enumerated spaces of three small functions (computed once)."""
+    from repro.core.enumeration import EnumerationConfig, enumerate_space
+
+    sources = [(SQUARE_SRC, "square"), (MAXI_SRC, "maxi"), (GCD_SRC, "gcd")]
+    return [
+        enumerate_space(compile_fn(src, name), EnumerationConfig())
+        for src, name in sources
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_interactions(small_enumerations):
+    from repro.core.interactions import analyze_interactions
+
+    return analyze_interactions(small_enumerations)
+
+
+@pytest.fixture
+def sum_array_func() -> Function:
+    return compile_fn(SUM_ARRAY_SRC, "sum_array")
+
+
+@pytest.fixture
+def gcd_func() -> Function:
+    return compile_fn(GCD_SRC, "gcd")
+
+
+@pytest.fixture
+def maxi_func() -> Function:
+    return compile_fn(MAXI_SRC, "maxi")
+
+
+@pytest.fixture
+def square_func() -> Function:
+    return compile_fn(SQUARE_SRC, "square")

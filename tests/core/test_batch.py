@@ -1,0 +1,61 @@
+"""Unit tests for the conventional batch compiler."""
+
+from repro.core.batch import BATCH_LOOP, BATCH_ORDER, BATCH_PROLOGUE, BatchCompiler
+from repro.opt import PHASE_IDS, apply_phase, phase_by_id
+from repro.vm import Interpreter
+from tests.conftest import GCD_SRC, SUM_ARRAY_SRC, compile_prog
+
+
+class TestOrder:
+    def test_order_only_contains_known_phases(self):
+        assert set(BATCH_ORDER) <= set(PHASE_IDS)
+
+    def test_evaluation_order_before_assignment_triggers(self):
+        # o must precede the first phase requiring register assignment.
+        o_at = BATCH_PROLOGUE.index("o")
+        assert "c" not in BATCH_PROLOGUE[:o_at]
+        assert "k" not in BATCH_PROLOGUE[:o_at]
+
+
+class TestCompilation:
+    def test_reaches_fixpoint(self):
+        program = compile_prog(GCD_SRC)
+        report = BatchCompiler().compile(program.function("gcd"))
+        # after batch compilation, every phase must be dormant
+        func = program.function("gcd")
+        for phase_id in PHASE_IDS:
+            assert not apply_phase(func, phase_by_id(phase_id)), phase_id
+
+    def test_reports_attempted_and_active(self):
+        program = compile_prog(GCD_SRC)
+        report = BatchCompiler().compile(program.function("gcd"))
+        assert report.attempted >= len(BATCH_PROLOGUE) + len(BATCH_LOOP)
+        assert 0 < report.active < report.attempted
+        assert report.active == len(report.active_sequence)
+        assert report.code_size == program.function("gcd").num_instructions()
+
+    def test_improves_code(self):
+        program = compile_prog(SUM_ARRAY_SRC)
+        func = program.function("sum_array")
+        before_static = func.num_instructions()
+
+        base = compile_prog(SUM_ARRAY_SRC)
+        vm = Interpreter(base)
+        for i in range(100):
+            vm.store_global("a", i % 13, i)
+        baseline = vm.run("sum_array")
+
+        BatchCompiler().compile(func)
+        vm2 = Interpreter(program)
+        for i in range(100):
+            vm2.store_global("a", i % 13, i)
+        optimized = vm2.run("sum_array")
+        assert optimized.value == baseline.value
+        assert func.num_instructions() < before_static
+        assert optimized.total_insts < baseline.total_insts
+
+    def test_many_attempted_phases_are_dormant(self):
+        # The motivation for the probabilistic compiler (section 6).
+        program = compile_prog(GCD_SRC)
+        report = BatchCompiler().compile(program.function("gcd"))
+        assert report.attempted > 3 * report.active

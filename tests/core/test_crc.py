@@ -1,0 +1,37 @@
+"""Unit tests for the from-scratch CRC-32."""
+
+import zlib
+
+from hypothesis import given, strategies as st
+
+from repro.core.crc import crc32
+
+
+class TestCrc32:
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+    def test_known_vector(self):
+        # The classic check value for CRC-32/ISO-HDLC.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_matches_zlib(self):
+        for data in (b"a", b"abc", b"hello world", bytes(range(256))):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_order_sensitivity(self):
+        # The paper picks CRC over a plain checksum precisely because
+        # byte order affects the result (section 4.2.1).
+        assert crc32(b"ab") != crc32(b"ba")
+        assert sum(b"ab") == sum(b"ba")  # the checksum it replaces
+
+
+@given(st.binary(max_size=512))
+def test_crc_matches_zlib_everywhere(data):
+    assert crc32(data) == zlib.crc32(data)
+
+
+@given(st.binary(min_size=2, max_size=64))
+def test_single_bit_flip_changes_crc(data):
+    flipped = bytes([data[0] ^ 1]) + data[1:]
+    assert crc32(flipped) != crc32(data)

@@ -1,0 +1,51 @@
+"""Additional SpaceDAG API tests: DOT export and instance lookup."""
+
+from repro.core.dag import SpaceDAG
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.opt import apply_phase, phase_by_id
+from tests.conftest import MAXI_SRC, compile_fn
+
+
+def small_space():
+    return enumerate_space(compile_fn(MAXI_SRC, "maxi"), EnumerationConfig())
+
+
+class TestDotExport:
+    def test_valid_digraph(self):
+        dag = small_space().dag
+        dot = dag.to_dot()
+        assert dot.startswith("digraph space {")
+        assert dot.rstrip().endswith("}")
+        # one node statement per node
+        assert dot.count("[shape=") >= len(dag)
+        # leaves render as double circles
+        assert dot.count("doublecircle") == len(dag.leaves())
+
+    def test_edge_labels_are_phases(self):
+        dag = small_space().dag
+        dot = dag.to_dot()
+        for node in dag.nodes.values():
+            for phase_id in node.active:
+                assert f'label="{phase_id}"' in dot
+
+    def test_truncation(self):
+        dag = small_space().dag
+        dot = dag.to_dot(max_nodes=3)
+        assert "truncated at 3" in dot
+
+
+class TestFindInstance:
+    def test_finds_replayed_instances(self):
+        result = small_space()
+        dag = result.dag
+        func = compile_fn(MAXI_SRC, "maxi")
+        assert dag.find_instance(func) is dag.root
+        # follow one edge and find the child
+        phase_id, child_id = sorted(dag.root.active.items())[0]
+        assert apply_phase(func, phase_by_id(phase_id))
+        assert dag.find_instance(func).node_id == child_id
+
+    def test_unknown_instance_returns_none(self):
+        dag = small_space().dag
+        other = compile_fn("int q(int a) { return a ^ 12345; }", "q")
+        assert dag.find_instance(other) is None

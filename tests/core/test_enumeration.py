@@ -1,0 +1,165 @@
+"""Unit and integration tests for the exhaustive space enumeration."""
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.core.fingerprint import fingerprint_function
+from repro.opt import PHASE_IDS, apply_phase, phase_by_id
+from tests.conftest import (
+    GCD_SRC,
+    MAXI_SRC,
+    SQUARE_SRC,
+    compile_fn,
+)
+
+
+@pytest.fixture(scope="module")
+def square_result():
+    return enumerate_space(
+        compile_fn(SQUARE_SRC, "square"), EnumerationConfig(exact=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def maxi_result():
+    return enumerate_space(
+        compile_fn(MAXI_SRC, "maxi"), EnumerationConfig(exact=True)
+    )
+
+
+class TestCompleteness:
+    def test_small_functions_enumerate_completely(self, square_result, maxi_result):
+        assert square_result.completed
+        assert maxi_result.completed
+
+    def test_space_is_nontrivial(self, square_result):
+        dag = square_result.dag
+        assert len(dag) > 5
+        assert dag.depth() >= 3
+
+    def test_every_node_expanded(self, square_result):
+        assert all(node.expanded for node in square_result.dag.nodes.values())
+
+    def test_input_function_unmodified(self):
+        func = compile_fn(SQUARE_SRC, "square")
+        before = fingerprint_function(func).key
+        enumerate_space(func, EnumerationConfig())
+        assert fingerprint_function(func).key == before
+
+    def test_attempted_exceeds_instances(self, square_result):
+        # Dormancy detection requires attempting phases that do nothing.
+        assert square_result.attempted_phases > len(square_result.dag)
+
+    def test_leaves_have_no_active_phases(self, square_result):
+        for leaf in square_result.dag.leaves():
+            assert not leaf.active
+            # and every phase is accounted for
+            assert set(leaf.dormant) == set(PHASE_IDS)
+
+    def test_phase_status_partition(self, square_result):
+        for node in square_result.dag.nodes.values():
+            assert not (set(node.active) & node.dormant)
+            assert set(node.active) | node.dormant == set(PHASE_IDS)
+
+
+class TestDagInvariants:
+    def test_edges_match_reapplication(self, maxi_result):
+        """Replaying any root path ends at an instance whose fingerprint
+        matches the node reached in the DAG."""
+        dag = maxi_result.dag
+        # longest path: walk greedily
+        node = dag.root
+        path = []
+        while node.active:
+            phase_id, child_id = sorted(node.active.items())[0]
+            path.append(phase_id)
+            node = dag.nodes[child_id]
+        func = compile_fn(MAXI_SRC, "maxi")
+        for phase_id in path:
+            assert apply_phase(func, phase_by_id(phase_id))
+        assert fingerprint_function(func).key == node.key[0]
+
+    def test_levels_consistent_with_edges(self, maxi_result):
+        dag = maxi_result.dag
+        for node in dag.nodes.values():
+            for child_id in node.active.values():
+                assert dag.nodes[child_id].level <= node.level + 1
+
+    def test_root_weight_counts_active_sequences(self, square_result):
+        weights = square_result.dag.weights()
+        assert weights[square_result.dag.root_id] >= len(square_result.dag.leaves())
+
+
+class TestBudgets:
+    def test_max_nodes_aborts(self):
+        result = enumerate_space(
+            compile_fn(GCD_SRC, "gcd"), EnumerationConfig(max_nodes=10)
+        )
+        assert not result.completed
+        assert result.abort_reason == "max_nodes"
+
+    def test_max_levels_aborts(self):
+        result = enumerate_space(
+            compile_fn(GCD_SRC, "gcd"), EnumerationConfig(max_levels=2)
+        )
+        assert not result.completed
+        assert result.abort_reason == "max_levels"
+        assert result.dag.depth() <= 2
+
+    def test_level_sequence_cap_marks_too_big(self):
+        result = enumerate_space(
+            compile_fn(GCD_SRC, "gcd"), EnumerationConfig(max_level_sequences=5)
+        )
+        assert not result.completed
+        assert result.abort_reason == "max_level_sequences"
+
+    def test_time_limit_aborts(self):
+        result = enumerate_space(
+            compile_fn(GCD_SRC, "gcd"), EnumerationConfig(time_limit=0.0)
+        )
+        assert not result.completed
+
+
+class TestPrefixSharing:
+    def test_disabling_sharing_gives_same_space(self):
+        fast = enumerate_space(
+            compile_fn(MAXI_SRC, "maxi"), EnumerationConfig(share_prefixes=True)
+        )
+        slow = enumerate_space(
+            compile_fn(MAXI_SRC, "maxi"), EnumerationConfig(share_prefixes=False)
+        )
+        assert len(fast.dag) == len(slow.dag)
+        assert fast.dag.depth() == slow.dag.depth()
+        assert {n.key for n in fast.dag.nodes.values()} == {
+            n.key for n in slow.dag.nodes.values()
+        }
+
+    def test_sharing_applies_fewer_phases(self):
+        # The Figure 6 claim: prefix sharing + in-memory instances cut
+        # phase applications by a large factor.
+        fast = enumerate_space(
+            compile_fn(MAXI_SRC, "maxi"), EnumerationConfig(share_prefixes=True)
+        )
+        slow = enumerate_space(
+            compile_fn(MAXI_SRC, "maxi"), EnumerationConfig(share_prefixes=False)
+        )
+        assert slow.phases_applied > 2 * fast.phases_applied
+
+
+class TestRemapAblation:
+    def test_no_remap_space_is_never_smaller(self):
+        remapped = enumerate_space(
+            compile_fn(MAXI_SRC, "maxi"), EnumerationConfig(remap=True)
+        )
+        raw = enumerate_space(
+            compile_fn(MAXI_SRC, "maxi"), EnumerationConfig(remap=False)
+        )
+        assert len(remapped.dag) <= len(raw.dag)
+        assert remapped.completed and raw.completed
+
+
+class TestExactMode:
+    def test_exact_mode_verifies_no_collisions(self, maxi_result):
+        # exact=True would have raised on any collision; reaching here
+        # plus a completed enumeration is the assertion.
+        assert maxi_result.completed

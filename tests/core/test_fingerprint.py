@@ -1,0 +1,117 @@
+"""Unit tests for function-instance fingerprinting (section 4.2.1)."""
+
+from repro.core.fingerprint import (
+    control_flow_text,
+    fingerprint_function,
+    remap_function_text,
+)
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Assign, Compare, CondBranch, Jump, Return
+from repro.ir.operands import BinOp, Const, Mem, Reg
+from repro.machine.target import RV
+
+
+def figure5_function(sum_reg, addr_reg, base_reg, ptr_reg, bound_reg, val_reg, label):
+    """The paper's Figure 5 loop with a configurable register naming."""
+    func = Function("f", returns_value=True)
+    entry = func.add_block("entry")
+    loop = func.add_block(label)
+    exit_ = func.add_block("exit")
+    r = lambda i: Reg(i, pseudo=False)
+    entry.insts = [
+        Assign(r(sum_reg), Const(0)),
+        Assign(r(base_reg), Const(4096)),
+        Assign(r(ptr_reg), r(base_reg)),
+        Assign(r(bound_reg), BinOp("add", r(base_reg), Const(4000))),
+    ]
+    loop.insts = [
+        Assign(r(val_reg), Mem(r(ptr_reg))),
+        Assign(r(sum_reg), BinOp("add", r(sum_reg), r(val_reg))),
+        Assign(r(ptr_reg), BinOp("add", r(ptr_reg), Const(4))),
+        Compare(r(ptr_reg), r(bound_reg)),
+        CondBranch("lt", label),
+    ]
+    exit_.insts = [Assign(RV, r(sum_reg)), Return()]
+    return func
+
+
+class TestRemapping:
+    def test_figure5_register_renaming_detected_as_identical(self):
+        # Figure 5(b) and 5(c): same code modulo register numbers and
+        # label names must produce identical fingerprints.
+        a = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b = figure5_function(11, 10, 10, 1, 9, 8, "L5")
+        assert fingerprint_function(a).key == fingerprint_function(b).key
+
+    def test_different_code_not_identical(self):
+        a = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b.blocks[1].insts[2] = Assign(
+            Reg(1, pseudo=False), BinOp("add", Reg(1, pseudo=False), Const(8))
+        )
+        assert fingerprint_function(a).key != fingerprint_function(b).key
+
+    def test_instruction_order_matters(self):
+        a = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b.blocks[0].insts[0], b.blocks[0].insts[1] = (
+            b.blocks[0].insts[1],
+            b.blocks[0].insts[0],
+        )
+        assert fingerprint_function(a).crc != fingerprint_function(b).crc
+
+    def test_remap_numbers_registers_in_encounter_order(self):
+        func = Function("f")
+        block = func.add_block("L9")
+        block.insts = [
+            Assign(Reg(7, pseudo=False), Reg(3, pseudo=False)),
+            Return(),
+        ]
+        text = remap_function_text(func)
+        assert "r[1]=r[2];" in text
+        assert text.startswith("L01:")
+
+    def test_pseudo_and_hardware_registers_distinct(self):
+        func_hw = Function("f")
+        func_hw.add_block("L0").insts = [
+            Assign(Reg(1, pseudo=False), Reg(1, pseudo=False)),
+            Return(),
+        ]
+        func_mixed = Function("f")
+        func_mixed.add_block("L0").insts = [
+            Assign(Reg(1, pseudo=False), Reg(1, pseudo=True)),
+            Return(),
+        ]
+        # hw/hw self-move remaps to r[1]=r[1]; hw/pseudo must differ.
+        assert (
+            fingerprint_function(func_hw).key
+            != fingerprint_function(func_mixed).key
+        )
+
+
+class TestControlFlowFingerprint:
+    def test_same_structure_different_computation(self):
+        a = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b.blocks[1].insts[2] = Assign(
+            Reg(1, pseudo=False), BinOp("add", Reg(1, pseudo=False), Const(8))
+        )
+        assert fingerprint_function(a).cf_crc == fingerprint_function(b).cf_crc
+
+    def test_different_structure_detected(self):
+        a = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        b.blocks[1].insts[-1] = CondBranch("le", "L3")
+        assert fingerprint_function(a).cf_crc != fingerprint_function(b).cf_crc
+
+
+class TestFingerprintFields:
+    def test_text_retained_only_on_request(self):
+        func = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        assert fingerprint_function(func).text is None
+        kept = fingerprint_function(func, keep_text=True)
+        assert kept.text == remap_function_text(func)
+
+    def test_instruction_count(self):
+        func = figure5_function(10, 12, 12, 1, 9, 8, "L3")
+        assert fingerprint_function(func).num_insts == func.num_instructions()

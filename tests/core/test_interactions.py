@@ -1,0 +1,82 @@
+"""Unit tests for the phase interaction analysis (Tables 4-6)."""
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.core.interactions import analyze_interactions
+from repro.opt import PHASE_IDS
+from tests.conftest import GCD_SRC, MAXI_SRC, SQUARE_SRC, compile_fn
+
+
+@pytest.fixture(scope="module")
+def analysis(small_interactions):
+    return small_interactions
+
+
+class TestProbabilityRanges:
+    def test_all_probabilities_in_unit_interval(self, analysis):
+        for table in (analysis.enabling, analysis.disabling, analysis.independence):
+            for row in table.values():
+                for value in row.values():
+                    assert 0.0 <= value <= 1.0
+        for value in analysis.start.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_start_probabilities_cover_all_phases(self, analysis):
+        assert set(analysis.start) == set(PHASE_IDS)
+
+
+class TestPaperRelations:
+    """The paper's headline interaction facts must emerge from the data."""
+
+    def test_instruction_selection_active_at_start(self, analysis):
+        assert analysis.start["s"] == 1.0
+
+    def test_cse_active_at_start(self, analysis):
+        assert analysis.start["c"] == 1.0
+
+    def test_unreachable_code_removal_never_enabled(self, analysis):
+        # Table 4: d's row is empty — branch chaining cleans up after
+        # itself, so nothing ever enables d.
+        row = analysis.enabling.get("d", {})
+        assert all(value < 0.05 for value in row.values())
+
+    def test_register_allocation_enabled_by_selection(self, analysis):
+        # Table 4: k requires s in VPO; the enabling probability is high.
+        assert analysis.enabling["k"]["s"] > 0.5
+
+    def test_selection_enabled_by_allocation(self, analysis):
+        # Table 4: k's moves are collapsed by s (paper reports 0.97).
+        assert analysis.enabling["s"]["k"] > 0.5
+
+    def test_phases_disable_themselves(self, analysis):
+        # Table 5's diagonal is 1.00: a phase runs to its fixpoint.
+        for phase_id, row in analysis.disabling.items():
+            if phase_id in row:
+                assert row[phase_id] == 1.0
+
+    def test_evaluation_order_disabled_by_cse(self, analysis):
+        # Table 5: c requires register assignment, killing o.
+        if "o" in analysis.disabling and "c" in analysis.disabling["o"]:
+            assert analysis.disabling["o"]["c"] == 1.0
+
+    def test_independence_is_symmetric(self, analysis):
+        for x, row in analysis.independence.items():
+            for y, value in row.items():
+                assert analysis.independence[y][x] == pytest.approx(value)
+
+
+class TestFormatting:
+    def test_tables_render(self, analysis):
+        enabling = analysis.format_enabling()
+        assert "St" in enabling
+        for phase_id in PHASE_IDS:
+            assert f"\n{phase_id:>5}" in enabling or f" {phase_id:>4}" in enabling
+        disabling = analysis.format_disabling()
+        independence = analysis.format_independence()
+        assert disabling.count("\n") == independence.count("\n") + 0
+
+    def test_low_probabilities_blank(self, analysis):
+        # Cells under 0.005 render blank, like the paper's tables.
+        text = analysis.format_enabling()
+        assert "0.00" not in text

@@ -1,0 +1,93 @@
+"""Unit tests for the probabilistic batch compiler (Figure 8)."""
+
+import pytest
+
+from repro.core.batch import BatchCompiler
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.core.interactions import InteractionAnalysis, analyze_interactions
+from repro.core.probabilistic import ProbabilisticCompiler
+from repro.opt import PHASE_IDS
+from repro.vm import Interpreter
+from tests.conftest import GCD_SRC, MAXI_SRC, SQUARE_SRC, compile_fn, compile_prog
+
+
+@pytest.fixture(scope="module")
+def interactions(small_interactions):
+    return small_interactions
+
+
+class TestAlgorithm:
+    def test_compiles_and_terminates(self, interactions):
+        program = compile_prog(GCD_SRC)
+        report = ProbabilisticCompiler(interactions).compile(program.function("gcd"))
+        assert report.attempted > 0
+
+    def test_fewer_attempts_than_batch(self, interactions):
+        batch_prog = compile_prog(GCD_SRC)
+        batch = BatchCompiler().compile(batch_prog.function("gcd"))
+        prob_prog = compile_prog(GCD_SRC)
+        prob = ProbabilisticCompiler(interactions).compile(
+            prob_prog.function("gcd")
+        )
+        # The paper's headline: under a third of the attempted phases.
+        assert prob.attempted < batch.attempted / 2
+
+    def test_comparable_code_quality(self, interactions):
+        batch_prog = compile_prog(GCD_SRC)
+        batch = BatchCompiler().compile(batch_prog.function("gcd"))
+        prob_prog = compile_prog(GCD_SRC)
+        prob = ProbabilisticCompiler(interactions).compile(
+            prob_prog.function("gcd")
+        )
+        assert prob.code_size <= batch.code_size * 1.25
+
+    def test_semantics_preserved(self, interactions):
+        expected = Interpreter(compile_prog(GCD_SRC)).run("gcd", (1071, 462)).value
+        program = compile_prog(GCD_SRC)
+        ProbabilisticCompiler(interactions).compile(program.function("gcd"))
+        assert Interpreter(program).run("gcd", (1071, 462)).value == expected
+
+    def test_zero_probabilities_mean_no_attempts(self):
+        empty = InteractionAnalysis(PHASE_IDS, {}, {}, {}, {pid: 0.0 for pid in PHASE_IDS})
+        program = compile_prog(GCD_SRC)
+        report = ProbabilisticCompiler(empty).compile(program.function("gcd"))
+        assert report.attempted == 0
+
+    def test_benefit_weighted_selection(self, interactions):
+        # Section 6's suggested refinement: the benefit-aware variant
+        # must still compile correctly and reach comparable code size.
+        plain_prog = compile_prog(GCD_SRC)
+        plain = ProbabilisticCompiler(interactions).compile(
+            plain_prog.function("gcd")
+        )
+        benefit_prog = compile_prog(GCD_SRC)
+        benefit = ProbabilisticCompiler(interactions, use_benefits=True).compile(
+            benefit_prog.function("gcd")
+        )
+        assert benefit.code_size <= plain.code_size * 1.3
+        assert (
+            Interpreter(benefit_prog).run("gcd", (252, 105)).value
+            == Interpreter(plain_prog).run("gcd", (252, 105)).value
+            == 21
+        )
+
+    def test_size_effects_available_from_training(self, interactions):
+        # Enumerated data must yield a size effect for the always-
+        # shrinking phases; dead assignment elimination shrinks code.
+        assert interactions.size_effect
+        assert interactions.size_effect.get("h", 0.0) < 0
+
+    def test_probability_update_rule(self, interactions):
+        # After an active phase j, p[i] moves toward 1 with e[i][j] and
+        # toward 0 with d[i][j]; p[j] is reset.  Verify on a controlled
+        # table: only 's' starts active and enables 'k'.
+        analysis = InteractionAnalysis(
+            ("s", "k"),
+            {"k": {"s": 1.0}},
+            {},
+            {},
+            {"s": 1.0, "k": 0.0},
+        )
+        program = compile_prog(GCD_SRC)
+        report = ProbabilisticCompiler(analysis).compile(program.function("gcd"))
+        assert report.active_sequence[:2] == ("s", "k")

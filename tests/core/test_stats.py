@@ -1,0 +1,53 @@
+"""Unit tests for the Table 3 statistics collector."""
+
+from repro.core.enumeration import EnumerationConfig
+from repro.core.stats import (
+    FunctionSpaceStats,
+    collect_function_stats,
+    format_stats_table,
+    static_function_facts,
+)
+from tests.conftest import MAXI_SRC, SUM_ARRAY_SRC, compile_fn
+
+
+class TestStaticFacts:
+    def test_counts_on_sum_array(self, sum_array_func):
+        insts, blocks, branches, loops = static_function_facts(sum_array_func)
+        assert insts == sum_array_func.num_instructions()
+        assert blocks == len(sum_array_func.blocks)
+        assert loops == 1
+        assert branches >= 2
+
+
+class TestCollect:
+    def test_full_row(self):
+        stats = collect_function_stats(
+            compile_fn(MAXI_SRC, "maxi"), EnumerationConfig()
+        )
+        assert stats.completed
+        assert stats.fn_instances == len(stats.result.dag)
+        assert stats.max_seq_len == stats.result.dag.depth()
+        assert stats.leaves >= 1
+        assert stats.codesize_min <= stats.codesize_max
+        assert stats.codesize_diff_percent is not None
+        row = stats.row()
+        assert len(row) == len(FunctionSpaceStats.HEADER)
+        assert row[0] == "maxi"
+
+    def test_aborted_search_reports_na(self):
+        stats = collect_function_stats(
+            compile_fn(SUM_ARRAY_SRC, "sum_array"),
+            EnumerationConfig(max_nodes=5),
+        )
+        assert not stats.completed
+        assert stats.row().count("N/A") == 8
+
+    def test_table_formatting(self):
+        stats = collect_function_stats(
+            compile_fn(MAXI_SRC, "maxi"), EnumerationConfig()
+        )
+        table = format_stats_table([stats])
+        lines = table.splitlines()
+        assert len(lines) == 2
+        assert "Function" in lines[0]
+        assert "maxi" in lines[1]

@@ -1,0 +1,267 @@
+"""Unit tests for naive code generation (shape and semantics)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.errors import CompileError
+from repro.ir.cfg import validate_function
+from repro.ir.instructions import Assign, Call, Jump
+from repro.ir.operands import Mem, Sym
+from repro.vm import Interpreter
+
+
+def run(source, entry, args=()):
+    program = compile_source(source)
+    return Interpreter(program).run(entry, args).value
+
+
+class TestShapes:
+    def test_locals_live_on_the_stack(self):
+        program = compile_source("int f(int x) { int y = x; return y; }")
+        func = program.function("f")
+        stores = [
+            inst
+            for inst in func.instructions()
+            if isinstance(inst, Assign) and isinstance(inst.dst, Mem)
+        ]
+        # one store for the parameter, one for the local
+        assert len(stores) == 2
+
+    def test_globals_use_hi_lo_pairs(self):
+        program = compile_source("int g; int f(void) { return g; }")
+        func = program.function("f")
+        syms = [
+            node
+            for inst in func.instructions()
+            if isinstance(inst, Assign)
+            for node in inst.src.walk()
+            if isinstance(node, Sym)
+        ]
+        assert {sym.part for sym in syms} == {"hi", "lo"}
+
+    def test_every_function_validates(self):
+        program = compile_source(
+            """
+            int a[4];
+            int f(int x) { if (x) return 1; return 2; }
+            void g(void) { int i; for (i = 0; i < 4; i++) a[i] = i; }
+            """
+        )
+        for func in program.functions.values():
+            validate_function(func)
+
+    def test_no_unreachable_trailing_jump_after_return(self):
+        # Phase d should be dormant on straight-line frontend output.
+        from repro.opt import phase_by_id, apply_phase, implicit_cleanup
+
+        program = compile_source("int f(int x) { return x; }")
+        func = program.function("f")
+        implicit_cleanup(func)
+        assert not apply_phase(func, phase_by_id("d"))
+
+    def test_large_constants_composed(self):
+        program = compile_source("int f(void) { return 0x12345678; }")
+        assert Interpreter(program).run("f").value == 0x12345678
+
+
+class TestSemantics:
+    def test_arithmetic(self):
+        src = "int f(int a, int b) { return (a + b) * (a - b) / 2 % 7; }"
+        assert run(src, "f", (10, 4)) == (14 * 6 // 2) % 7
+
+    def test_division_truncates_toward_zero(self):
+        src = "int f(int a, int b) { return a / b; }"
+        assert run(src, "f", (-7, 2)) == -3
+        assert run(src, "f", (7, -2)) == -3
+
+    def test_comparisons_as_values(self):
+        src = "int f(int a, int b) { return (a < b) + (a == a) * 10; }"
+        assert run(src, "f", (1, 2)) == 11
+        assert run(src, "f", (3, 2)) == 10
+
+    def test_short_circuit_evaluation(self):
+        src = """
+        int calls;
+        int bump(void) { calls = calls + 1; return 1; }
+        int f(int x) {
+            calls = 0;
+            if (x && bump()) return calls;
+            return calls + 100;
+        }
+        """
+        assert run(src, "f", (1,)) == 1
+        assert run(src, "f", (0,)) == 100  # bump() not evaluated
+
+    def test_logical_not(self):
+        src = "int f(int x) { return !x * 10 + !!x; }"
+        assert run(src, "f", (0,)) == 10
+        assert run(src, "f", (7,)) == 1
+
+    def test_while_and_break_continue(self):
+        src = """
+        int f(int n) {
+            int total = 0;
+            int i = 0;
+            while (1) {
+                i++;
+                if (i > n) break;
+                if (i % 2) continue;
+                total += i;
+            }
+            return total;
+        }
+        """
+        assert run(src, "f", (10,)) == 2 + 4 + 6 + 8 + 10
+
+    def test_do_while_runs_once(self):
+        src = "int f(void) { int n = 0; do n++; while (0); return n; }"
+        assert run(src, "f") == 1
+
+    def test_for_loop_with_compound_step(self):
+        src = """
+        int f(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i += 3) s += i;
+            return s;
+        }
+        """
+        assert run(src, "f", (10,)) == 0 + 3 + 6 + 9
+
+    def test_incdec_prefix_vs_postfix(self):
+        src = """
+        int f(void) {
+            int x = 5;
+            int a = x++;
+            int b = ++x;
+            return a * 100 + b * 10 + x;
+        }
+        """
+        assert run(src, "f") == 5 * 100 + 7 * 10 + 7
+
+    def test_arrays_and_params(self):
+        src = """
+        int fill(int xs[], int n) {
+            int i;
+            for (i = 0; i < n; i++) xs[i] = i * i;
+            return 0;
+        }
+        int buf[8];
+        int f(void) {
+            int i;
+            int s = 0;
+            fill(buf, 8);
+            for (i = 0; i < 8; i++) s += buf[i];
+            return s;
+        }
+        """
+        assert run(src, "f") == sum(i * i for i in range(8))
+
+    def test_local_arrays(self):
+        src = """
+        int f(int n) {
+            int tmp[4];
+            int i;
+            int s = 0;
+            for (i = 0; i < 4; i++) tmp[i] = n + i;
+            for (i = 0; i < 4; i++) s += tmp[i];
+            return s;
+        }
+        """
+        assert run(src, "f", (10,)) == 10 + 11 + 12 + 13
+
+    def test_recursion(self):
+        src = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }"
+        assert run(src, "fact", (6,)) == 720
+
+    def test_float_arithmetic_and_conversion(self):
+        src = """
+        float half(float x) { return x / 2.0; }
+        int f(int n) {
+            float r = half(n) + 0.25;
+            int out = r * 100.0;
+            return out;
+        }
+        """
+        assert run(src, "f", (7,)) == int((7 / 2.0 + 0.25) * 100)
+
+    def test_global_initializers(self):
+        src = """
+        int scale = 3;
+        int table[4] = {10, 20, 30};
+        int f(void) { return scale * table[1] + table[3]; }
+        """
+        assert run(src, "f") == 60
+
+    def test_compound_shift_and_bitwise_assignments(self):
+        src = """
+        int f(int x) {
+            x <<= 2;
+            x |= 5;
+            x &= 0xff;
+            x ^= 3;
+            x >>= 1;
+            x %= 100;
+            return x;
+        }
+        """
+        x = 0x1234
+        expected = x
+        expected <<= 2
+        expected |= 5
+        expected &= 0xFF
+        expected ^= 3
+        expected >>= 1
+        expected %= 100
+        assert run(src, "f", (x,)) == expected
+
+    def test_bitwise_and_shifts(self):
+        src = "int f(int x) { return ((x << 3) | 5) & ~(x >> 1) ^ 9; }"
+        x = 0x1234
+        assert run(src, "f", (x,)) == (((x << 3) | 5) & ~(x >> 1)) ^ 9
+
+
+class TestSemanticErrors:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_source("int f(void) { return nope; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(CompileError, match="undeclared function"):
+            compile_source("int f(void) { return g(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError, match="expects"):
+            compile_source("int g(int x) { return x; } int f(void) { return g(); }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(CompileError):
+            compile_source("void f(void) { return 1; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(CompileError):
+            compile_source("int f(void) { return; }")
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int f(float x) { return x % 2; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int a[4]; void f(void) { a = 1; }")
+
+    def test_index_of_scalar_rejected(self):
+        with pytest.raises(CompileError, match="not an array"):
+            compile_source("int x; int f(void) { return x[0]; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break outside"):
+            compile_source("void f(void) { break; }")
+
+    def test_too_many_parameters(self):
+        with pytest.raises(CompileError, match="at most 4"):
+            compile_source("int f(int a, int b, int c, int d, int e) { return a; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(CompileError, match="redeclaration"):
+            compile_source("int f(void) { int x; int x; return 0; }")

@@ -1,0 +1,89 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token, tokenize
+
+
+def kinds_and_values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestNumbers:
+    def test_decimal_and_hex(self):
+        assert kinds_and_values("42 0x2A 0XFF") == [
+            ("int", 42),
+            ("int", 42),
+            ("int", 255),
+        ]
+
+    def test_floats(self):
+        assert kinds_and_values("1.5 2. 3e2 1.5e-1") == [
+            ("float", 1.5),
+            ("float", 2.0),
+            ("float", 300.0),
+            ("float", 0.15),
+        ]
+
+    def test_float_f_suffix(self):
+        assert kinds_and_values("1.5f") == [("float", 1.5)]
+
+    def test_char_literals(self):
+        assert kinds_and_values(r"'a' '\n' '\\' '\0'") == [
+            ("int", 97),
+            ("int", 10),
+            ("int", 92),
+            ("int", 0),
+        ]
+
+    def test_unterminated_char_rejected(self):
+        with pytest.raises(CompileError):
+            tokenize("'ab'")
+
+
+class TestIdentifiersAndKeywords:
+    def test_keywords_recognized(self):
+        assert kinds_and_values("int while forx") == [
+            ("keyword", "int"),
+            ("keyword", "while"),
+            ("ident", "forx"),
+        ]
+
+    def test_underscores(self):
+        assert kinds_and_values("_a a_b2") == [("ident", "_a"), ("ident", "a_b2")]
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert [v for _, v in kinds_and_values("a<<=b")] == ["a", "<<=", "b"]
+        assert [v for _, v in kinds_and_values("a<<b")] == ["a", "<<", "b"]
+        assert [v for _, v in kinds_and_values("a<b")] == ["a", "<", "b"]
+        assert [v for _, v in kinds_and_values("a++ +b")] == ["a", "++", "+", "b"]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestCommentsAndPositions:
+    def test_line_comments_skipped(self):
+        assert kinds_and_values("a // comment\n b") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_block_comments_skipped(self):
+        assert kinds_and_values("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment_rejected(self):
+        with pytest.raises(CompileError, match="unterminated comment"):
+            tokenize("a /* oops")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nbb\n  c")
+        positions = [(t.value, t.line, t.column) for t in tokens if t.kind == "ident"]
+        assert positions == [("a", 1, 1), ("bb", 2, 1), ("c", 3, 3)]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"

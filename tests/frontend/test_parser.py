@@ -1,0 +1,121 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse
+
+
+class TestTopLevel:
+    def test_function_and_global(self):
+        unit = parse("int g = 5; int f(int x) { return x; }")
+        assert [d.name for d in unit.globals] == ["g"]
+        assert unit.globals[0].init == [5]
+        assert [f.name for f in unit.functions] == ["f"]
+
+    def test_global_array_with_initializer(self):
+        unit = parse("int a[3] = {1, -2, 3};")
+        decl = unit.globals[0]
+        assert decl.array_size == 3
+        assert decl.init == [1, -2, 3]
+
+    def test_void_parameter_list(self):
+        unit = parse("void f(void) { }")
+        assert unit.functions[0].params == []
+
+    def test_array_parameter(self):
+        unit = parse("int f(int xs[], int n) { return xs[n]; }")
+        params = unit.functions[0].params
+        assert params[0].is_array and not params[1].is_array
+
+    def test_void_global_rejected(self):
+        with pytest.raises(CompileError):
+            parse("void g;")
+
+    def test_bad_array_size_rejected(self):
+        with pytest.raises(CompileError):
+            parse("int a[0];")
+
+
+class TestStatements:
+    def _body(self, text):
+        return parse("void f(void) { %s }" % text).functions[0].body.stmts
+
+    def test_if_else(self):
+        (stmt,) = self._body("if (1) ; else ;")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = self._body("if (1) if (2) ; else ;")
+        assert stmt.else_body is None
+        assert stmt.then_body.else_body is not None
+
+    def test_loops(self):
+        stmts = self._body("while (1) ; do ; while (0); for (;;) break;")
+        assert isinstance(stmts[0], ast.WhileStmt)
+        assert isinstance(stmts[1], ast.DoWhileStmt)
+        assert isinstance(stmts[2], ast.ForStmt)
+        assert stmts[2].cond is None
+
+    def test_local_decl_with_init(self):
+        (stmt,) = self._body("int x = 1 + 2;")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert isinstance(stmt.init, ast.Binary)
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(CompileError, match="unterminated block"):
+            parse("void f(void) { if (1) {")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        body = parse("void f(void) { %s; }" % text).functions[0].body.stmts
+        return body[0].expr
+
+    def test_precedence(self):
+        expr = self._expr("x = 1 + 2 * 3")
+        assert isinstance(expr, ast.AssignExpr)
+        add = expr.value
+        assert add.op == "+" and add.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = self._expr("x = 10 - 3 - 2")
+        assert expr.value.op == "-"
+        assert expr.value.left.op == "-"
+
+    def test_logical_operators_loosest(self):
+        expr = self._expr("x = a < b && c < d || e")
+        assert expr.value.op == "||"
+        assert expr.value.left.op == "&&"
+
+    def test_unary_chains(self):
+        expr = self._expr("x = -~y")
+        assert expr.value.op == "-" and expr.value.operand.op == "~"
+
+    def test_compound_assignment(self):
+        expr = self._expr("x += 2")
+        assert isinstance(expr, ast.AssignExpr) and expr.op == "+="
+
+    def test_incdec_forms(self):
+        pre = self._expr("++x")
+        post = self._expr("x++")
+        assert pre.prefix and not post.prefix
+
+    def test_call_with_args(self):
+        expr = self._expr("g(1, x, h())")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 3
+
+    def test_assignment_to_rvalue_rejected(self):
+        with pytest.raises(CompileError, match="non-lvalue"):
+            parse("void f(void) { 1 = 2; }")
+
+    def test_incdec_on_rvalue_rejected(self):
+        with pytest.raises(CompileError):
+            parse("void f(void) { ++1; }")
+
+    def test_assignment_right_associative(self):
+        expr = self._expr("x = y = 1")
+        assert isinstance(expr.value, ast.AssignExpr)

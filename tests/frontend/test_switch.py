@@ -1,0 +1,162 @@
+"""Tests for switch statement support in mini-C."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.errors import CompileError
+from repro.opt import apply_phase, phase_by_id
+from repro.vm import Interpreter
+
+CLASSIFY = """
+int classify(int x) {
+    int kind = 0;
+    switch (x) {
+    case 0:
+    case 1:
+        kind = 10;
+        break;
+    case 2:
+        kind = 20;      /* falls through into case 3 */
+    case 3:
+        kind += 1;
+        break;
+    case -4:
+        return 99;
+    default:
+        kind = -1;
+    }
+    return kind;
+}
+"""
+
+EXPECTED = {0: 10, 1: 10, 2: 21, 3: 1, -4: 99, 7: -1, 100: -1}
+
+
+def run(source, entry, args):
+    return Interpreter(compile_source(source)).run(entry, args).value
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("x,expected", sorted(EXPECTED.items()))
+    def test_dispatch_fallthrough_and_default(self, x, expected):
+        assert run(CLASSIFY, "classify", (x,)) == expected
+
+    def test_switch_without_default_falls_out(self):
+        src = """
+        int f(int x) {
+            int r = 7;
+            switch (x) { case 1: r = 1; break; }
+            return r;
+        }
+        """
+        assert run(src, "f", (1,)) == 1
+        assert run(src, "f", (2,)) == 7
+
+    def test_empty_switch(self):
+        src = "int f(int x) { switch (x) { } return 5; }"
+        assert run(src, "f", (0,)) == 5
+
+    def test_selector_evaluated_once(self):
+        src = """
+        int calls;
+        int bump(void) { calls++; return 2; }
+        int f(void) {
+            calls = 0;
+            switch (bump()) {
+            case 1: return 100;
+            case 2: return calls;
+            default: return -1;
+            }
+        }
+        """
+        assert run(src, "f", ()) == 1
+
+    def test_break_targets_switch_not_loop(self):
+        src = """
+        int f(int n) {
+            int total = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                switch (i % 3) {
+                case 0: total += 100; break;
+                case 1: break;
+                default: total += 1;
+                }
+            }
+            return total;
+        }
+        """
+        # i = 0..5 -> +100, 0, +1, +100, 0, +1
+        assert run(src, "f", (6,)) == 202
+
+    def test_continue_inside_switch_targets_loop(self):
+        src = """
+        int f(int n) {
+            int total = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                switch (i & 1) {
+                case 1: continue;
+                }
+                total += i;
+            }
+            return total;
+        }
+        """
+        assert run(src, "f", (6,)) == 0 + 2 + 4
+
+    def test_nested_switch(self):
+        src = """
+        int f(int a, int b) {
+            switch (a) {
+            case 1:
+                switch (b) {
+                case 1: return 11;
+                default: return 10;
+                }
+            default:
+                return 0;
+            }
+        }
+        """
+        assert run(src, "f", (1, 1)) == 11
+        assert run(src, "f", (1, 5)) == 10
+        assert run(src, "f", (2, 1)) == 0
+
+
+class TestErrors:
+    def test_duplicate_case(self):
+        with pytest.raises(CompileError, match="duplicate case"):
+            compile_source(
+                "int f(int x) { switch (x) { case 1: break; case 1: break; } return 0; }"
+            )
+
+    def test_duplicate_default(self):
+        with pytest.raises(CompileError, match="duplicate default"):
+            compile_source(
+                "int f(int x) { switch (x) { default: break; default: break; } return 0; }"
+            )
+
+    def test_stray_statement_in_switch(self):
+        with pytest.raises(CompileError, match="expected 'case'"):
+            compile_source("int f(int x) { switch (x) { x = 1; } return 0; }")
+
+    def test_float_selector_rejected(self):
+        with pytest.raises(CompileError, match="must be int"):
+            compile_source(
+                "int f(float x) { switch (x) { case 1: break; } return 0; }"
+            )
+
+
+class TestOptimizationInteraction:
+    def test_phase_orders_preserve_switch_semantics(self):
+        import random
+
+        random.seed(20060325)
+        for _trial in range(8):
+            program = compile_source(CLASSIFY)
+            func = program.function("classify")
+            for phase_id in (random.choice("bcdghijklnoqrsu") for _ in range(10)):
+                apply_phase(func, phase_by_id(phase_id))
+            for x, expected in EXPECTED.items():
+                assert Interpreter(program).run("classify", (x,)).value == expected

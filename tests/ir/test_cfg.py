@@ -1,0 +1,89 @@
+"""Unit tests for CFG construction and validation."""
+
+import pytest
+
+from repro.ir.cfg import build_cfg, validate_function
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Assign, Compare, CondBranch, Jump, Return
+from repro.ir.operands import Const, Reg
+
+
+def diamond() -> Function:
+    """entry -> (then | else) -> join -> exit"""
+    func = Function("f")
+    func.blocks = [
+        BasicBlock("entry", [Compare(Reg(1), Const(0)), CondBranch("eq", "else_")]),
+        BasicBlock("then", [Assign(Reg(2), Const(1)), Jump("join")]),
+        BasicBlock("else_", [Assign(Reg(2), Const(2))]),
+        BasicBlock("join", [Return()]),
+    ]
+    return func
+
+
+class TestBuildCfg:
+    def test_successors(self):
+        cfg = build_cfg(diamond())
+        assert cfg.succs["entry"] == ["else_", "then"]
+        assert cfg.succs["then"] == ["join"]
+        assert cfg.succs["else_"] == ["join"]
+        assert cfg.succs["join"] == []
+
+    def test_predecessors(self):
+        cfg = build_cfg(diamond())
+        assert sorted(cfg.preds["join"]) == ["else_", "then"]
+        assert cfg.preds["entry"] == []
+
+    def test_branch_to_fallthrough_yields_single_edge(self):
+        func = Function("f")
+        func.blocks = [
+            BasicBlock("a", [Compare(Reg(1), Const(0)), CondBranch("eq", "b")]),
+            BasicBlock("b", [Return()]),
+        ]
+        assert build_cfg(func).succs["a"] == ["b"]
+
+    def test_reachable(self):
+        func = diamond()
+        func.blocks.append(BasicBlock("island", [Return()]))
+        cfg = build_cfg(func)
+        assert cfg.reachable("entry") == {"entry", "then", "else_", "join"}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = build_cfg(diamond())
+        rpo = cfg.reverse_postorder("entry")
+        assert rpo[0] == "entry"
+        assert set(rpo) == {"entry", "then", "else_", "join"}
+        assert rpo.index("join") > rpo.index("then")
+        assert rpo.index("join") > rpo.index("else_")
+
+
+class TestValidation:
+    def test_valid_function_passes(self):
+        validate_function(diamond())
+
+    def test_transfer_in_middle_rejected(self):
+        func = diamond()
+        func.blocks[1].insts.insert(0, Jump("join"))
+        with pytest.raises(ValueError, match="transfer not at block end"):
+            validate_function(func)
+
+    def test_unknown_target_rejected(self):
+        func = diamond()
+        func.blocks[1].insts[-1] = Jump("nowhere")
+        with pytest.raises(ValueError, match="unknown label"):
+            validate_function(func)
+
+    def test_falling_off_function_end_rejected(self):
+        func = diamond()
+        func.blocks[-1].insts = [Assign(Reg(1), Const(0))]
+        with pytest.raises(ValueError, match="falls off"):
+            validate_function(func)
+
+    def test_duplicate_labels_rejected(self):
+        func = diamond()
+        func.blocks[1].label = "entry"
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_function(func)
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(ValueError):
+            validate_function(Function("f"))

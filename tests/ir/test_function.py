@@ -1,0 +1,99 @@
+"""Unit tests for functions, blocks, and programs."""
+
+import pytest
+
+from repro.ir.function import BasicBlock, Function, GlobalVar, Program
+from repro.ir.instructions import Assign, Jump, Return
+from repro.ir.operands import Const, Reg
+
+
+def make_simple_function() -> Function:
+    func = Function("f", returns_value=True)
+    entry = func.add_block()
+    entry.insts.append(Assign(Reg(0, pseudo=False), Const(1)))
+    entry.insts.append(Return())
+    return func
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        block = BasicBlock("L0", [Assign(Reg(1), Const(0)), Jump("L1")])
+        assert block.terminator() == Jump("L1")
+        assert block.body() == [Assign(Reg(1), Const(0))]
+
+    def test_fallthrough_block_has_no_terminator(self):
+        block = BasicBlock("L0", [Assign(Reg(1), Const(0))])
+        assert block.terminator() is None
+        assert block.body() == block.insts
+
+
+class TestFunction:
+    def test_new_reg_allocates_distinct_pseudos(self):
+        func = Function("f")
+        assert func.new_reg() != func.new_reg()
+
+    def test_new_reg_forbidden_after_assignment(self):
+        func = Function("f")
+        func.reg_assigned = True
+        with pytest.raises(RuntimeError):
+            func.new_reg()
+
+    def test_frame_layout_offsets(self):
+        func = Function("f")
+        a = func.add_local("a", 1, "int", False)
+        b = func.add_local("b", 10, "int", True)
+        c = func.add_local("c", 1, "int", False)
+        assert (a.offset, b.offset, c.offset) == (0, 4, 44)
+        assert func.frame_size == 48
+        assert [slot.name for slot in func.scalar_slots()] == ["a", "c"]
+
+    def test_duplicate_local_rejected(self):
+        func = Function("f")
+        func.add_local("x", 1, "int", False)
+        with pytest.raises(ValueError):
+            func.add_local("x", 1, "int", False)
+
+    def test_clone_is_deep_for_blocks_shallow_for_insts(self):
+        func = make_simple_function()
+        other = func.clone()
+        other.blocks[0].insts.append(Jump("L9"))
+        assert len(func.blocks[0].insts) == 2
+        assert other.blocks[0].insts[0] is func.blocks[0].insts[0]
+
+    def test_clone_copies_flags_and_unrolled(self):
+        func = make_simple_function()
+        func.reg_assigned = True
+        func.unrolled.add("L5")
+        other = func.clone()
+        assert other.reg_assigned
+        assert other.unrolled == {"L5"}
+        other.unrolled.add("L6")
+        assert func.unrolled == {"L5"}
+
+    def test_block_lookup(self):
+        func = make_simple_function()
+        label = func.blocks[0].label
+        assert func.block(label) is func.blocks[0]
+        assert func.block_index(label) == 0
+        with pytest.raises(KeyError):
+            func.block("nope")
+
+
+class TestProgram:
+    def test_globals_get_disjoint_addresses(self):
+        program = Program()
+        a = program.add_global(GlobalVar("a", 10, "int", is_array=True))
+        b = program.add_global(GlobalVar("b", 1, "int"))
+        assert b.address == a.address + 40
+
+    def test_duplicate_global_rejected(self):
+        program = Program()
+        program.add_global(GlobalVar("a", 1, "int"))
+        with pytest.raises(ValueError):
+            program.add_global(GlobalVar("a", 1, "int"))
+
+    def test_duplicate_function_rejected(self):
+        program = Program()
+        program.add_function(make_simple_function())
+        with pytest.raises(ValueError):
+            program.add_function(make_simple_function())

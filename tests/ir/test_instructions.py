@@ -1,0 +1,96 @@
+"""Unit tests for RTL instructions."""
+
+import pytest
+
+from repro.ir.instructions import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    INVERTED_RELOP,
+    Jump,
+    RELOPS,
+    Return,
+)
+from repro.ir.operands import BinOp, Const, Mem, Reg
+
+
+class TestAssign:
+    def test_register_assignment_defs_and_uses(self):
+        inst = Assign(Reg(1), BinOp("add", Reg(2), Reg(3)))
+        assert inst.defs() == frozenset({Reg(1)})
+        assert inst.uses() == frozenset({Reg(2), Reg(3)})
+
+    def test_store_defines_nothing(self):
+        inst = Assign(Mem(Reg(4)), Reg(5))
+        assert inst.defs() == frozenset()
+        assert inst.uses() == frozenset({Reg(4), Reg(5)})
+        assert inst.writes_memory()
+        assert not inst.reads_memory()
+
+    def test_load_reads_memory(self):
+        inst = Assign(Reg(1), Mem(BinOp("add", Reg(13, pseudo=False), Const(8))))
+        assert inst.reads_memory()
+        assert not inst.writes_memory()
+
+    def test_bad_destination_rejected(self):
+        with pytest.raises(TypeError):
+            Assign(Const(1), Reg(2))
+
+    def test_equality_and_hash(self):
+        a = Assign(Reg(1), Const(4))
+        b = Assign(Reg(1), Const(4))
+        assert a == b and hash(a) == hash(b)
+        assert a != Assign(Reg(2), Const(4))
+
+
+class TestCompareAndBranch:
+    def test_compare_sets_cc(self):
+        inst = Compare(Reg(1), Const(0))
+        assert inst.sets_cc()
+        assert not inst.uses_cc()
+        assert inst.uses() == frozenset({Reg(1)})
+
+    def test_branch_uses_cc_and_is_transfer(self):
+        inst = CondBranch("lt", "L3")
+        assert inst.uses_cc()
+        assert inst.is_transfer
+
+    def test_all_relops_invert_to_distinct_relops(self):
+        assert set(INVERTED_RELOP) == set(RELOPS)
+        for relop, inverted in INVERTED_RELOP.items():
+            assert inverted in RELOPS
+            assert INVERTED_RELOP[inverted] == relop
+
+    def test_bad_relop_rejected(self):
+        with pytest.raises(ValueError):
+            CondBranch("spaceship", "L1")
+
+
+class TestCall:
+    def test_uses_argument_registers(self):
+        inst = Call("f", 2)
+        assert inst.uses() == frozenset({Reg(0, pseudo=False), Reg(1, pseudo=False)})
+
+    def test_clobbers_caller_saved(self):
+        inst = Call("f", 0)
+        assert inst.defs() == frozenset(Reg(i, pseudo=False) for i in range(4))
+
+    def test_touches_memory_both_ways(self):
+        inst = Call("f", 1)
+        assert inst.reads_memory() and inst.writes_memory()
+
+    def test_too_many_args_rejected(self):
+        with pytest.raises(ValueError):
+            Call("f", 5)
+
+
+class TestTransfers:
+    def test_jump_and_return_are_transfers(self):
+        assert Jump("L1").is_transfer
+        assert Return().is_transfer
+        assert not Assign(Reg(1), Const(0)).is_transfer
+
+    def test_jump_equality(self):
+        assert Jump("L1") == Jump("L1")
+        assert Jump("L1") != Jump("L2")

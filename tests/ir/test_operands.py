@@ -1,0 +1,152 @@
+"""Unit tests for RTL operand expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.operands import (
+    BinOp,
+    Const,
+    Mem,
+    Reg,
+    Sym,
+    UnOp,
+    fold,
+    fold_binop,
+    fold_unop,
+    substitute,
+)
+
+
+class TestRegisters:
+    def test_equality_distinguishes_pseudo_from_hardware(self):
+        assert Reg(3, pseudo=True) != Reg(3, pseudo=False)
+        assert Reg(3, pseudo=True) == Reg(3, pseudo=True)
+
+    def test_hashable_and_usable_in_sets(self):
+        regs = {Reg(1), Reg(1), Reg(2)}
+        assert len(regs) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Reg(1).index = 5
+
+    def test_repr_shows_class(self):
+        assert repr(Reg(4, pseudo=True)) == "t[4]"
+        assert repr(Reg(4, pseudo=False)) == "r[4]"
+
+
+class TestExpressionStructure:
+    def test_walk_visits_all_nodes(self):
+        expr = BinOp("add", Reg(1), Mem(BinOp("add", Reg(13, pseudo=False), Const(8))))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["BinOp", "Reg", "Mem", "BinOp", "Reg", "Const"]
+
+    def test_registers_enumerates_registers(self):
+        expr = BinOp("add", Reg(1), BinOp("mul", Reg(2), Const(4)))
+        assert sorted(reg.index for reg in expr.registers()) == [1, 2]
+
+    def test_reads_memory(self):
+        assert Mem(Reg(1)).reads_memory()
+        assert BinOp("add", Reg(1), Mem(Reg(2))).reads_memory()
+        assert not BinOp("add", Reg(1), Const(1)).reads_memory()
+
+    def test_structural_equality(self):
+        a = BinOp("add", Reg(1), Const(4))
+        b = BinOp("add", Reg(1), Const(4))
+        assert a == b and hash(a) == hash(b)
+
+    def test_const_type_sensitive_equality(self):
+        assert Const(1) != Const(1.0)
+
+    def test_sym_part_validation(self):
+        with pytest.raises(ValueError):
+            Sym("g", "mid")
+
+
+class TestSubstitute:
+    def test_replaces_registers(self):
+        expr = BinOp("add", Reg(1), Reg(2))
+        result = substitute(expr, {Reg(1): Const(5)})
+        assert result == BinOp("add", Const(5), Reg(2))
+
+    def test_no_change_returns_same_object(self):
+        expr = BinOp("add", Reg(1), Reg(2))
+        assert substitute(expr, {Reg(9): Const(1)}) is expr
+
+    def test_substitutes_inside_memory_addresses(self):
+        expr = Mem(BinOp("add", Reg(1), Const(4)))
+        result = substitute(expr, {Reg(1): Reg(7)})
+        assert result == Mem(BinOp("add", Reg(7), Const(4)))
+
+    def test_topmost_match_wins(self):
+        inner = BinOp("add", Reg(1), Const(0))
+        result = substitute(inner, {inner: Reg(9), Reg(1): Reg(5)})
+        assert result == Reg(9)
+
+
+class TestFold:
+    def test_folds_constant_binops(self):
+        assert fold(BinOp("add", Const(2), Const(3))) == Const(5)
+        assert fold(BinOp("mul", Const(6), Const(7))) == Const(42)
+
+    def test_folds_nested(self):
+        expr = BinOp("add", BinOp("mul", Const(2), Const(8)), Const(1))
+        assert fold(expr) == Const(17)
+
+    def test_identity_simplifications(self):
+        assert fold(BinOp("add", Reg(1), Const(0))) == Reg(1)
+        assert fold(BinOp("mul", Reg(1), Const(1))) == Reg(1)
+        assert fold(BinOp("mul", Reg(1), Const(0))) == Const(0)
+        assert fold(BinOp("add", Const(0), Reg(1))) == Reg(1)
+
+    def test_division_by_zero_not_folded(self):
+        expr = BinOp("div", Const(4), Const(0))
+        assert fold(expr) == expr
+
+    def test_truncating_division_matches_c(self):
+        assert fold_binop("div", -7, 2) == -3
+        assert fold_binop("rem", -7, 2) == -1
+        assert fold_binop("div", 7, -2) == -3
+
+    def test_wraps_to_32_bits(self):
+        assert fold_binop("mul", 0x7FFFFFFF, 2) == -2
+        assert fold_binop("add", 0x7FFFFFFF, 1) == -0x80000000
+
+    def test_shift_out_of_range_not_folded(self):
+        assert fold_binop("lsl", 1, 33) is None
+        assert fold_binop("lsl", 1, -1) is None
+
+    def test_unop_folds(self):
+        assert fold_unop("neg", 5) == -5
+        assert fold_unop("not", 0) == -1
+        assert fold_unop("itof", 3) == 3.0
+        assert fold_unop("ftoi", 3.7) == 3
+
+    def test_fold_preserves_unfoldable(self):
+        expr = BinOp("add", Reg(1), Reg(2))
+        assert fold(expr) is expr
+
+
+def _mask32(value):
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+@given(
+    st.integers(-(2**31), 2**31 - 1),
+    st.integers(-(2**31), 2**31 - 1),
+    st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+)
+def test_fold_binop_is_masked_32_bit(left, right, op):
+    result = fold_binop(op, left, right)
+    assert result == _mask32(result)
+    assert -(2**31) <= result < 2**31
+
+
+@given(st.integers(-(2**31), 2**31 - 1), st.integers(0, 31))
+def test_fold_shifts_agree_with_python_semantics(value, amount):
+    assert fold_binop("lsl", value, amount) == _mask32(value << amount)
+    assert fold_binop("asr", value, amount) == _mask32(value >> amount)
+    assert fold_binop("lsr", value, amount) == _mask32(
+        (value & 0xFFFFFFFF) >> amount
+    )

@@ -1,0 +1,138 @@
+"""Unit and round-trip tests for the textual RTL parser."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir.instructions import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    Jump,
+    Return,
+)
+from repro.ir.operands import BinOp, Const, Mem, Reg, Sym, UnOp
+from repro.ir.parser import RTLParseError, parse_function, parse_instruction
+from repro.ir.printer import format_function, format_instruction
+
+
+class TestParseInstruction:
+    def test_transfers(self):
+        assert parse_instruction("RET;") == Return()
+        assert parse_instruction("PC=L3;") == Jump("L3")
+        assert parse_instruction("PC=IC<0,L3;") == CondBranch("lt", "L3")
+        assert parse_instruction("PC=IC>=0,Lexit;") == CondBranch("ge", "Lexit")
+        assert parse_instruction("CALL f,2;") == Call("f", 2)
+
+    def test_assignments(self):
+        assert parse_instruction("t[1]=t[2]+4;") == Assign(
+            Reg(1), BinOp("add", Reg(2), Const(4))
+        )
+        assert parse_instruction("r[0]=M[r[13]+8];") == Assign(
+            Reg(0, pseudo=False),
+            Mem(BinOp("add", Reg(13, pseudo=False), Const(8))),
+        )
+        assert parse_instruction("M[t[1]]=t[2];") == Assign(Mem(Reg(1)), Reg(2))
+        assert parse_instruction("t[1]=HI[a];") == Assign(Reg(1), Sym("a", "hi"))
+        assert parse_instruction("t[2]=t[1]+LO[a];") == Assign(
+            Reg(2), BinOp("add", Reg(1), Sym("a", "lo"))
+        )
+
+    def test_compare(self):
+        assert parse_instruction("IC=t[5]?1000;") == Compare(Reg(5), Const(1000))
+
+    def test_shifted_operand(self):
+        assert parse_instruction("r[1]=r[1]+(r[2]<<2);") == Assign(
+            Reg(1, pseudo=False),
+            BinOp(
+                "add",
+                Reg(1, pseudo=False),
+                BinOp("lsl", Reg(2, pseudo=False), Const(2)),
+            ),
+        )
+
+    def test_negative_literals(self):
+        assert parse_instruction("t[1]=-3;") == Assign(Reg(1), Const(-3))
+        assert parse_instruction("t[1]=t[2]--3;") == Assign(
+            Reg(1), BinOp("sub", Reg(2), Const(-3))
+        )
+
+    def test_unary_operators(self):
+        assert parse_instruction("t[1]=-t[2];") == Assign(Reg(1), UnOp("neg", Reg(2)))
+        assert parse_instruction("t[1]=~t[2];") == Assign(Reg(1), UnOp("not", Reg(2)))
+        assert parse_instruction("t[1]=(f)t[2];") == Assign(
+            Reg(1), UnOp("itof", Reg(2))
+        )
+
+    def test_float_literals(self):
+        assert parse_instruction("t[1]=2.5;") == Assign(Reg(1), Const(2.5))
+        assert parse_instruction("t[1]=-1e-05;") == Assign(Reg(1), Const(-1e-05))
+
+    def test_float_operators(self):
+        assert parse_instruction("t[1]=t[2]*ft[3];") == Assign(
+            Reg(1), BinOp("fmul", Reg(2), Reg(3))
+        )
+        assert parse_instruction("t[1]=t[2]>>lt[3];") == Assign(
+            Reg(1), BinOp("lsr", Reg(2), Reg(3))
+        )
+
+    def test_errors(self):
+        with pytest.raises(RTLParseError):
+            parse_instruction("t[1]=;")
+        with pytest.raises(RTLParseError):
+            parse_instruction("t[1]=t[2]+t[3]")  # missing semicolon
+        with pytest.raises(RTLParseError):
+            parse_instruction("5=t[1];")
+        with pytest.raises(RTLParseError):
+            parse_instruction("t[1]=t[2] $ t[3];")
+
+
+class TestParseFunction:
+    def test_blocks(self):
+        text = "L0:\n    t[1]=0;\n    PC=L1;\nL1:\n    RET;"
+        func = parse_function(text)
+        assert [block.label for block in func.blocks] == ["L0", "L1"]
+        assert format_function(func) == text
+
+    def test_instruction_before_label_rejected(self):
+        with pytest.raises(RTLParseError):
+            parse_function("t[1]=0;")
+
+    def test_empty_rejected(self):
+        with pytest.raises(RTLParseError):
+            parse_function("   \n  ")
+
+
+class TestRoundTrip:
+    def test_compiled_functions_round_trip(self):
+        from tests.conftest import GCD_SRC, SUM_ARRAY_SRC, compile_fn
+
+        for source, name in [(GCD_SRC, "gcd"), (SUM_ARRAY_SRC, "sum_array")]:
+            func = compile_fn(source, name)
+            text = format_function(func)
+            reparsed = parse_function(text, name)
+            assert format_function(reparsed) == text
+            for original, parsed in zip(func.blocks, reparsed.blocks):
+                assert original.insts == parsed.insts
+
+    def test_optimized_functions_round_trip(self):
+        from tests.conftest import SUM_ARRAY_SRC, apply_sequence, compile_fn
+
+        func = compile_fn(SUM_ARRAY_SRC, "sum_array")
+        apply_sequence(func, "sriuchkslqhgbu")
+        text = format_function(func)
+        assert format_function(parse_function(text)) == text
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.sampled_from("bcdghijklnoqrsu"), min_size=0, max_size=10))
+def test_round_trip_after_any_phase_sequence(sequence):
+    from tests.conftest import GCD_SRC, compile_fn
+    from repro.opt import apply_phase, phase_by_id
+
+    func = compile_fn(GCD_SRC, "gcd")
+    for phase_id in sequence:
+        apply_phase(func, phase_by_id(phase_id))
+    text = format_function(func)
+    reparsed = parse_function(text, "gcd")
+    assert format_function(reparsed) == text

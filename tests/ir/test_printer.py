@@ -1,0 +1,71 @@
+"""Unit tests for the VPO-style printer."""
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    Jump,
+    Return,
+)
+from repro.ir.operands import BinOp, Const, Mem, Reg, Sym, UnOp
+from repro.ir.printer import format_expr, format_function, format_instruction
+
+
+class TestFormatExpr:
+    def test_registers(self):
+        assert format_expr(Reg(3)) == "t[3]"
+        assert format_expr(Reg(3, pseudo=False)) == "r[3]"
+
+    def test_memory_and_symbols(self):
+        expr = Mem(BinOp("add", Reg(13, pseudo=False), Const(8)))
+        assert format_expr(expr) == "M[r[13]+8]"
+        assert format_expr(Sym("a", "hi")) == "HI[a]"
+
+    def test_nested_binop_parenthesized(self):
+        expr = BinOp("add", Reg(1), BinOp("lsl", Reg(2), Const(2)))
+        assert format_expr(expr) == "t[1]+(t[2]<<2)"
+
+    def test_unops(self):
+        assert format_expr(UnOp("neg", Reg(1))) == "-t[1]"
+        assert format_expr(UnOp("itof", Reg(1))) == "(f)t[1]"
+
+    def test_custom_reg_namer(self):
+        expr = BinOp("add", Reg(1), Reg(2))
+        names = {Reg(1): "r[1]", Reg(2): "r[2]"}
+        assert format_expr(expr, lambda r: names[r]) == "r[1]+r[2]"
+
+
+class TestFormatInstruction:
+    def test_vpo_shapes(self):
+        assert (
+            format_instruction(Assign(Reg(3), BinOp("add", Reg(4), Const(1))))
+            == "t[3]=t[4]+1;"
+        )
+        assert format_instruction(Compare(Reg(1), Reg(9))) == "IC=t[1]?t[9];"
+        assert format_instruction(CondBranch("lt", "L3")) == "PC=IC<0,L3;"
+        assert format_instruction(Jump("L3")) == "PC=L3;"
+        assert format_instruction(Call("f", 2)) == "CALL f,2;"
+        assert format_instruction(Return()) == "RET;"
+
+    def test_label_namer_applies_to_targets(self):
+        out = format_instruction(Jump("L3"), label_namer=lambda s: "X" + s)
+        assert out == "PC=XL3;"
+
+
+class TestFormatFunction:
+    def test_blocks_and_indentation(self):
+        func = Function("f")
+        func.blocks = [
+            BasicBlock("L0", [Assign(Reg(1), Const(0)), Jump("L1")]),
+            BasicBlock("L1", [Return()]),
+        ]
+        text = format_function(func)
+        assert text.splitlines() == [
+            "L0:",
+            "    t[1]=0;",
+            "    PC=L1;",
+            "L1:",
+            "    RET;",
+        ]

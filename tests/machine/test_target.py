@@ -1,0 +1,97 @@
+"""Unit tests for the target machine legality model."""
+
+from repro.ir.instructions import Assign, Call, Compare, CondBranch, Jump, Return
+from repro.ir.operands import BinOp, Const, Mem, Reg, Sym, UnOp
+from repro.machine.target import FP, Target
+
+T = Target()
+R1 = Reg(1, pseudo=False)
+R2 = Reg(2, pseudo=False)
+
+
+class TestAluLegality:
+    def test_reg_reg_ops(self):
+        assert T.is_legal(Assign(R1, BinOp("add", R2, R1)))
+        assert T.is_legal(Assign(R1, BinOp("mul", R2, R1)))
+
+    def test_small_immediates_legal(self):
+        assert T.is_legal(Assign(R1, BinOp("add", R2, Const(4096))))
+        assert T.is_legal(Assign(R1, Const(65536)))
+
+    def test_large_immediates_illegal(self):
+        assert not T.is_legal(Assign(R1, Const(1 << 20)))
+        assert not T.is_legal(Assign(R1, BinOp("add", R2, Const(1 << 20))))
+
+    def test_immediate_on_left_illegal(self):
+        assert not T.is_legal(Assign(R1, BinOp("add", Const(1), R2)))
+
+    def test_barrel_shifter_operand(self):
+        shifted = BinOp("lsl", R2, Const(2))
+        assert T.is_legal(Assign(R1, BinOp("add", R1, shifted)))
+        # The shifter feeds the ALU, not multiplies or other shifts.
+        assert not T.is_legal(Assign(R1, BinOp("mul", R1, shifted)))
+        assert not T.is_legal(Assign(R1, BinOp("lsl", R1, shifted)))
+
+    def test_unary_ops(self):
+        assert T.is_legal(Assign(R1, UnOp("neg", R2)))
+        assert not T.is_legal(Assign(R1, UnOp("neg", Const(1))))
+
+
+class TestMemoryLegality:
+    def test_addressing_modes(self):
+        assert T.is_legal(Assign(R1, Mem(R2)))
+        assert T.is_legal(Assign(R1, Mem(BinOp("add", FP, Const(8)))))
+        assert T.is_legal(Assign(R1, Mem(BinOp("add", R2, R1))))
+
+    def test_offset_limit(self):
+        assert not T.is_legal(Assign(R1, Mem(BinOp("add", FP, Const(5000)))))
+
+    def test_store_value_must_be_register(self):
+        assert T.is_legal(Assign(Mem(R2), R1))
+        assert not T.is_legal(Assign(Mem(R2), Const(1)))
+        assert not T.is_legal(Assign(Mem(R2), BinOp("add", R1, R1)))
+
+    def test_no_memory_in_alu_operands(self):
+        assert not T.is_legal(Assign(R1, BinOp("add", R2, Mem(R1))))
+
+    def test_shifted_index_addressing_illegal(self):
+        # ARM would allow this, but keeping it illegal preserves more
+        # combine opportunities for the study; loads stay base+reg.
+        addr = BinOp("add", R2, BinOp("lsl", R1, Const(2)))
+        assert not T.is_legal(Assign(R1, Mem(addr)))
+
+
+class TestSymbolLegality:
+    def test_hi_lo_pair(self):
+        assert T.is_legal(Assign(R1, Sym("g", "hi")))
+        assert T.is_legal(Assign(R1, BinOp("add", R1, Sym("g", "lo"))))
+
+    def test_bare_lo_and_combined_illegal(self):
+        assert not T.is_legal(Assign(R1, Sym("g", "lo")))
+        assert not T.is_legal(
+            Assign(R1, BinOp("add", Sym("g", "hi"), Sym("g", "lo")))
+        )
+
+
+class TestCompareAndTransfers:
+    def test_compare_forms(self):
+        assert T.is_legal(Compare(R1, R2))
+        assert T.is_legal(Compare(R1, Const(1000)))
+        assert not T.is_legal(Compare(Const(1), R1))
+        assert not T.is_legal(Compare(R1, Const(1 << 20)))
+        assert not T.is_legal(Compare(Mem(R1), R2))
+
+    def test_transfers_always_legal(self):
+        assert T.is_legal(Jump("L1"))
+        assert T.is_legal(CondBranch("lt", "L1"))
+        assert T.is_legal(Call("f", 0))
+        assert T.is_legal(Return())
+
+
+class TestCosts:
+    def test_relative_costs(self):
+        alu = Assign(R1, BinOp("add", R2, Const(1)))
+        mul = Assign(R1, BinOp("mul", R2, R1))
+        div = Assign(R1, BinOp("div", R2, R1))
+        load = Assign(R1, Mem(R2))
+        assert T.cost(alu) < T.cost(load) < T.cost(mul) < T.cost(div)

@@ -1,0 +1,104 @@
+"""Unit tests for register allocation (phase k)."""
+
+from repro.ir.instructions import Assign
+from repro.ir.operands import Mem, Reg
+from repro.machine.target import DEFAULT_TARGET
+from repro.opt import apply_phase, phase_by_id
+from repro.vm import Interpreter
+from tests.conftest import GCD_SRC, SUM_ARRAY_SRC, apply_sequence, compile_prog
+
+K = phase_by_id("k")
+S = phase_by_id("s")
+
+
+def memory_access_count(func):
+    return sum(
+        1
+        for inst in func.instructions()
+        if inst.reads_memory() or inst.writes_memory()
+    )
+
+
+class TestLegality:
+    def test_illegal_before_instruction_selection(self):
+        program = compile_prog(GCD_SRC)
+        func = program.function("gcd")
+        assert not K.applicable(func)
+        assert not apply_phase(func, K)
+
+    def test_legal_after_instruction_selection(self):
+        program = compile_prog(GCD_SRC)
+        func = program.function("gcd")
+        assert apply_phase(func, S)
+        assert K.applicable(func)
+
+
+class TestAllocation:
+    def test_promotes_scalar_slots_to_registers(self):
+        program = compile_prog(GCD_SRC)
+        func = program.function("gcd")
+        apply_phase(func, S)
+        before = memory_access_count(func)
+        assert apply_phase(func, K)
+        assert func.alloc_applied
+        assert memory_access_count(func) < before
+
+    def test_creates_register_moves_for_selection(self):
+        # k's rewrites are moves that s then collapses (the paper's
+        # k-enables-s relation).
+        program = compile_prog(GCD_SRC)
+        func = program.function("gcd")
+        apply_phase(func, S)
+        assert not apply_phase(func, S)  # s at fixpoint
+        apply_phase(func, K)
+        assert apply_phase(func, S)  # k re-enabled s
+
+    def test_dormant_second_time(self):
+        program = compile_prog(GCD_SRC)
+        func = program.function("gcd")
+        apply_phase(func, S)
+        assert apply_phase(func, K)
+        assert not apply_phase(func, K)
+
+    def test_semantics_preserved(self):
+        base = compile_prog(GCD_SRC)
+        expected = Interpreter(base).run("gcd", (252, 105)).value
+        assert expected == 21
+        program = compile_prog(GCD_SRC)
+        func = program.function("gcd")
+        apply_sequence(func, "sks")
+        assert Interpreter(program).run("gcd", (252, 105)).value == 21
+
+    def test_array_slots_never_promoted(self):
+        src = """
+        int f(int n) {
+            int tmp[4];
+            int i;
+            int s = 0;
+            for (i = 0; i < 4; i++) tmp[i] = n + i;
+            for (i = 0; i < 4; i++) s += tmp[i];
+            return s;
+        }
+        """
+        program = compile_prog(src)
+        func = program.function("f")
+        apply_sequence(func, "scs")
+        apply_phase(func, K)
+        # array accesses remain memory accesses
+        assert memory_access_count(func) > 0
+        assert Interpreter(program).run("f", (10,)).value == 46
+
+    def test_allocation_on_sum_array_matches_semantics(self):
+        base = compile_prog(SUM_ARRAY_SRC)
+        vm = Interpreter(base)
+        for i in range(100):
+            vm.store_global("a", 3 * i, i)
+        expected = vm.run("sum_array").value
+
+        program = compile_prog(SUM_ARRAY_SRC)
+        func = program.function("sum_array")
+        apply_sequence(func, "schkshc")
+        vm2 = Interpreter(program)
+        for i in range(100):
+            vm2.store_global("a", 3 * i, i)
+        assert vm2.run("sum_array").value == expected

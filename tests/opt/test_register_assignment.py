@@ -1,0 +1,99 @@
+"""Unit tests for the compulsory register assignment."""
+
+import pytest
+
+from repro.ir.function import Function, Program
+from repro.ir.instructions import Assign, Call, Return
+from repro.ir.operands import BinOp, Const, Reg
+from repro.machine.target import ALLOCATABLE, DEFAULT_TARGET, RV
+from repro.opt.register_assignment import assign_registers
+from repro.vm import Interpreter
+from tests.conftest import GCD_SRC, SUM_ARRAY_SRC, compile_fn, compile_prog
+
+
+def all_registers(func):
+    regs = set()
+    for inst in func.instructions():
+        regs |= inst.defs() | inst.uses()
+    return regs
+
+
+class TestAssignment:
+    def test_no_pseudos_remain(self, sum_array_func):
+        assign_registers(sum_array_func, DEFAULT_TARGET)
+        assert not any(reg.pseudo for reg in all_registers(sum_array_func))
+        assert sum_array_func.reg_assigned
+
+    def test_only_allocatable_registers_used(self, gcd_func):
+        before = {reg for reg in all_registers(gcd_func) if not reg.pseudo}
+        assign_registers(gcd_func, DEFAULT_TARGET)
+        new_regs = {
+            reg for reg in all_registers(gcd_func) if not reg.pseudo
+        } - before
+        assert all(reg.index in ALLOCATABLE for reg in new_regs)
+
+    def test_interfering_values_get_distinct_registers(self):
+        func = Function("f", returns_value=True)
+        t1, t2 = func.new_reg(), func.new_reg()
+        block = func.add_block("L0")
+        block.insts = [
+            Assign(t1, Const(1)),
+            Assign(t2, Const(2)),
+            Assign(RV, BinOp("add", t1, t2)),
+            Return(),
+        ]
+        assign_registers(func, DEFAULT_TARGET)
+        first, second = block.insts[0].dst, block.insts[1].dst
+        assert first != second
+
+    def test_value_live_across_call_avoids_caller_saved(self):
+        func = Function("f", returns_value=True)
+        t1 = func.new_reg()
+        block = func.add_block("L0")
+        block.insts = [
+            Assign(t1, Const(42)),
+            Call("g", 0),
+            Assign(RV, t1),
+            Return(),
+        ]
+        assign_registers(func, DEFAULT_TARGET)
+        assigned = block.insts[0].dst
+        assert assigned.index not in range(4)
+
+    def test_semantics_preserved(self):
+        program = compile_prog(SUM_ARRAY_SRC)
+        func = program.function("sum_array")
+        vm = Interpreter(program)
+        for i in range(100):
+            vm.store_global("a", i, i)
+        base = vm.run("sum_array").value
+
+        program2 = compile_prog(SUM_ARRAY_SRC)
+        assign_registers(program2.function("sum_array"), DEFAULT_TARGET)
+        vm2 = Interpreter(program2)
+        for i in range(100):
+            vm2.store_global("a", i, i)
+        assert vm2.run("sum_array").value == base
+
+    def test_spilling_handles_extreme_pressure(self):
+        # 20 simultaneously live values exceed the 13 allocatable
+        # registers; assignment must spill and stay correct.
+        func = Function("f", returns_value=True)
+        temps = [func.new_reg() for _ in range(20)]
+        block = func.add_block("L0")
+        for i, temp in enumerate(temps):
+            block.insts.append(Assign(temp, Const(i)))
+        acc = func.new_reg()
+        block.insts.append(Assign(acc, Const(0)))
+        for temp in temps:
+            new_acc = func.new_reg()
+            block.insts.append(Assign(new_acc, BinOp("add", acc, temp)))
+            acc = new_acc
+        block.insts.append(Assign(RV, acc))
+        block.insts.append(Return())
+        # force all 20 to be live at once by summing in reverse order
+        assign_registers(func, DEFAULT_TARGET)
+        assert not any(reg.pseudo for reg in all_registers(func))
+        program = Program()
+        program.add_function(func)
+        assert Interpreter(program).run("f").value == sum(range(20))

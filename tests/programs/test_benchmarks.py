@@ -1,0 +1,150 @@
+"""Tests for the MiBench-like benchmark programs."""
+
+import pytest
+
+from repro.core.batch import BatchCompiler
+from repro.ir.cfg import validate_function
+from repro.programs import PROGRAMS, compile_benchmark
+from repro.vm import Interpreter
+
+# Checksums pinned from the unoptimized reference run; any compiler or
+# interpreter change that shifts them is a semantic regression (the
+# bitcount value is independently confirmed against pure Python in
+# test_bitcount_cross_checked_in_python).
+EXPECTED = {
+    "bitcount": 3976,
+    "dijkstra": 121,
+    "fft": 12816,
+    "jpeg": 5104,
+    "sha": -1194316910,
+    "stringsearch": 98309508,
+}
+
+# Each benchmark also carries a `selftest` driver exercising its extra
+# functions (queued dijkstra, AAN DCT row, Huffman bit packing, ...).
+EXPECTED_SELFTEST = {
+    "bitcount": 105348510,
+    "dijkstra": 4396069,
+    "fft": 1351903491,
+    "jpeg": 756941404,
+    "sha": 989703214,
+    "stringsearch": 919026559,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+class TestPerBenchmark:
+    def test_compiles_and_validates(self, name):
+        program = compile_benchmark(name)
+        assert program.functions
+        for func in program.functions.values():
+            validate_function(func)
+
+    def test_unoptimized_checksum(self, name):
+        program = compile_benchmark(name)
+        result = Interpreter(program, fuel=40_000_000).run(PROGRAMS[name].entry)
+        assert result.value == EXPECTED[name]
+
+    def test_batch_optimized_checksum_and_speedup(self, name):
+        baseline_prog = compile_benchmark(name)
+        baseline = Interpreter(baseline_prog, fuel=40_000_000).run(
+            PROGRAMS[name].entry
+        )
+        program = compile_benchmark(name)
+        for func in program.functions.values():
+            BatchCompiler().compile(func)
+        optimized = Interpreter(program, fuel=40_000_000).run(PROGRAMS[name].entry)
+        assert optimized.value == EXPECTED[name]
+        assert optimized.total_insts < baseline.total_insts
+
+    def test_study_functions_exist(self, name):
+        program = compile_benchmark(name)
+        for function_name in PROGRAMS[name].study_functions:
+            assert function_name in program.functions
+
+    def test_selftest_checksum(self, name):
+        program = compile_benchmark(name)
+        result = Interpreter(program, fuel=60_000_000).run("selftest")
+        assert result.value == EXPECTED_SELFTEST[name]
+
+    def test_selftest_survives_batch_compilation(self, name):
+        program = compile_benchmark(name)
+        for func in program.functions.values():
+            BatchCompiler().compile(func)
+        result = Interpreter(program, fuel=60_000_000).run("selftest")
+        assert result.value == EXPECTED_SELFTEST[name]
+
+
+class TestSuite:
+    def test_six_categories(self):
+        categories = {bench.category for bench in PROGRAMS.values()}
+        assert categories == {
+            "auto",
+            "network",
+            "telecomm",
+            "consumer",
+            "security",
+            "office",
+        }
+
+    def test_bitcount_cross_checked_in_python(self):
+        def mask32(value):
+            value &= 0xFFFFFFFF
+            return value - 0x100000000 if value >= 0x80000000 else value
+
+        seed = 1013904223
+        total = 0
+        for _ in range(64):
+            seed = mask32(seed * 1664525 + 1013904223)
+            total += 4 * bin(seed & 0x7FFFFFFF).count("1")
+        assert total == EXPECTED["bitcount"]
+
+    def test_dijkstra_cross_checked_in_python(self):
+        def mask32(value):
+            value &= 0xFFFFFFFF
+            return value - 0x100000000 if value >= 0x80000000 else value
+
+        # rebuild the graph exactly as init_graph does
+        adj = [[0] * 20 for _ in range(20)]
+        v = 42
+        for i in range(20):
+            for j in range(20):
+                v = mask32(v * 1103515245 + 12345)
+                if i != j:
+                    w = (v >> 16) & 31
+                    adj[i][j] = 0 if w < 4 else w
+
+        def dijkstra(src):
+            dist = [1000000] * 20
+            visited = [False] * 20
+            dist[src] = 0
+            for _ in range(20):
+                u, best = -1, 1000000
+                for i in range(20):
+                    if not visited[i] and dist[i] < best:
+                        best, u = dist[i], i
+                if u < 0:
+                    break
+                visited[u] = True
+                for i in range(20):
+                    w = adj[u][i]
+                    if w > 0 and dist[u] + w < dist[i]:
+                        dist[i] = dist[u] + w
+            return dist[19]
+
+        total = 0
+        for src in range(10):
+            d = dijkstra(src)
+            total += d if d < 1000000 else 7
+        assert total == EXPECTED["dijkstra"]
+
+    def test_stringsearch_finds_planted_patterns(self):
+        program = compile_benchmark("stringsearch")
+        vm = Interpreter(program, fuel=40_000_000)
+        vm.run("make_text", (20060325,))
+        vm.run("set_pattern", (0,))
+        vm.run("plant_pattern", (100, 4))
+        patlen = vm.run("set_pattern", (0,)).value
+        vm.run("bmh_init", (patlen,))
+        found = vm.run("bmh_search", (256, patlen)).value
+        assert 0 <= found <= 100

@@ -1,0 +1,93 @@
+"""Tests for the genetic phase-order search."""
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.frontend import compile_source
+from repro.opt import implicit_cleanup
+from repro.search import GeneticSearcher, codesize_objective
+from repro.vm import Interpreter
+
+SRC = """
+int clamp(int x) {
+    if (x < 0) return 0;
+    if (x > 255) return 255;
+    return x;
+}
+"""
+
+
+def clamp_function():
+    func = compile_source(SRC).function("clamp")
+    implicit_cleanup(func)
+    return func
+
+
+@pytest.fixture(scope="module")
+def true_optimum():
+    result = enumerate_space(clamp_function(), EnumerationConfig())
+    assert result.completed
+    return result.dag.min_codesize()
+
+
+class TestSearch:
+    def test_finds_the_exhaustive_optimum_on_small_function(self, true_optimum):
+        searcher = GeneticSearcher(
+            clamp_function(), codesize_objective, generations=15, seed=7
+        )
+        result = searcher.run()
+        assert result.best_fitness == true_optimum
+
+    def test_deterministic_given_seed(self):
+        run1 = GeneticSearcher(clamp_function(), seed=11, generations=5).run()
+        run2 = GeneticSearcher(clamp_function(), seed=11, generations=5).run()
+        assert run1.best_sequence == run2.best_sequence
+        assert run1.best_fitness == run2.best_fitness
+
+    def test_fingerprint_cache_avoids_reevaluations(self):
+        result = GeneticSearcher(clamp_function(), generations=10, seed=3).run()
+        # many sequences converge to the same instances (the paper's
+        # central observation), so the cache must fire heavily
+        assert result.cache_hits > result.evaluations
+
+    def test_history_is_monotone(self):
+        result = GeneticSearcher(clamp_function(), generations=8, seed=5).run()
+        assert all(
+            later <= earlier
+            for earlier, later in zip(result.history, result.history[1:])
+        )
+
+    def test_best_function_is_semantically_correct(self):
+        result = GeneticSearcher(clamp_function(), generations=8, seed=9).run()
+        program = compile_source(SRC)
+        program.functions["clamp"] = result.best_function
+        for x, expected in [(-3, 0), (7, 7), (300, 255)]:
+            assert Interpreter(program).run("clamp", (x,)).value == expected
+
+
+class TestGuidedMutation:
+    def test_interaction_guided_search_runs(self, small_interactions):
+        searcher = GeneticSearcher(
+            clamp_function(),
+            generations=8,
+            seed=13,
+            interactions=small_interactions,
+        )
+        result = searcher.run()
+        assert result.best_fitness <= clamp_function().num_instructions()
+
+    def test_guided_matches_or_beats_uniform_on_budget(
+        self, small_interactions, true_optimum
+    ):
+        uniform = GeneticSearcher(
+            clamp_function(), generations=6, population_size=10, seed=17
+        ).run()
+        guided = GeneticSearcher(
+            clamp_function(),
+            generations=6,
+            population_size=10,
+            seed=17,
+            interactions=small_interactions,
+        ).run()
+        assert guided.best_fitness <= uniform.best_fitness
+        assert guided.best_fitness >= true_optimum

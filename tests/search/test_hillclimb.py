@@ -1,0 +1,49 @@
+"""Tests for the hill-climbing search baseline."""
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.frontend import compile_source
+from repro.opt import implicit_cleanup
+from repro.search import HillClimber
+from repro.vm import Interpreter
+
+SRC = "int clamp(int x) { if (x < 0) return 0; if (x > 255) return 255; return x; }"
+
+
+def clamp_function():
+    func = compile_source(SRC).function("clamp")
+    implicit_cleanup(func)
+    return func
+
+
+class TestHillClimber:
+    def test_reaches_the_exhaustive_optimum(self):
+        result = enumerate_space(clamp_function(), EnumerationConfig())
+        optimum = result.dag.min_codesize()
+        climb = HillClimber(clamp_function(), restarts=3, seed=1).run()
+        assert climb.best_fitness == optimum
+
+    def test_deterministic(self):
+        a = HillClimber(clamp_function(), restarts=2, seed=5).run()
+        b = HillClimber(clamp_function(), restarts=2, seed=5).run()
+        assert a.best_sequence == b.best_sequence
+
+    def test_monotone_history_across_restarts(self):
+        result = HillClimber(clamp_function(), restarts=4, seed=3).run()
+        assert all(
+            later <= earlier
+            for earlier, later in zip(result.history, result.history[1:])
+        )
+
+    def test_cache_fires(self):
+        result = HillClimber(clamp_function(), restarts=2, seed=7).run()
+        assert result.cache_hits > 0
+
+    def test_best_function_semantics(self):
+        result = HillClimber(clamp_function(), restarts=2, seed=9).run()
+        program = compile_source(SRC)
+        program.functions["clamp"] = result.best_function
+        assert Interpreter(program).run("clamp", (-4,)).value == 0
+        assert Interpreter(program).run("clamp", (256,)).value == 255
+        assert Interpreter(program).run("clamp", (42,)).value == 42

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "clamp.c"
+    path.write_text(
+        "int clamp(int x) { if (x < 0) return 0; "
+        "if (x > 255) return 255; return x; }"
+    )
+    return str(path)
+
+
+class TestCompile:
+    def test_prints_rtl(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "=== clamp" in out
+        assert "RET;" in out
+
+    def test_sequence_applied(self, source_file, capsys):
+        assert main(["compile", source_file, "--sequence", "sriu"]) == 0
+        out = capsys.readouterr().out
+        assert "active:" in out
+
+    def test_batch(self, source_file, capsys):
+        assert main(["compile", source_file, "--batch"]) == 0
+        assert "active:" in capsys.readouterr().out
+
+    def test_unknown_phase_rejected(self, source_file):
+        with pytest.raises(SystemExit, match="unknown phase"):
+            main(["compile", source_file, "--sequence", "zz"])
+
+    def test_benchmark_address(self, capsys):
+        assert main(["compile", "bench:sha", "--function", "rol"]) == 0
+        assert "rol" in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["compile", "/does/not/exist.c"])
+
+    def test_compile_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int f(void) { return undeclared_thing; }")
+        with pytest.raises(SystemExit, match="undeclared"):
+            main(["compile", str(bad)])
+
+
+class TestRun:
+    def test_runs_function(self, source_file, capsys):
+        assert main(["run", source_file, "--entry", "clamp", "--args", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 255" in out
+        assert "dynamic instructions:" in out
+
+    def test_benchmark_default_entry(self, capsys):
+        assert main(["run", "bench:jpeg"]) == 0
+        assert "value: 5104" in capsys.readouterr().out
+
+    def test_batch_flag_preserves_value(self, capsys):
+        assert main(["run", "bench:jpeg", "--batch"]) == 0
+        assert "value: 5104" in capsys.readouterr().out
+
+    def test_entry_required_for_files(self, source_file):
+        with pytest.raises(SystemExit, match="--entry required"):
+            main(["run", source_file])
+
+
+class TestEnumerate:
+    def test_prints_table_row(self, source_file, capsys):
+        assert main(["enumerate", source_file, "--function", "clamp"]) == 0
+        out = capsys.readouterr().out
+        assert "FnInst" in out
+        assert "clamp" in out
+
+    def test_dot_output(self, source_file, tmp_path, capsys):
+        dot = tmp_path / "space.dot"
+        assert (
+            main(
+                [
+                    "enumerate",
+                    source_file,
+                    "--function",
+                    "clamp",
+                    "--dot",
+                    str(dot),
+                ]
+            )
+            == 0
+        )
+        text = dot.read_text()
+        assert text.startswith("digraph space {")
+        assert "->" in text
+
+    def test_unknown_function(self, source_file):
+        with pytest.raises(SystemExit, match="no function"):
+            main(["enumerate", source_file, "--function", "nope"])
+
+
+class TestSearchAndMisc:
+    def test_search(self, source_file, capsys):
+        assert (
+            main(
+                [
+                    "search",
+                    source_file,
+                    "--function",
+                    "clamp",
+                    "--generations",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "best sequence" in out
+        assert "code size" in out
+
+    def test_list_benchmarks(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bitcount", "dijkstra", "fft", "jpeg", "sha", "stringsearch"):
+            assert name in out
+
+    def test_interactions(self, source_file, capsys):
+        assert (
+            main(
+                [
+                    "interactions",
+                    source_file,
+                    "--max-nodes",
+                    "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Enabling" in out
+        assert "Independence" in out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["run", "bench:nope"])

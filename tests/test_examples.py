@@ -1,0 +1,50 @@
+"""Smoke checks on the example scripts.
+
+The examples take minutes to run in full, so the suite verifies that
+every example parses, imports against the current API, and exposes a
+``main``; one fast example is executed end-to-end.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "remapping_demo.py",
+        "interaction_analysis.py",
+        "probabilistic_compiler.py",
+        "explore_benchmark.py",
+        "dynamic_inference.py",
+        "genetic_search.py",
+        "no_universal_order.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), path.name
+
+
+def test_fast_example_runs_end_to_end(tmp_path):
+    # remapping_demo is the quickest example with a real result.
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "remapping_demo.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "distinct instances" in result.stdout

@@ -1,0 +1,124 @@
+"""Unit tests for the RTL interpreter."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.vm import Interpreter, VMError, VMFuelExhausted
+
+
+def run(source, entry, args=(), **kwargs):
+    program = compile_source(source)
+    return Interpreter(program, **kwargs).run(entry, args)
+
+
+class TestExecution:
+    def test_return_value(self):
+        assert run("int f(void) { return 42; }", "f").value == 42
+
+    def test_arguments(self):
+        assert run("int f(int a, int b) { return a * 10 + b; }", "f", (3, 4)).value == 34
+
+    def test_void_function_returns_none(self):
+        assert run("void f(void) { }", "f").value is None
+
+    def test_thirty_two_bit_wraparound(self):
+        src = "int f(int x) { return x + 1; }"
+        assert run(src, "f", (0x7FFFFFFF,)).value == -0x80000000
+
+    def test_globals_initialized(self):
+        src = "int g = 7; int f(void) { return g; }"
+        assert run(src, "f").value == 7
+
+    def test_nested_calls_preserve_frames(self):
+        src = """
+        int add1(int x) { return x + 1; }
+        int f(int x) {
+            int local = x * 100;
+            int y = add1(x);
+            return local + y;   /* local must survive the call */
+        }
+        """
+        assert run(src, "f", (5,)).value == 506
+
+    def test_recursion_uses_separate_frames(self):
+        src = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        """
+        assert run(src, "fib", (12,)).value == 144
+
+    def test_caller_saved_registers_clobbered_deterministically(self):
+        # Two executions must behave identically.
+        src = """
+        int g(void) { return 9; }
+        int f(void) { return g() + g(); }
+        """
+        assert run(src, "f").value == run(src, "f").value == 18
+
+
+class TestCounting:
+    def test_dynamic_counts_accumulate(self):
+        src = """
+        int f(int n) {
+            int i;
+            int s = 0;
+            for (i = 0; i < n; i++) s += i;
+            return s;
+        }
+        """
+        small = run(src, "f", (5,))
+        large = run(src, "f", (50,))
+        assert large.total_insts > small.total_insts
+        assert large.per_function["f"] == large.total_insts
+
+    def test_per_function_attribution(self):
+        src = """
+        int helper(int x) { return x + 1; }
+        int f(void) { return helper(1) + helper(2); }
+        """
+        result = run(src, "f")
+        assert set(result.per_function) == {"f", "helper"}
+        assert result.per_function["f"] + result.per_function["helper"] == (
+            result.total_insts
+        )
+
+    def test_cycles_exceed_instruction_count(self):
+        src = "int f(int a, int b) { return a * b; }"
+        result = run(src, "f", (3, 4))
+        assert result.cycles > 0
+
+
+class TestErrors:
+    def test_fuel_exhaustion(self):
+        src = "int f(void) { while (1) ; return 0; }"
+        with pytest.raises(VMFuelExhausted):
+            run(src, "f", fuel=1000)
+
+    def test_division_by_zero(self):
+        src = "int f(int x) { return 10 / x; }"
+        with pytest.raises(VMError, match="division by zero"):
+            run(src, "f", (0,))
+
+    def test_unknown_function(self):
+        program = compile_source("int f(void) { return 0; }")
+        with pytest.raises(VMError, match="unknown function"):
+            Interpreter(program).run("missing")
+
+
+class TestGlobalsAccess:
+    def test_store_and_load_global_helpers(self):
+        src = "int buf[4]; int f(int i) { return buf[i]; }"
+        program = compile_source(src)
+        vm = Interpreter(program)
+        vm.store_global("buf", 99, 2)
+        assert vm.run("f", (2,)).value == 99
+        assert vm.load_global("buf", 2) == 99
+
+    def test_global_address_hi_lo_roundtrip(self):
+        src = "int g = 5; int f(void) { return g; }"
+        program = compile_source(src)
+        vm = Interpreter(program)
+        address = vm.global_address("g")
+        assert (address & ~0xFFFF) + (address & 0xFFFF) == address

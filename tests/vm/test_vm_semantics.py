@@ -1,0 +1,95 @@
+"""Focused semantic tests of the interpreter's operator suite."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend import compile_source
+from repro.vm import Interpreter
+
+
+def run(source, entry, args=()):
+    return Interpreter(compile_source(source)).run(entry, args).value
+
+
+def _mask32(value):
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+class TestIntegerOperators:
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    def test_add_sub_mul_match_c_semantics(self, a, b):
+        src = """
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        int mul(int a, int b) { return a * b; }
+        """
+        program = compile_source(src)
+        assert Interpreter(program).run("add", (a, b)).value == _mask32(a + b)
+        assert Interpreter(program).run("sub", (a, b)).value == _mask32(a - b)
+        assert Interpreter(program).run("mul", (a, b)).value == _mask32(a * b)
+
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(0, 31))
+    def test_shifts(self, a, s):
+        src = """
+        int shl(int a, int s) { return a << s; }
+        int sar(int a, int s) { return a >> s; }
+        """
+        program = compile_source(src)
+        assert Interpreter(program).run("shl", (a, s)).value == _mask32(a << s)
+        assert Interpreter(program).run("sar", (a, s)).value == _mask32(a >> s)
+
+    @given(
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1).filter(lambda v: v != 0),
+    )
+    def test_division_truncates_toward_zero(self, a, b):
+        src = """
+        int div(int a, int b) { return a / b; }
+        int rem(int a, int b) { return a % b; }
+        """
+        program = compile_source(src)
+        quotient = _mask32(int(a / b))
+        remainder = _mask32(a - int(a / b) * b)
+        assert Interpreter(program).run("div", (a, b)).value == quotient
+        assert Interpreter(program).run("rem", (a, b)).value == remainder
+
+    def test_comparison_relops(self):
+        src = """
+        int lt(int a, int b) { return a < b; }
+        int le(int a, int b) { return a <= b; }
+        int eq(int a, int b) { return a == b; }
+        int ne(int a, int b) { return a != b; }
+        """
+        program = compile_source(src)
+        cases = [(-5, 3), (3, 3), (7, -2)]
+        for a, b in cases:
+            assert Interpreter(program).run("lt", (a, b)).value == int(a < b)
+            assert Interpreter(program).run("le", (a, b)).value == int(a <= b)
+            assert Interpreter(program).run("eq", (a, b)).value == int(a == b)
+            assert Interpreter(program).run("ne", (a, b)).value == int(a != b)
+
+
+class TestFloatOperators:
+    def test_float_arithmetic(self):
+        src = "float f(float a, float b) { return (a + b) * (a - b) / 2.0; }"
+        got = run(src, "f", (3.5, 1.25))
+        assert got == pytest.approx((3.5 + 1.25) * (3.5 - 1.25) / 2.0)
+
+    def test_float_comparisons_drive_branches(self):
+        src = "int f(float a, float b) { if (a < b) return 1; return 0; }"
+        assert run(src, "f", (1.5, 2.5)) == 1
+        assert run(src, "f", (2.5, 1.5)) == 0
+
+    def test_conversions_round_trip(self):
+        src = """
+        float tofloat(int x) { return x; }
+        int toint(float x) { return x; }
+        """
+        program = compile_source(src)
+        assert Interpreter(program).run("tofloat", (7,)).value == 7.0
+        assert Interpreter(program).run("toint", (7.9,)).value == 7
+
+    def test_negative_float_truncation(self):
+        src = "int f(float x) { return x; }"
+        assert run(src, "f", (-7.9,)) == -7
