@@ -32,6 +32,13 @@ from repro.core.probabilistic import ProbabilisticCompiler
 from repro.core.stats import FunctionSpaceStats, collect_function_stats
 from repro.core.dynamic import DynamicCountOracle
 from repro.opt import PHASES, PHASE_IDS, phase_by_id
+from repro.robustness import (
+    FaultInjector,
+    GuardedPhaseRunner,
+    QuarantineLog,
+    QuarantineRecord,
+)
+from repro.ir.validate import IRValidationError, check_ir, validate_ir
 from repro.search import GeneticSearcher
 from repro.vm import Interpreter, ExecutionResult
 
@@ -55,6 +62,13 @@ __all__ = [
     "PHASES",
     "PHASE_IDS",
     "phase_by_id",
+    "GuardedPhaseRunner",
+    "FaultInjector",
+    "QuarantineLog",
+    "QuarantineRecord",
+    "IRValidationError",
+    "check_ir",
+    "validate_ir",
     "Interpreter",
     "ExecutionResult",
 ]

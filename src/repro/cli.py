@@ -10,7 +10,11 @@ run
     interpreter and report the result and dynamic instruction counts.
 enumerate
     Exhaustively enumerate a function's phase order space and print its
-    Table 3 row; optionally dump the space DAG as Graphviz.
+    Table 3 row; optionally dump the space DAG as Graphviz.  Robustness
+    switches: ``--validate`` (IR validation of every active phase),
+    ``--difftest`` (VM differential semantics testing), ``--checkpoint``
+    / ``--resume`` (crash-safe persistence), ``--inject-faults`` (the
+    deterministic fault harness) — see docs/ROBUSTNESS.md.
 interactions
     Enumerate several functions and print the Table 4/5/6 matrices.
 search
@@ -28,6 +32,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.checkpoint import CheckpointError
 from repro.core.enumeration import EnumerationConfig, enumerate_space
 from repro.core.batch import BatchCompiler
 from repro.core.interactions import analyze_interactions
@@ -37,6 +42,7 @@ from repro.ir.function import Program
 from repro.ir.printer import format_function
 from repro.opt import PHASE_IDS, apply_phase, implicit_cleanup, phase_by_id
 from repro.programs import PROGRAMS
+from repro.robustness import FaultInjector
 from repro.search import GeneticSearcher
 from repro.vm import Interpreter, VMError
 
@@ -137,16 +143,48 @@ def cmd_enumerate(args) -> int:
     func = _select_function(program, args.function)
     implicit_cleanup(func)
     facts = static_function_facts(func)
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    injector = None
+    if args.inject_faults:
+        if not 0.0 < args.inject_faults <= 1.0:
+            raise SystemExit("--inject-faults RATE must be in (0, 1]")
+        injector = FaultInjector(seed=args.fault_seed, rate=args.inject_faults)
     config = EnumerationConfig(
         max_nodes=args.max_nodes,
         time_limit=args.time_limit,
         exact=args.exact,
+        validate=args.validate,
+        difftest=args.difftest,
+        program=program if args.difftest else None,
+        phase_timeout=args.phase_timeout,
+        fault_injector=injector,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
-    result = enumerate_space(func, config)
+    try:
+        result = enumerate_space(func, config)
+    except CheckpointError as error:
+        raise SystemExit(str(error))
     stats = FunctionSpaceStats(args.function, *facts, result)
     print(format_stats_table([stats]))
+    if result.resumed_from:
+        print(f"(resumed from {result.resumed_from})")
     if not result.completed:
         print(f"(aborted: {result.abort_reason})")
+        if args.checkpoint:
+            print(
+                f"(state saved; rerun with --checkpoint {args.checkpoint} "
+                "--resume to continue)"
+            )
+    if injector is not None:
+        print(
+            f"fault injection: {injector.injected} fault(s) over "
+            f"{injector.applications} guarded applications "
+            f"(seed={injector.seed}, rate={injector.rate})"
+        )
+    if config.guards_enabled():
+        print(result.quarantine.format_report())
     if args.dot:
         with open(args.dot, "w") as handle:
             handle.write(result.dag.to_dot())
@@ -252,6 +290,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-limit", type=float, default=300.0)
     p.add_argument("--exact", action="store_true", help="verify no hash collisions")
     p.add_argument("--dot", help="write the space DAG as Graphviz to this file")
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the IR after every active phase; malformed "
+        "results are quarantined instead of entering the space",
+    )
+    p.add_argument(
+        "--difftest",
+        action="store_true",
+        help="differential-test every candidate in the VM interpreter "
+        "against the unoptimized function on recorded input vectors",
+    )
+    p.add_argument(
+        "--phase-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="quarantine any phase application running longer than this",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="periodically persist the enumeration state to PATH",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the --checkpoint file when it exists",
+    )
+    p.add_argument(
+        "--inject-faults",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="sabotage this fraction of phase applications "
+        "(deterministic; exercises the guard paths)",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=2006,
+        help="random seed for --inject-faults",
+    )
     p.set_defaults(handler=cmd_enumerate)
 
     p = sub.add_parser("interactions", help="print Tables 4/5/6")

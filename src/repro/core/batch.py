@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.ir.function import Function
 from repro.machine.target import DEFAULT_TARGET, Target
 from repro.opt import PHASES, Phase, apply_phase, phase_by_id
+from repro.robustness.guard import GuardedPhaseRunner
 
 #: phases applied once before the fixpoint loop: control-flow cleanup,
 #: evaluation order determination (must precede register assignment),
@@ -53,9 +54,19 @@ class CompilationReport:
         "active_sequence",
         "elapsed",
         "code_size",
+        "quarantined",
     )
 
-    def __init__(self, function_name, attempted, active, active_sequence, elapsed, code_size):
+    def __init__(
+        self,
+        function_name,
+        attempted,
+        active,
+        active_sequence,
+        elapsed,
+        code_size,
+        quarantined=0,
+    ):
         self.function_name = function_name
         #: number of phases attempted (dormant included)
         self.attempted = attempted
@@ -67,6 +78,8 @@ class CompilationReport:
         self.elapsed = elapsed
         #: static instructions in the final code
         self.code_size = code_size
+        #: phase applications rejected by the guard (0 without one)
+        self.quarantined = quarantined
 
     def __repr__(self):
         return (
@@ -84,26 +97,40 @@ class BatchCompiler:
         prologue: Sequence[str] = BATCH_PROLOGUE,
         loop: Sequence[str] = BATCH_LOOP,
         max_loop_iterations: int = 50,
+        guard: Optional[GuardedPhaseRunner] = None,
     ):
         self.target = target or DEFAULT_TARGET
         self.prologue = tuple(prologue)
         self.loop = tuple(loop)
         self.max_loop_iterations = max_loop_iterations
+        #: when set, phases run through the guarded runner: failing
+        #: applications are quarantined and read as dormant, so one
+        #: broken phase degrades code quality instead of crashing the
+        #: compilation
+        self.guard = guard
+
+    def _apply(self, func: Function, phase_id: str) -> bool:
+        if self.guard is not None:
+            return self.guard.apply(func, phase_by_id(phase_id), self.target)
+        return apply_phase(func, phase_by_id(phase_id), self.target)
 
     def compile(self, func: Function) -> CompilationReport:
         """Optimize *func* in place with the default phase order."""
         start = time.perf_counter()
         attempted = 0
+        quarantined_before = (
+            len(self.guard.quarantine) if self.guard is not None else 0
+        )
         active_sequence: List[str] = []
         for phase_id in self.prologue:
             attempted += 1
-            if apply_phase(func, phase_by_id(phase_id), self.target):
+            if self._apply(func, phase_id):
                 active_sequence.append(phase_id)
         for _ in range(self.max_loop_iterations):
             any_active = False
             for phase_id in self.loop:
                 attempted += 1
-                if apply_phase(func, phase_by_id(phase_id), self.target):
+                if self._apply(func, phase_id):
                     active_sequence.append(phase_id)
                     any_active = True
             if not any_active:
@@ -113,6 +140,11 @@ class BatchCompiler:
                 f"{func.name}: batch compilation did not reach a fixpoint"
             )
         elapsed = time.perf_counter() - start
+        quarantined = (
+            len(self.guard.quarantine) - quarantined_before
+            if self.guard is not None
+            else 0
+        )
         return CompilationReport(
             func.name,
             attempted,
@@ -120,4 +152,5 @@ class BatchCompiler:
             tuple(active_sequence),
             elapsed,
             func.num_instructions(),
+            quarantined=quarantined,
         )

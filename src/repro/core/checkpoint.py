@@ -1,0 +1,233 @@
+"""Checkpoint/resume for the exhaustive space enumeration.
+
+A checkpoint is a single JSON document capturing everything the
+enumerator needs to continue a run bit-identically: the space DAG, the
+current frontier (with its in-memory function instances serialized as
+printed RTL), the replay recipes, the budget counters, and the
+quarantine log.  Checkpoints are written atomically (temp file +
+``os.replace``) at function-instance boundaries, so a file on disk is
+always internally consistent no matter when the process died.
+
+File layout (all keys always present)::
+
+    {
+      "version":        1,
+      "function_name":  "...",
+      "config":         {"phases": "bcdg...", "remap": true, "exact": false},
+      "completed":      false,
+      "level":          3,              // current (0-based) level
+      "frontier":       [12, 17, ...], // node ids awaiting expansion
+      "frontier_index": 2,             // next frontier slot to expand
+      "next_frontier":  [31, ...],     // children found so far this level
+      "attempted":      1234,          // Table 3 "Attempt" so far
+      "applied":        1400,          // phase executions so far
+      "elapsed":        12.5,          // seconds consumed so far
+      "dag":            {"root_id": 0, "nodes": [...]},
+      "root_function":  {...},         // serialized Function
+      "functions":      {"17": {...}}, // frontier instances (RTL text)
+      "recipes":        {"17": "scb"}, // root phase paths (replay mode)
+      "texts":          [[key, text]], // exact-mode collision texts
+      "quarantine":     [...]          // QuarantineRecord dicts
+    }
+
+Node entries hold ``key`` (the fingerprint triple plus the legality
+flags), ``level``, ``num_insts``, ``cf_crc``, ``active`` (phase → child
+id), ``dormant``, ``expanded``, and ``parents``.
+
+Serialized functions round-trip through the RTL printer/parser
+(:func:`repro.ir.printer.format_function` /
+:func:`repro.ir.parser.parse_function`) plus the metadata the printed
+form does not carry: frame slots, legality flags, and counters.  The
+fingerprint hashes only the printed form, so a round-tripped function
+fingerprints identically — which is what makes resumed enumerations
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.core.dag import SpaceDAG, SpaceNode
+from repro.ir.function import Function, LocalSlot
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, malformed, or incompatible."""
+
+
+# ----------------------------------------------------------------------
+# Function (de)serialization
+# ----------------------------------------------------------------------
+
+
+def function_to_dict(func: Function) -> Dict[str, object]:
+    """Serialize *func* as printed RTL plus its metadata."""
+    return {
+        "name": func.name,
+        "returns_value": func.returns_value,
+        "params": list(func.params),
+        "rtl": format_function(func),
+        "frame": [
+            {
+                "name": slot.name,
+                "offset": slot.offset,
+                "words": slot.words,
+                "typ": slot.typ,
+                "is_array": slot.is_array,
+                "is_param": slot.is_param,
+            }
+            for slot in func.frame.values()
+        ],
+        "frame_size": func.frame_size,
+        "next_pseudo": func.next_pseudo,
+        "next_label": func.next_label,
+        "reg_assigned": func.reg_assigned,
+        "sel_applied": func.sel_applied,
+        "alloc_applied": func.alloc_applied,
+        "unrolled": sorted(func.unrolled),
+    }
+
+
+def function_from_dict(data: Dict[str, object]) -> Function:
+    """Rebuild a function serialized by :func:`function_to_dict`."""
+    func = parse_function(data["rtl"], data["name"])
+    func.returns_value = data["returns_value"]
+    func.params = list(data["params"])
+    # Frame slot insertion order is semantic (register allocation walks
+    # frame.values()), so rebuild the dict in the serialized order.
+    func.frame = {}
+    for slot in data["frame"]:
+        func.frame[slot["name"]] = LocalSlot(
+            slot["name"],
+            slot["offset"],
+            slot["words"],
+            slot["typ"],
+            slot["is_array"],
+            slot["is_param"],
+        )
+    func.frame_size = data["frame_size"]
+    func.next_pseudo = data["next_pseudo"]
+    func.next_label = data["next_label"]
+    func.reg_assigned = data["reg_assigned"]
+    func.sel_applied = data["sel_applied"]
+    func.alloc_applied = data["alloc_applied"]
+    func.unrolled = set(data["unrolled"])
+    return func
+
+
+# ----------------------------------------------------------------------
+# Node keys
+# ----------------------------------------------------------------------
+#
+# Node keys are nested tuples of ints and bools; JSON turns tuples into
+# lists, so restoring must tuple-ify recursively before dict lookups.
+
+
+def key_to_json(key):
+    if isinstance(key, tuple):
+        return [key_to_json(part) for part in key]
+    return key
+
+
+def key_from_json(data):
+    if isinstance(data, list):
+        return tuple(key_from_json(part) for part in data)
+    return data
+
+
+# ----------------------------------------------------------------------
+# DAG (de)serialization
+# ----------------------------------------------------------------------
+
+
+def dag_to_dict(dag: SpaceDAG) -> Dict[str, object]:
+    nodes: List[Dict[str, object]] = []
+    # Node ids are assigned densely in creation order; serialize in
+    # that order so restoration reproduces identical ids.
+    for node_id in range(len(dag.nodes)):
+        node = dag.nodes[node_id]
+        nodes.append(
+            {
+                "key": key_to_json(node.key),
+                "level": node.level,
+                "num_insts": node.num_insts,
+                "cf_crc": node.cf_crc,
+                "active": dict(node.active),
+                "dormant": sorted(node.dormant),
+                "expanded": node.expanded,
+                "parents": [[pid, phase] for (pid, phase) in node.parents],
+            }
+        )
+    return {"root_id": dag.root_id, "nodes": nodes}
+
+
+def dag_from_dict(function_name: str, data: Dict[str, object]) -> SpaceDAG:
+    dag = SpaceDAG(function_name)
+    for node_id, entry in enumerate(data["nodes"]):
+        node = SpaceNode(
+            node_id,
+            key_from_json(entry["key"]),
+            entry["level"],
+            entry["num_insts"],
+            entry["cf_crc"],
+        )
+        node.active = {
+            phase: child for phase, child in entry["active"].items()
+        }
+        node.dormant = set(entry["dormant"])
+        node.expanded = entry["expanded"]
+        node.parents = [(pid, phase) for pid, phase in entry["parents"]]
+        dag.nodes[node_id] = node
+        dag.by_key[node.key] = node_id
+    dag.root_id = data["root_id"]
+    return dag
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+
+
+def save_checkpoint(path: str, state: Dict[str, object]) -> None:
+    """Atomically write *state* as JSON to *path*."""
+    state = dict(state)
+    state["version"] = CHECKPOINT_VERSION
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        prefix=".checkpoint-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(state, handle)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: str) -> Dict[str, object]:
+    """Read and sanity-check a checkpoint written by save_checkpoint."""
+    try:
+        with open(path) as handle:
+            state = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}")
+    except ValueError as error:
+        raise CheckpointError(f"malformed checkpoint {path}: {error}")
+    version = state.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {version!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    return state

@@ -23,18 +23,44 @@ The per-level budget mirrors the paper: enumeration is abandoned (and
 the function reported as too big) when the number of optimization
 sequences to apply at one level exceeds ``max_level_sequences``
 (1,000,000 in the paper).
+
+Enumeration is the longest-running path in the system, so it is built
+to survive failure (see ``docs/ROBUSTNESS.md``):
+
+- phase applications can run through a
+  :class:`~repro.robustness.guard.GuardedPhaseRunner` (``validate``,
+  ``difftest``, ``phase_timeout``, ``fault_injector``) that quarantines
+  bad applications instead of aborting the run;
+- the budget is checked before *every phase attempt*, not once per
+  frontier node, so a single slow phase cannot blow far past
+  ``time_limit``;
+- with ``checkpoint_path`` set, the full enumeration state is
+  periodically persisted at instance boundaries and a later run with
+  ``resume=True`` continues to a bit-identical DAG; SIGINT requests a
+  graceful stop through the same checkpoint (a second SIGINT kills).
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import checkpoint as ckpt
 from repro.core.dag import SpaceDAG, SpaceNode
 from repro.core.fingerprint import Fingerprint, fingerprint_function
-from repro.ir.function import Function
+from repro.ir.function import Function, Program
 from repro.machine.target import DEFAULT_TARGET, Target
 from repro.opt import PHASES, Phase, apply_phase, implicit_cleanup
+from repro.robustness.faults import FaultInjector
+from repro.robustness.guard import (
+    DifferentialTester,
+    GuardedPhaseRunner,
+    default_vectors,
+)
+from repro.robustness.quarantine import QuarantineLog
 
 
 class EnumerationConfig:
@@ -52,6 +78,15 @@ class EnumerationConfig:
         remap: bool = True,
         phases: Sequence[Phase] = PHASES,
         target: Optional[Target] = None,
+        validate: bool = False,
+        difftest: bool = False,
+        program: Optional[Program] = None,
+        input_vectors: Optional[Sequence[Sequence[int]]] = None,
+        phase_timeout: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: Optional[float] = 30.0,
+        resume: bool = False,
     ):
         self.max_level_sequences = max_level_sequences
         self.max_nodes = max_nodes
@@ -70,7 +105,52 @@ class EnumerationConfig:
         #: turning this off is the remapping ablation
         self.remap = remap
         self.phases = tuple(phases)
+        #: id -> phase, precomputed so sequence replays (and any other
+        #: by-id lookup) avoid a linear scan per phase
+        self.phase_index: Dict[str, Phase] = {
+            phase.id: phase for phase in self.phases
+        }
         self.target = target or DEFAULT_TARGET
+        #: run the IR validator on every active phase's output
+        self.validate = validate
+        #: differential-test candidates in the VM against *program*
+        self.difftest = difftest
+        self.program = program
+        #: argument vectors for the differential test (defaults to
+        #: small deterministic vectors derived from the function arity)
+        self.input_vectors = input_vectors
+        #: per-phase wall-clock watchdog (SIGALRM, main thread only)
+        self.phase_timeout = phase_timeout
+        #: deterministic sabotage of phase applications (tests/chaos)
+        self.fault_injector = fault_injector
+        #: where to persist the enumeration state; None disables
+        self.checkpoint_path = checkpoint_path
+        #: seconds between periodic checkpoints (None = only on abort)
+        self.checkpoint_interval = checkpoint_interval
+        #: continue from ``checkpoint_path`` when it exists
+        self.resume = resume
+
+    def guards_enabled(self) -> bool:
+        """Whether phase applications must run through the guard."""
+        return (
+            self.validate
+            or self.phase_timeout is not None
+            or self.fault_injector is not None
+            or (self.difftest and self.program is not None)
+        )
+
+    def signature(self) -> Dict[str, object]:
+        """The space-shaping settings a checkpoint must agree on.
+
+        Budgets (``max_nodes``, ``time_limit``, ...) are run-scoped and
+        deliberately excluded: an aborted run may be resumed with a
+        larger budget.
+        """
+        return {
+            "phases": "".join(phase.id for phase in self.phases),
+            "remap": self.remap,
+            "exact": self.exact,
+        }
 
 
 class EnumerationResult:
@@ -84,6 +164,9 @@ class EnumerationResult:
         phases_applied: int,
         elapsed: float,
         abort_reason: Optional[str] = None,
+        quarantine: Optional[QuarantineLog] = None,
+        levels_completed: int = 0,
+        resumed_from: Optional[str] = None,
     ):
         self.dag = dag
         #: True when the space was fully enumerated (no budget hit)
@@ -95,6 +178,12 @@ class EnumerationResult:
         self.phases_applied = phases_applied
         self.elapsed = elapsed
         self.abort_reason = abort_reason
+        #: phase applications the guard rejected (empty without guards)
+        self.quarantine = quarantine if quarantine is not None else QuarantineLog()
+        #: levels fully expanded before completion or abort
+        self.levels_completed = levels_completed
+        #: checkpoint path this run continued from, or None
+        self.resumed_from = resumed_from
 
     def __repr__(self):
         status = "complete" if self.completed else f"aborted({self.abort_reason})"
@@ -105,10 +194,15 @@ class EnumerationResult:
 
 
 class _Budget:
-    def __init__(self, config: EnumerationConfig):
+    def __init__(self, config: EnumerationConfig, consumed: float = 0.0):
         self.config = config
         self.start = time.monotonic()
+        #: seconds spent by prior runs of a resumed enumeration
+        self.consumed = consumed
         self.reason: Optional[str] = None
+
+    def elapsed(self) -> float:
+        return self.consumed + time.monotonic() - self.start
 
     def exceeded_nodes(self, dag: SpaceDAG) -> bool:
         if self.config.max_nodes is not None and len(dag) > self.config.max_nodes:
@@ -119,11 +213,421 @@ class _Budget:
     def exceeded_time(self) -> bool:
         if (
             self.config.time_limit is not None
-            and time.monotonic() - self.start > self.config.time_limit
+            and self.elapsed() > self.config.time_limit
         ):
             self.reason = "time_limit"
             return True
         return False
+
+
+class SpaceEnumerator:
+    """Stateful enumeration engine with checkpoint/resume.
+
+    :func:`enumerate_space` is the one-shot front door; the class is
+    public so callers can inspect state after a run (and so tests can
+    drive checkpointing precisely).
+    """
+
+    def __init__(self, func: Function, config: Optional[EnumerationConfig] = None):
+        self.config = config if config is not None else EnumerationConfig()
+        self.input_func = func
+        self.target = self.config.target
+        self.guard = self._build_guard()
+        self.quarantine = (
+            self.guard.quarantine if self.guard is not None else QuarantineLog()
+        )
+        self.resumed_from: Optional[str] = None
+        self._interrupted = False
+        self._last_checkpoint = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> EnumerationResult:
+        config = self.config
+        consumed = 0.0
+        if (
+            config.resume
+            and config.checkpoint_path is not None
+            and os.path.exists(config.checkpoint_path)
+        ):
+            consumed = self._restore(config.checkpoint_path)
+            self.resumed_from = config.checkpoint_path
+        else:
+            self._initialize()
+        self.budget = _Budget(config, consumed=consumed)
+        self._last_checkpoint = time.monotonic()
+
+        previous_sigint = self._install_sigint()
+        try:
+            self._loop()
+        finally:
+            if previous_sigint is not None:
+                signal.signal(signal.SIGINT, previous_sigint)
+
+        elapsed = self.budget.elapsed()
+        if config.checkpoint_path is not None:
+            if self.completed:
+                # The run is over; the resume artifact has no further use.
+                try:
+                    os.unlink(config.checkpoint_path)
+                except OSError:
+                    pass
+            else:
+                self._write_checkpoint()
+        if not self.completed and not config.keep_functions:
+            # An aborted run must not pin the frontier instances.
+            for node in self.frontier:
+                node.function = None
+            for node in self.next_frontier:
+                node.function = None
+        return EnumerationResult(
+            self.dag,
+            self.completed,
+            self.attempted,
+            self.applied,
+            elapsed,
+            self.abort_reason,
+            quarantine=self.quarantine,
+            levels_completed=self.level,
+            resumed_from=self.resumed_from,
+        )
+
+    # ------------------------------------------------------------------
+    # Setup / restore
+    # ------------------------------------------------------------------
+
+    def _build_guard(self) -> Optional[GuardedPhaseRunner]:
+        config = self.config
+        if not config.guards_enabled():
+            return None
+        difftester = None
+        if config.difftest and config.program is not None:
+            vectors = config.input_vectors
+            if vectors is None:
+                vectors = default_vectors(self.input_func)
+            difftester = DifferentialTester(
+                config.program, self.input_func.name, vectors
+            )
+        return GuardedPhaseRunner(
+            target=config.target,
+            validate=config.validate,
+            difftest=difftester,
+            phase_timeout=config.phase_timeout,
+            fault_injector=config.fault_injector,
+        )
+
+    def _initialize(self) -> None:
+        config = self.config
+        root_func = self.input_func.clone()
+        implicit_cleanup(root_func)  # canonical root instance
+        self.root_func = root_func
+        self.dag = SpaceDAG(self.input_func.name)
+        self.texts: Dict[object, str] = {}
+        self.attempted = 0
+        self.applied = 0
+        root_fp = fingerprint_function(
+            root_func, keep_text=config.exact, remap=config.remap
+        )
+        root_key = _node_key(root_fp, root_func)
+        root = self.dag.add_node(root_key, 0, root_fp.num_insts, root_fp.cf_crc)
+        root.function = root_func
+        if config.exact:
+            self.texts[root_key] = root_fp.text
+        # Paths from the root, used to replay sequences when prefix
+        # sharing is disabled.
+        self.recipes: Dict[int, Tuple[str, ...]] = {root.node_id: ()}
+        self.frontier: List[SpaceNode] = [root]
+        self.frontier_index = 0
+        self.next_frontier: List[SpaceNode] = []
+        self.level = 0
+        self.completed = True
+        self.abort_reason: Optional[str] = None
+
+    def _restore(self, path: str) -> float:
+        """Load a checkpoint; returns the seconds already consumed."""
+        config = self.config
+        state = ckpt.load_checkpoint(path)
+        if state["function_name"] != self.input_func.name:
+            raise ckpt.CheckpointError(
+                f"checkpoint {path} is for function "
+                f"{state['function_name']!r}, not {self.input_func.name!r}"
+            )
+        if state["config"] != config.signature():
+            raise ckpt.CheckpointError(
+                f"checkpoint {path} was written with different enumeration "
+                f"settings ({state['config']} != {config.signature()})"
+            )
+        self.dag = ckpt.dag_from_dict(state["function_name"], state["dag"])
+        self.root_func = ckpt.function_from_dict(state["root_function"])
+        # The input function must be the one the checkpoint was made
+        # from: its canonical root instance must fingerprint to the
+        # checkpointed root key.
+        probe = self.input_func.clone()
+        implicit_cleanup(probe)
+        probe_fp = fingerprint_function(probe, remap=config.remap)
+        if _node_key(probe_fp, probe) != self.dag.root.key:
+            raise ckpt.CheckpointError(
+                f"checkpoint {path} was written for a different version of "
+                f"{self.input_func.name!r} (root fingerprint mismatch)"
+            )
+        self.frontier = [self.dag.nodes[i] for i in state["frontier"]]
+        self.frontier_index = state["frontier_index"]
+        self.next_frontier = [self.dag.nodes[i] for i in state["next_frontier"]]
+        for node_id, data in state["functions"].items():
+            self.dag.nodes[int(node_id)].function = ckpt.function_from_dict(data)
+        self.recipes = {
+            int(node_id): tuple(recipe)
+            for node_id, recipe in state["recipes"].items()
+        }
+        self.texts = {
+            ckpt.key_from_json(key): text for key, text in state["texts"]
+        }
+        self.attempted = state["attempted"]
+        self.applied = state["applied"]
+        self.level = state["level"]
+        self.completed = True
+        self.abort_reason = None
+        restored_log = QuarantineLog.from_dicts(state["quarantine"])
+        self.quarantine.records[:0] = restored_log.records
+        return state["elapsed"]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        config = self.config
+        while True:
+            at_level_start = self.frontier_index == 0 and not self.next_frontier
+            if at_level_start:
+                if not self.frontier:
+                    return  # space fully enumerated
+                if (
+                    config.max_levels is not None
+                    and self.level >= config.max_levels
+                ):
+                    self._abort("max_levels")
+                    return
+                # The paper's per-level criterion: sequences to apply
+                # at this level.
+                sequences_this_level = sum(
+                    sum(
+                        1
+                        for phase in config.phases
+                        if phase.id not in _arrival_phases(node)
+                    )
+                    for node in self.frontier
+                )
+                if sequences_this_level > config.max_level_sequences:
+                    self._abort("max_level_sequences")
+                    return
+            while self.frontier_index < len(self.frontier):
+                if self._interrupted:
+                    self._abort("interrupted")
+                    return
+                if self.budget.exceeded_time() or self.budget.exceeded_nodes(
+                    self.dag
+                ):
+                    self._abort(self.budget.reason)
+                    return
+                node = self.frontier[self.frontier_index]
+                if not self._expand(node):
+                    self._abort(self.budget.reason or "interrupted")
+                    return
+                self.frontier_index += 1
+                self._maybe_checkpoint()
+            self.frontier = self.next_frontier
+            self.next_frontier = []
+            self.frontier_index = 0
+            self.level += 1
+
+    def _abort(self, reason: Optional[str]) -> None:
+        self.completed = False
+        self.abort_reason = reason
+
+    def _expand(self, node: SpaceNode) -> bool:
+        """Expand one frontier node; False = budget/interrupt mid-node.
+
+        A mid-node stop rolls the node back to its pre-expansion state
+        so the DAG (and any checkpoint written from it) sits at a clean
+        instance boundary and a resumed run re-expands the node from
+        scratch — keeping resumed enumerations bit-identical.
+        """
+        config = self.config
+        arrival = _arrival_phases(node)
+        dormant_before = set(node.dormant)
+        attempted_before = self.attempted
+        applied_before = self.applied
+        next_frontier_len = len(self.next_frontier)
+        added_nodes: List[SpaceNode] = []
+        added_edges: List[Tuple[SpaceNode, str, SpaceNode]] = []
+
+        def rollback() -> None:
+            for parent, phase_id, child in reversed(added_edges):
+                parent.active.pop(phase_id, None)
+                entry = (parent.node_id, phase_id)
+                for i in range(len(child.parents) - 1, -1, -1):
+                    if child.parents[i] == entry:
+                        del child.parents[i]
+                        break
+            for child in reversed(added_nodes):
+                del self.dag.nodes[child.node_id]
+                self.dag.by_key.pop(child.key, None)
+                self.recipes.pop(child.node_id, None)
+                if config.exact:
+                    self.texts.pop(child.key, None)
+            del self.next_frontier[next_frontier_len:]
+            node.dormant = dormant_before
+            self.attempted = attempted_before
+            self.applied = applied_before
+
+        for phase in config.phases:
+            if phase.id in arrival:
+                # An active phase is never attempted on its own result
+                # (it just ran to its fixpoint).
+                node.dormant.add(phase.id)
+                continue
+            # Per-attempt budget check: one slow phase must not blow
+            # far past time_limit, and an interrupt must not wait for
+            # the whole node.
+            if self._interrupted or self.budget.exceeded_time():
+                rollback()
+                return False
+            self.attempted += 1
+            if config.share_prefixes:
+                candidate = node.function.clone()
+                self.applied += 1
+                active = self._apply(candidate, phase, node)
+            else:
+                candidate = self.root_func.clone()
+                for prior_id in self.recipes[node.node_id]:
+                    self.applied += 1
+                    apply_phase(
+                        candidate, config.phase_index[prior_id], self.target
+                    )
+                self.applied += 1
+                active = self._apply(candidate, phase, node)
+            if not active:
+                node.dormant.add(phase.id)
+                continue
+            fingerprint = fingerprint_function(
+                candidate, keep_text=config.exact, remap=config.remap
+            )
+            key = _node_key(fingerprint, candidate)
+            existing = self.dag.lookup(key)
+            if existing is not None:
+                if config.exact and self.texts.get(key) != fingerprint.text:
+                    raise RuntimeError(
+                        f"fingerprint collision in {self.input_func.name}: two "
+                        "distinct instances share (count, byte-sum, CRC)"
+                    )
+                self.dag.add_edge(node, phase.id, existing)
+                added_edges.append((node, phase.id, existing))
+                continue
+            child = self.dag.add_node(
+                key, self.level + 1, fingerprint.num_insts, fingerprint.cf_crc
+            )
+            child.function = candidate
+            if config.exact:
+                self.texts[key] = fingerprint.text
+            self.recipes[child.node_id] = self.recipes[node.node_id] + (phase.id,)
+            self.dag.add_edge(node, phase.id, child)
+            added_nodes.append(child)
+            added_edges.append((node, phase.id, child))
+            self.next_frontier.append(child)
+        node.expanded = True
+        if not config.keep_functions:
+            node.function = None
+        return True
+
+    def _apply(self, candidate: Function, phase: Phase, node: SpaceNode) -> bool:
+        if self.guard is not None:
+            return self.guard.apply(
+                candidate,
+                phase,
+                self.target,
+                node_key=f"node#{node.node_id}",
+                level=node.level,
+            )
+        return apply_phase(candidate, phase, self.target)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        config = self.config
+        if config.checkpoint_path is None or config.checkpoint_interval is None:
+            return
+        now = time.monotonic()
+        if now - self._last_checkpoint >= config.checkpoint_interval:
+            self._write_checkpoint()
+            self._last_checkpoint = now
+
+    def _write_checkpoint(self) -> None:
+        ckpt.save_checkpoint(self.config.checkpoint_path, self._state())
+
+    def _state(self) -> Dict[str, object]:
+        config = self.config
+        pending = self.frontier[self.frontier_index :] + self.next_frontier
+        functions: Dict[str, object] = {}
+        if config.share_prefixes:
+            for node in pending:
+                if node.function is not None:
+                    functions[str(node.node_id)] = ckpt.function_to_dict(
+                        node.function
+                    )
+        recipes = {
+            str(node.node_id): "".join(self.recipes.get(node.node_id, ()))
+            for node in pending
+        }
+        return {
+            "function_name": self.input_func.name,
+            "config": config.signature(),
+            "completed": self.completed,
+            "level": self.level,
+            "frontier": [node.node_id for node in self.frontier],
+            "frontier_index": self.frontier_index,
+            "next_frontier": [node.node_id for node in self.next_frontier],
+            "attempted": self.attempted,
+            "applied": self.applied,
+            "elapsed": self.budget.elapsed(),
+            "dag": ckpt.dag_to_dict(self.dag),
+            "root_function": ckpt.function_to_dict(self.root_func),
+            "functions": functions,
+            "recipes": recipes,
+            "texts": [
+                [ckpt.key_to_json(key), text] for key, text in self.texts.items()
+            ],
+            "quarantine": self.quarantine.to_dicts(),
+        }
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+
+    def _install_sigint(self):
+        """Trade SIGINT for a graceful stop when checkpointing is on.
+
+        The first ^C sets a flag the loop observes at the next phase
+        attempt (writing a final checkpoint on the way out); a second
+        ^C raises KeyboardInterrupt as usual.  Only possible on the
+        main thread.
+        """
+        if (
+            self.config.checkpoint_path is None
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            return None
+
+        def _handler(signum, frame):
+            if self._interrupted:
+                raise KeyboardInterrupt
+            self._interrupted = True
+
+        return signal.signal(signal.SIGINT, _handler)
 
 
 def enumerate_space(
@@ -133,118 +637,7 @@ def enumerate_space(
 
     The input function is not modified.
     """
-    if config is None:
-        config = EnumerationConfig()
-    target = config.target
-    budget = _Budget(config)
-
-    root_func = func.clone()
-    implicit_cleanup(root_func)  # canonical root instance
-
-    dag = SpaceDAG(func.name)
-    texts: Dict[object, str] = {}
-    attempted = 0
-    applied = 0
-
-    root_fp = fingerprint_function(
-        root_func, keep_text=config.exact, remap=config.remap
-    )
-    root_key = _node_key(root_fp, root_func)
-    root = dag.add_node(root_key, 0, root_fp.num_insts, root_fp.cf_crc)
-    root.function = root_func
-    if config.exact:
-        texts[root_key] = root_fp.text
-
-    # Paths from the root, used to replay sequences when prefix sharing
-    # is disabled.
-    recipes: Dict[int, Tuple[str, ...]] = {root.node_id: ()}
-
-    frontier: List[SpaceNode] = [root]
-    level = 0
-    completed = True
-
-    while frontier:
-        if config.max_levels is not None and level >= config.max_levels:
-            completed = False
-            budget.reason = "max_levels"
-            break
-        # The paper's per-level criterion: sequences to apply at this
-        # level.
-        sequences_this_level = sum(
-            sum(
-                1
-                for phase in config.phases
-                if phase.id not in _arrival_phases(node)
-            )
-            for node in frontier
-        )
-        if sequences_this_level > config.max_level_sequences:
-            completed = False
-            budget.reason = "max_level_sequences"
-            break
-
-        next_frontier: List[SpaceNode] = []
-        for node in frontier:
-            if budget.exceeded_time() or budget.exceeded_nodes(dag):
-                completed = False
-                break
-            arrival = _arrival_phases(node)
-            for phase in config.phases:
-                if phase.id in arrival:
-                    # An active phase is never attempted on its own
-                    # result (it just ran to its fixpoint).
-                    node.dormant.add(phase.id)
-                    continue
-                attempted += 1
-                if config.share_prefixes:
-                    candidate = node.function.clone()
-                    applied += 1
-                    active = apply_phase(candidate, phase, target)
-                else:
-                    candidate = root_func.clone()
-                    for prior_id in recipes[node.node_id]:
-                        applied += 1
-                        apply_phase(candidate, _phase_by_id(config, prior_id), target)
-                    applied += 1
-                    active = apply_phase(candidate, phase, target)
-                if not active:
-                    node.dormant.add(phase.id)
-                    continue
-                fingerprint = fingerprint_function(
-                    candidate, keep_text=config.exact, remap=config.remap
-                )
-                key = _node_key(fingerprint, candidate)
-                existing = dag.lookup(key)
-                if existing is not None:
-                    if config.exact and texts.get(key) != fingerprint.text:
-                        raise RuntimeError(
-                            f"fingerprint collision in {func.name}: two "
-                            "distinct instances share (count, byte-sum, CRC)"
-                        )
-                    dag.add_edge(node, phase.id, existing)
-                    continue
-                child = dag.add_node(
-                    key, level + 1, fingerprint.num_insts, fingerprint.cf_crc
-                )
-                child.function = candidate
-                if config.exact:
-                    texts[key] = fingerprint.text
-                recipes[child.node_id] = recipes[node.node_id] + (phase.id,)
-                dag.add_edge(node, phase.id, child)
-                next_frontier.append(child)
-            node.expanded = True
-            if not config.keep_functions:
-                node.function = None
-        else:
-            frontier = next_frontier
-            level += 1
-            continue
-        break  # inner budget break propagates
-
-    elapsed = time.monotonic() - budget.start
-    return EnumerationResult(
-        dag, completed, attempted, applied, elapsed, budget.reason
-    )
+    return SpaceEnumerator(func, config).run()
 
 
 def _node_key(fingerprint: Fingerprint, func: Function):
@@ -265,7 +658,4 @@ def _arrival_phases(node: SpaceNode) -> set:
 
 
 def _phase_by_id(config: EnumerationConfig, phase_id: str) -> Phase:
-    for phase in config.phases:
-        if phase.id == phase_id:
-            return phase
-    raise KeyError(phase_id)
+    return config.phase_index[phase_id]

@@ -23,6 +23,7 @@ from repro.core.interactions import InteractionAnalysis
 from repro.ir.function import Function
 from repro.machine.target import DEFAULT_TARGET, Target
 from repro.opt import PHASE_IDS, apply_phase, phase_by_id
+from repro.robustness.guard import GuardedPhaseRunner
 
 
 class ProbabilisticCompiler:
@@ -35,6 +36,7 @@ class ProbabilisticCompiler:
         threshold: float = 0.0,
         max_steps: int = 500,
         use_benefits: bool = False,
+        guard: Optional[GuardedPhaseRunner] = None,
     ):
         self.interactions = interactions
         self.target = target or DEFAULT_TARGET
@@ -44,6 +46,10 @@ class ProbabilisticCompiler:
         #: section 6's suggested refinement: weight selection by each
         #: phase's measured code-size benefit, not just P(active)
         self.use_benefits = use_benefits
+        #: when set, phases run through the guarded runner; a
+        #: quarantined application reads as dormant, which zeroes the
+        #: phase's probability and lets the algorithm move on
+        self.guard = guard
 
     def _selection_score(self, phase_id: str, probability: float) -> float:
         if not self.use_benefits:
@@ -66,6 +72,9 @@ class ProbabilisticCompiler:
             pid: self.interactions.start.get(pid, 0.0) for pid in phase_ids
         }
         attempted = 0
+        quarantined_before = (
+            len(self.guard.quarantine) if self.guard is not None else 0
+        )
         active_sequence: List[str] = []
         for _ in range(self.max_steps):
             best = max(
@@ -75,7 +84,12 @@ class ProbabilisticCompiler:
             if probability[best] <= self.threshold:
                 break
             attempted += 1
-            was_active = apply_phase(func, phase_by_id(best), self.target)
+            if self.guard is not None:
+                was_active = self.guard.apply(
+                    func, phase_by_id(best), self.target
+                )
+            else:
+                was_active = apply_phase(func, phase_by_id(best), self.target)
             if was_active:
                 active_sequence.append(best)
                 for pid in phase_ids:
@@ -87,6 +101,11 @@ class ProbabilisticCompiler:
                     probability[pid] = p + (1.0 - p) * enable - p * disable
             probability[best] = 0.0
         elapsed = time.perf_counter() - start
+        quarantined = (
+            len(self.guard.quarantine) - quarantined_before
+            if self.guard is not None
+            else 0
+        )
         return CompilationReport(
             func.name,
             attempted,
@@ -94,4 +113,5 @@ class ProbabilisticCompiler:
             tuple(active_sequence),
             elapsed,
             func.num_instructions(),
+            quarantined=quarantined,
         )

@@ -32,6 +32,7 @@ from repro.ir.cfg import (
     validate_function,
 )
 from repro.ir.printer import format_expr, format_instruction, format_function
+from repro.ir.validate import IRValidationError, check_ir, validate_ir
 
 __all__ = [
     "Expr",
@@ -56,6 +57,9 @@ __all__ = [
     "CFG",
     "build_cfg",
     "validate_function",
+    "IRValidationError",
+    "check_ir",
+    "validate_ir",
     "format_expr",
     "format_instruction",
     "format_function",

@@ -1,0 +1,144 @@
+"""Seeded, deterministic fault injection for the guard paths.
+
+The injector sabotages a controllable subset of phase applications so
+tests (and chaos runs) can exercise every failure path the
+:class:`~repro.robustness.guard.GuardedPhaseRunner` defends against:
+
+``raise``
+    the phase application raises :class:`InjectedFault`;
+``corrupt``
+    the phase application "succeeds" but leaves structurally broken IR
+    (a branch to a label that does not exist) for the validator to
+    catch;
+``hang``
+    the phase application sleeps past the guard's per-phase timeout
+    (requires a configured timeout; without one the injector falls back
+    to ``raise`` so a test can never actually hang).
+
+Determinism: the decision stream is driven either by an explicit set of
+1-based application indices (``attempts={3, 7}`` sabotages exactly the
+third and seventh guarded application) or by a seeded
+:class:`random.Random` at a given *rate*.  Replaying the same seed,
+rate, and application stream reproduces the same faults.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Jump
+
+#: label used by the ``corrupt`` mode; never produced by the compiler
+CORRUPT_LABEL = "__corrupt__"
+
+MODES = ("raise", "corrupt", "hang")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by the ``raise`` fault mode."""
+
+
+class FaultInjector:
+    """Decide per phase application whether (and how) to sabotage it."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 0.0,
+        modes: Sequence[str] = MODES,
+        attempts: Optional[Iterable[int]] = None,
+        hang_seconds: Optional[float] = None,
+    ):
+        for mode in modes:
+            if mode not in MODES:
+                raise ValueError(f"unknown fault mode {mode!r}; expected {MODES}")
+        if not modes:
+            raise ValueError("at least one fault mode is required")
+        self.seed = seed
+        self.rate = rate
+        self.modes = tuple(modes)
+        #: explicit 1-based guarded-application indices to sabotage;
+        #: overrides *rate* when given
+        self.attempts: Optional[Set[int]] = (
+            set(attempts) if attempts is not None else None
+        )
+        #: how long a ``hang`` fault sleeps; defaults to double the
+        #: guard's timeout at injection time
+        self.hang_seconds = hang_seconds
+        self._rng = random.Random(seed)
+        #: guarded applications seen so far
+        self.applications = 0
+        #: faults actually injected
+        self.injected = 0
+        self.injected_by_mode: Dict[str, int] = {mode: 0 for mode in self.modes}
+
+    # ------------------------------------------------------------------
+
+    def should_inject(self) -> bool:
+        """Advance the decision stream by one application."""
+        self.applications += 1
+        if self.attempts is not None:
+            return self.applications in self.attempts
+        if self.rate <= 0.0:
+            return False
+        return self._rng.random() < self.rate
+
+    def choose_mode(self, timeout: Optional[float]) -> str:
+        """Pick the fault mode for one injection (deterministic)."""
+        candidates = [
+            mode
+            for mode in self.modes
+            if mode != "hang" or timeout is not None
+        ]
+        if not candidates:
+            candidates = ["raise"]
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[self._rng.randrange(len(candidates))]
+
+    def sabotage(
+        self, func: Function, phase_id: str, timeout: Optional[float]
+    ) -> None:
+        """Inflict one fault on *func*; may raise or corrupt in place."""
+        mode = self.choose_mode(timeout)
+        self.injected += 1
+        self.injected_by_mode[mode] = self.injected_by_mode.get(mode, 0) + 1
+        if mode == "raise":
+            raise InjectedFault(
+                f"injected fault #{self.injected} in phase {phase_id}"
+            )
+        if mode == "hang":
+            seconds = (
+                self.hang_seconds
+                if self.hang_seconds is not None
+                else (timeout or 0.0) * 2.0
+            )
+            time.sleep(seconds)
+            # If the guard's alarm did not fire (no timeout configured),
+            # degrade into a plain raise so nothing slips through.
+            raise InjectedFault(
+                f"injected hang #{self.injected} in phase {phase_id} "
+                "outlived its sleep"
+            )
+        # corrupt: redirect the last block's control flow at a label
+        # that does not exist — structurally broken, caught by the
+        # validator (never by fingerprinting).
+        last = func.blocks[-1]
+        if last.insts and last.insts[-1].is_transfer:
+            last.insts[-1] = Jump(CORRUPT_LABEL)
+        else:
+            last.insts.append(Jump(CORRUPT_LABEL))
+
+    def __repr__(self):
+        how = (
+            f"attempts={sorted(self.attempts)}"
+            if self.attempts is not None
+            else f"rate={self.rate}"
+        )
+        return (
+            f"<FaultInjector seed={self.seed} {how} "
+            f"injected={self.injected}/{self.applications}>"
+        )

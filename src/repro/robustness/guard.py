@@ -1,0 +1,315 @@
+"""The guarded phase application hot path.
+
+:class:`GuardedPhaseRunner` wraps :func:`repro.opt.apply_phase` with a
+set of runtime defenses so one buggy (or sabotaged) phase application
+cannot abort a long enumeration or poison the space DAG:
+
+1. **Exception containment** — a phase that raises is caught, the
+   pre-phase instance is restored, and the attempt is recorded.
+2. **IR validation** — the output of an active phase must pass
+   :func:`repro.ir.validate.validate_ir` (structure, machine legality,
+   register discipline, frame consistency).
+3. **Differential semantics testing** — optionally, the candidate is
+   executed in the VM interpreter against recorded input vectors and
+   its observable results compared with the unoptimized reference
+   (the lightweight equivalence guard of "Beyond the Phase Ordering
+   Problem").
+4. **Per-phase timeout** — a ``SIGALRM``-based watchdog interrupts a
+   phase that runs past ``phase_timeout`` seconds (main thread only;
+   elsewhere the watchdog degrades to no timeout).
+
+On any failure the runner restores the instance, appends a
+:class:`~repro.robustness.quarantine.QuarantineRecord`, and reports the
+phase as dormant, so the caller — enumerator or compiler — simply
+continues.  A seeded :class:`~repro.robustness.faults.FaultInjector`
+can be attached to exercise each of these paths deterministically.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function, Program
+from repro.ir.validate import IRValidationError, validate_ir
+from repro.machine.target import DEFAULT_TARGET, Target
+from repro.opt import Phase, apply_phase
+from repro.robustness.faults import FaultInjector, InjectedFault
+from repro.robustness.quarantine import QuarantineLog, QuarantineRecord
+from repro.vm import Interpreter, VMError
+
+
+class PhaseTimeout(Exception):
+    """A phase application exceeded the guard's time budget."""
+
+
+@contextmanager
+def _phase_alarm(seconds: Optional[float]):
+    """Interrupt the enclosed block after *seconds* via SIGALRM.
+
+    A no-op when no timeout is configured, on platforms without
+    SIGALRM, or off the main thread (signal handlers can only be
+    installed there).
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise PhaseTimeout(f"phase application exceeded {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def restore_function(dest: Function, snapshot: Function) -> None:
+    """Overwrite *dest* in place with *snapshot*'s state."""
+    dest.blocks = snapshot.blocks
+    dest.params = snapshot.params
+    dest.frame = snapshot.frame
+    dest.frame_size = snapshot.frame_size
+    dest.next_pseudo = snapshot.next_pseudo
+    dest.next_label = snapshot.next_label
+    dest.reg_assigned = snapshot.reg_assigned
+    dest.sel_applied = snapshot.sel_applied
+    dest.alloc_applied = snapshot.alloc_applied
+    dest.unrolled = snapshot.unrolled
+
+
+def default_vectors(func: Function) -> Tuple[Tuple[int, ...], ...]:
+    """Small deterministic argument vectors for differential testing."""
+    arity = len(func.params)
+    if arity == 0:
+        return ((),)
+    primes = (2, 3, 5, 7)
+    return (
+        (0,) * arity,
+        (1,) * arity,
+        tuple(primes[i % len(primes)] for i in range(arity)),
+    )
+
+
+class DifferentialTester:
+    """Compare a candidate instance's behaviour against the reference.
+
+    The reference outputs are computed once, lazily, by running the
+    unoptimized entry function — snapshotted at construction, so later
+    in-place mutation of the program cannot poison the reference; each
+    candidate is then spliced into a shallow program copy and executed
+    on the same input vectors.  Vectors whose reference execution
+    itself fails are skipped (nothing to compare).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        entry: str,
+        vectors: Sequence[Sequence[int]],
+        fuel: int = 2_000_000,
+    ):
+        self.program = program
+        self.entry = entry
+        self.vectors = [tuple(vector) for vector in vectors]
+        self.fuel = fuel
+        self._pristine_entry: Optional[Function] = (
+            program.functions[entry].clone()
+            if entry in program.functions
+            else None
+        )
+        self._reference: Optional[List[Tuple[Tuple[int, ...], object]]] = None
+
+    def _compute_reference(self) -> List[Tuple[Tuple[int, ...], object]]:
+        if self._reference is None:
+            pristine = Program()
+            pristine.globals = self.program.globals
+            pristine.functions = dict(self.program.functions)
+            if self._pristine_entry is not None:
+                pristine.functions[self.entry] = self._pristine_entry
+            reference = []
+            for vector in self.vectors:
+                try:
+                    value = Interpreter(pristine, fuel=self.fuel).run(
+                        self.entry, vector
+                    ).value
+                except VMError:
+                    continue
+                reference.append((vector, value))
+            self._reference = reference
+        return self._reference
+
+    def check(self, candidate: Function) -> Optional[str]:
+        """Return a mismatch description, or None when behaviour agrees."""
+        spliced = Program()
+        spliced.globals = self.program.globals
+        spliced.functions = dict(self.program.functions)
+        spliced.functions[self.entry] = candidate
+        for vector, expected in self._compute_reference():
+            try:
+                value = Interpreter(spliced, fuel=self.fuel).run(
+                    self.entry, vector
+                ).value
+            except VMError as error:
+                return f"args={vector}: candidate crashed: {error}"
+            if value != expected:
+                return f"args={vector}: expected {expected}, got {value}"
+        return None
+
+
+class GuardedPhaseRunner:
+    """Apply phases through the full guard stack.
+
+    Drop-in for :func:`repro.opt.apply_phase`: ``runner.apply(func,
+    phase, target)`` mutates *func* on success and returns whether the
+    phase was active; on any guard failure *func* is restored and the
+    attempt reads as dormant.
+    """
+
+    def __init__(
+        self,
+        target: Optional[Target] = None,
+        validate: bool = True,
+        difftest: Optional[DifferentialTester] = None,
+        phase_timeout: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        quarantine: Optional[QuarantineLog] = None,
+    ):
+        self.target = target or DEFAULT_TARGET
+        self.validate = validate
+        self.difftest = difftest
+        self.phase_timeout = phase_timeout
+        self.fault_injector = fault_injector
+        self.quarantine = quarantine if quarantine is not None else QuarantineLog()
+        #: applications that went through the guard (Table-3 "Attempt"
+        #: still counts them; this is the guard's own telemetry)
+        self.guarded_applications = 0
+
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        func: Function,
+        phase: Phase,
+        target: Optional[Target] = None,
+        node_key: Optional[str] = None,
+        level: Optional[int] = None,
+    ) -> bool:
+        target = target or self.target
+        self.guarded_applications += 1
+        snapshot = func.clone()
+        injected = (
+            self.fault_injector is not None
+            and self.fault_injector.should_inject()
+        )
+        try:
+            with _phase_alarm(self.phase_timeout):
+                if injected:
+                    # Sabotage instead of the real application: either
+                    # raises, hangs into the alarm, or corrupts in
+                    # place (and the validation below must catch it).
+                    self.fault_injector.sabotage(
+                        func, phase.id, self.phase_timeout
+                    )
+                    active = True
+                else:
+                    active = apply_phase(func, phase, target)
+        except PhaseTimeout as error:
+            restore_function(func, snapshot)
+            self._record(phase, "timeout", str(error), node_key, level)
+            return False
+        except InjectedFault as error:
+            restore_function(func, snapshot)
+            self._record(phase, "exception", str(error), node_key, level)
+            return False
+        except (KeyboardInterrupt, SystemExit, MemoryError):
+            restore_function(func, snapshot)
+            raise
+        except Exception as error:
+            restore_function(func, snapshot)
+            self._record(
+                phase,
+                "exception",
+                f"{type(error).__name__}: {error}",
+                node_key,
+                level,
+            )
+            return False
+
+        if not active:
+            return False
+
+        # An injected corruption must never survive even with
+        # validation switched off — the injection harness depends on
+        # the validator catching it.
+        if self.validate or injected:
+            try:
+                validate_ir(func, target)
+            except IRValidationError as error:
+                diff = self._excerpt(snapshot, func)
+                restore_function(func, snapshot)
+                self._record(
+                    phase, "validation", str(error), node_key, level, diff
+                )
+                return False
+
+        if self.difftest is not None and func.name == self.difftest.entry:
+            mismatch = None
+            try:
+                mismatch = self.difftest.check(func)
+            except (KeyboardInterrupt, SystemExit, MemoryError):
+                restore_function(func, snapshot)
+                raise
+            except Exception as error:  # interpreter bug — still contain
+                mismatch = f"differential test crashed: {error}"
+            if mismatch is not None:
+                diff = self._excerpt(snapshot, func)
+                restore_function(func, snapshot)
+                self._record(
+                    phase, "semantics", mismatch, node_key, level, diff
+                )
+                return False
+
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        phase: Phase,
+        kind: str,
+        detail: str,
+        node_key: Optional[str],
+        level: Optional[int],
+        diff: Optional[str] = None,
+    ) -> None:
+        self.quarantine.add(
+            QuarantineRecord(
+                phase_id=phase.id,
+                kind=kind,
+                detail=detail,
+                node_key=node_key,
+                level=level,
+                diff=diff,
+            )
+        )
+
+    @staticmethod
+    def _excerpt(before: Function, after: Function, limit: int = 12) -> str:
+        """A short pre/post RTL excerpt for the quarantine record."""
+        from repro.ir.printer import format_function
+
+        before_lines = format_function(before).splitlines()[:limit]
+        after_lines = format_function(after).splitlines()[:limit]
+        return "--- before\n{}\n--- after\n{}".format(
+            "\n".join(before_lines), "\n".join(after_lines)
+        )

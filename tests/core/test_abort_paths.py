@@ -1,0 +1,107 @@
+"""Every enumeration abort path must leave a consistent partial DAG."""
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.opt import PHASE_IDS
+from tests.conftest import GCD_SRC, compile_fn
+
+
+def assert_consistent_partial_dag(dag):
+    """The invariants any truncated space must still satisfy."""
+    # Node ids are dense in creation order.
+    assert set(dag.nodes) == set(range(len(dag)))
+    assert dag.root_id == 0
+    for node in dag.nodes.values():
+        # Every edge points at an existing node and is mirrored in the
+        # child's parent list.
+        for phase_id, child_id in node.active.items():
+            assert child_id in dag.nodes
+            assert (node.node_id, phase_id) in dag.nodes[child_id].parents
+        for parent_id, phase_id in node.parents:
+            assert parent_id in dag.nodes
+            assert dag.nodes[parent_id].active.get(phase_id) == node.node_id
+        # Active and dormant never overlap; expanded nodes account for
+        # every phase one way or the other.
+        assert not (set(node.active) & node.dormant)
+        if node.expanded:
+            assert set(node.active) | node.dormant == set(PHASE_IDS)
+    # The key index matches the node table.
+    assert len(dag.by_key) == len(dag.nodes)
+    for key, node_id in dag.by_key.items():
+        assert dag.nodes[node_id].key == key
+    # Weights can be computed (no cycles, no dangling children).
+    weights = dag.weights()
+    assert set(weights) == set(dag.nodes)
+
+
+@pytest.fixture
+def gcd_func_fresh():
+    return compile_fn(GCD_SRC, "gcd")
+
+
+class TestMaxNodes:
+    def test_abort(self, gcd_func_fresh):
+        config = EnumerationConfig(max_nodes=25)
+        result = enumerate_space(gcd_func_fresh, config)
+        assert not result.completed
+        assert result.abort_reason == "max_nodes"
+        # The cap can only be overshot by one node expansion.
+        assert len(result.dag) <= 25 + len(PHASE_IDS)
+        assert_consistent_partial_dag(result.dag)
+
+    def test_function_refs_released(self, gcd_func_fresh):
+        result = enumerate_space(gcd_func_fresh, EnumerationConfig(max_nodes=25))
+        assert all(
+            node.function is None for node in result.dag.nodes.values()
+        )
+
+
+class TestMaxLevels:
+    def test_abort(self, gcd_func_fresh):
+        result = enumerate_space(
+            gcd_func_fresh, EnumerationConfig(max_levels=2)
+        )
+        assert not result.completed
+        assert result.abort_reason == "max_levels"
+        assert result.dag.depth() <= 2
+        assert result.levels_completed == 2
+        assert_consistent_partial_dag(result.dag)
+
+
+class TestTimeLimit:
+    def test_abort(self, gcd_func_fresh):
+        result = enumerate_space(
+            gcd_func_fresh, EnumerationConfig(time_limit=0.0)
+        )
+        assert not result.completed
+        assert result.abort_reason == "time_limit"
+        assert_consistent_partial_dag(result.dag)
+
+    def test_checked_per_phase_attempt(self, gcd_func_fresh):
+        # With a zero budget the very first phase attempt must stop the
+        # run: only the root can exist, and nothing was attempted.
+        result = enumerate_space(
+            gcd_func_fresh, EnumerationConfig(time_limit=0.0)
+        )
+        assert len(result.dag) == 1
+        assert result.attempted_phases == 0
+
+
+class TestMaxLevelSequences:
+    def test_abort(self, gcd_func_fresh):
+        result = enumerate_space(
+            gcd_func_fresh, EnumerationConfig(max_level_sequences=5)
+        )
+        assert not result.completed
+        assert result.abort_reason == "max_level_sequences"
+        assert_consistent_partial_dag(result.dag)
+
+
+class TestCompletedRuns:
+    def test_completed_run_reports_no_abort(self, maxi_func):
+        result = enumerate_space(maxi_func, EnumerationConfig())
+        assert result.completed
+        assert result.abort_reason is None
+        assert result.levels_completed == result.dag.depth() + 1
+        assert_consistent_partial_dag(result.dag)

@@ -1,0 +1,81 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.ir.instructions import Jump
+from repro.ir.validate import check_ir
+from repro.robustness.faults import (
+    CORRUPT_LABEL,
+    MODES,
+    FaultInjector,
+    InjectedFault,
+)
+
+
+class TestDecisionStream:
+    def test_explicit_attempts(self):
+        injector = FaultInjector(attempts={2, 4})
+        decisions = [injector.should_inject() for _ in range(6)]
+        assert decisions == [False, True, False, True, False, False]
+
+    def test_rate_is_deterministic(self):
+        a = FaultInjector(seed=42, rate=0.3)
+        b = FaultInjector(seed=42, rate=0.3)
+        assert [a.should_inject() for _ in range(200)] == [
+            b.should_inject() for _ in range(200)
+        ]
+
+    def test_zero_rate_never_injects(self):
+        injector = FaultInjector(seed=1, rate=0.0)
+        assert not any(injector.should_inject() for _ in range(100))
+        assert injector.applications == 100
+
+    def test_rate_roughly_respected(self):
+        injector = FaultInjector(seed=7, rate=0.25)
+        hits = sum(injector.should_inject() for _ in range(2000))
+        assert 300 < hits < 700
+
+
+class TestModeSelection:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultInjector(modes=("explode",))
+
+    def test_empty_modes_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FaultInjector(modes=())
+
+    def test_hang_excluded_without_timeout(self):
+        injector = FaultInjector(seed=3, modes=MODES)
+        for _ in range(50):
+            assert injector.choose_mode(None) != "hang"
+
+    def test_hang_only_degrades_to_raise(self):
+        injector = FaultInjector(seed=3, modes=("hang",))
+        assert injector.choose_mode(None) == "raise"
+
+
+class TestSabotage:
+    def test_raise_mode(self, maxi_func):
+        injector = FaultInjector(modes=("raise",))
+        with pytest.raises(InjectedFault, match="injected fault #1"):
+            injector.sabotage(maxi_func, "b", None)
+        assert injector.injected == 1
+        assert injector.injected_by_mode["raise"] == 1
+
+    def test_corrupt_mode_breaks_validation(self, maxi_func):
+        injector = FaultInjector(modes=("corrupt",))
+        injector.sabotage(maxi_func, "b", None)
+        last = maxi_func.blocks[-1].insts[-1]
+        assert isinstance(last, Jump) and last.target == CORRUPT_LABEL
+        assert check_ir(maxi_func)  # the validator must catch it
+
+    def test_hang_mode_raises_after_sleeping(self, maxi_func):
+        injector = FaultInjector(modes=("hang",), hang_seconds=0.0)
+        with pytest.raises(InjectedFault, match="outlived its sleep"):
+            injector.sabotage(maxi_func, "b", 10.0)
+
+    def test_repr_mentions_stream(self):
+        injector = FaultInjector(seed=5, attempts={1})
+        assert "attempts=[1]" in repr(injector)
+        assert "rate=0.1" in repr(FaultInjector(rate=0.1))

@@ -1,0 +1,272 @@
+"""Tests for the guarded phase runner and differential tester."""
+
+import time
+
+import pytest
+
+from repro.core.batch import BatchCompiler
+from repro.core.fingerprint import fingerprint_function
+from repro.frontend import compile_source
+from repro.ir.instructions import Assign
+from repro.ir.operands import Const
+from repro.opt.base import Phase
+from repro.robustness.faults import FaultInjector
+from repro.robustness.guard import (
+    DifferentialTester,
+    GuardedPhaseRunner,
+    default_vectors,
+    restore_function,
+)
+from repro.robustness.quarantine import QuarantineLog, QuarantineRecord
+from tests.conftest import MAXI_SRC, compile_fn
+
+FIVE_SRC = "int five(void) { return 5; }"
+
+
+class _RaisingPhase(Phase):
+    id = "b"
+    name = "raises"
+
+    def run(self, func, target):
+        raise ValueError("phase exploded")
+
+
+class _HangingPhase(Phase):
+    id = "b"
+    name = "hangs"
+
+    def run(self, func, target):
+        time.sleep(10.0)
+        return False
+
+
+class _ConstTweakPhase(Phase):
+    """Changes observable semantics while keeping the IR well-formed."""
+
+    id = "b"
+    name = "const tweak"
+
+    def __init__(self):
+        self.fired = False
+
+    def run(self, func, target):
+        if self.fired:
+            return False
+        for block in func.blocks:
+            for i, inst in enumerate(block.insts):
+                if isinstance(inst, Assign) and isinstance(inst.src, Const):
+                    block.insts[i] = Assign(inst.dst, Const(inst.src.value + 1))
+                    self.fired = True
+                    return True
+        return False
+
+
+def _fp(func):
+    return fingerprint_function(func).key
+
+
+class TestExceptionContainment:
+    def test_raising_phase_is_quarantined(self, maxi_func):
+        guard = GuardedPhaseRunner()
+        before = _fp(maxi_func)
+        assert guard.apply(maxi_func, _RaisingPhase()) is False
+        assert _fp(maxi_func) == before  # restored
+        assert len(guard.quarantine) == 1
+        record = guard.quarantine.records[0]
+        assert record.kind == "exception"
+        assert "ValueError" in record.detail
+
+    def test_control_exceptions_propagate(self, maxi_func):
+        class _Interrupting(Phase):
+            id = "b"
+            name = "interrupts"
+
+            def run(self, func, target):
+                raise KeyboardInterrupt
+
+        guard = GuardedPhaseRunner()
+        with pytest.raises(KeyboardInterrupt):
+            guard.apply(maxi_func, _Interrupting())
+        assert len(guard.quarantine) == 0
+
+
+class TestTimeouts:
+    def test_hanging_phase_is_quarantined(self, maxi_func):
+        guard = GuardedPhaseRunner(phase_timeout=0.1)
+        before = _fp(maxi_func)
+        start = time.perf_counter()
+        assert guard.apply(maxi_func, _HangingPhase()) is False
+        assert time.perf_counter() - start < 5.0
+        assert _fp(maxi_func) == before
+        assert guard.quarantine.records[0].kind == "timeout"
+
+
+class TestInjectedFaults:
+    def test_injected_raise(self, maxi_func):
+        from repro.opt import phase_by_id
+
+        guard = GuardedPhaseRunner(
+            fault_injector=FaultInjector(modes=("raise",), attempts={1})
+        )
+        before = _fp(maxi_func)
+        assert guard.apply(maxi_func, phase_by_id("b")) is False
+        assert _fp(maxi_func) == before
+        assert guard.quarantine.records[0].kind == "exception"
+
+    def test_injected_corruption_caught_even_without_validate(self, maxi_func):
+        from repro.opt import phase_by_id
+
+        guard = GuardedPhaseRunner(
+            validate=False,
+            fault_injector=FaultInjector(modes=("corrupt",), attempts={1}),
+        )
+        before = _fp(maxi_func)
+        assert guard.apply(maxi_func, phase_by_id("b")) is False
+        assert _fp(maxi_func) == before
+        record = guard.quarantine.records[0]
+        assert record.kind == "validation"
+        assert record.diff is not None
+
+    def test_injected_hang_hits_the_alarm(self, maxi_func):
+        from repro.opt import phase_by_id
+
+        guard = GuardedPhaseRunner(
+            phase_timeout=0.1,
+            fault_injector=FaultInjector(
+                modes=("hang",), attempts={1}, hang_seconds=5.0
+            ),
+        )
+        start = time.perf_counter()
+        assert guard.apply(maxi_func, phase_by_id("b")) is False
+        assert time.perf_counter() - start < 5.0
+        assert guard.quarantine.records[0].kind == "timeout"
+
+    def test_uninjected_applications_work_normally(self, maxi_func):
+        from repro.opt import phase_by_id
+
+        guard = GuardedPhaseRunner(
+            fault_injector=FaultInjector(modes=("raise",), attempts=set())
+        )
+        # maxi has at least one active phase from the start
+        changed = any(
+            guard.apply(maxi_func, phase_by_id(pid)) for pid in "bsiu"
+        )
+        assert changed
+        assert len(guard.quarantine) == 0
+
+
+class TestDifferentialTesting:
+    def test_semantics_change_is_quarantined(self):
+        program = compile_source(FIVE_SRC)
+        func = program.functions["five"]
+        from repro.opt import implicit_cleanup
+
+        implicit_cleanup(func)
+        tester = DifferentialTester(program, "five", default_vectors(func))
+        guard = GuardedPhaseRunner(difftest=tester)
+        before = _fp(func)
+        assert guard.apply(func, _ConstTweakPhase()) is False
+        assert _fp(func) == before
+        record = guard.quarantine.records[0]
+        assert record.kind == "semantics"
+        assert "expected" in record.detail
+
+    def test_honest_phases_pass_difftest(self, maxi_func):
+        from repro.opt import phase_by_id
+
+        program = compile_source(MAXI_SRC)
+        tester = DifferentialTester(
+            program, "maxi", default_vectors(program.functions["maxi"])
+        )
+        guard = GuardedPhaseRunner(difftest=tester)
+        func = compile_fn(MAXI_SRC, "maxi")
+        for pid in "bsiukch":
+            guard.apply(func, phase_by_id(pid))
+        assert len(guard.quarantine) == 0
+
+    def test_check_reports_mismatch_directly(self):
+        program = compile_source(FIVE_SRC)
+        func = program.functions["five"]
+        from repro.opt import implicit_cleanup
+
+        implicit_cleanup(func)
+        tester = DifferentialTester(program, "five", default_vectors(func))
+        assert tester.check(func.clone()) is None
+        tweaked = func.clone()
+        _ConstTweakPhase().run(tweaked, None)
+        assert "expected" in tester.check(tweaked)
+
+    def test_default_vectors_cover_arity(self, maxi_func):
+        vectors = default_vectors(maxi_func)
+        assert all(len(v) == len(maxi_func.params) for v in vectors)
+        program = compile_source(FIVE_SRC)
+        assert default_vectors(program.functions["five"]) == ((),)
+
+
+class TestRestoreFunction:
+    def test_restore_roundtrip(self, gcd_func):
+        from repro.opt import apply_phase, phase_by_id
+
+        snapshot = gcd_func.clone()
+        before = _fp(gcd_func)
+        assert apply_phase(gcd_func, phase_by_id("s"))
+        assert _fp(gcd_func) != before
+        restore_function(gcd_func, snapshot)
+        assert _fp(gcd_func) == before
+        assert not gcd_func.sel_applied
+
+
+class TestGuardedCompilers:
+    def test_batch_compiler_counts_quarantined(self, maxi_func):
+        guard = GuardedPhaseRunner(
+            fault_injector=FaultInjector(modes=("raise",), attempts={1, 3})
+        )
+        report = BatchCompiler(guard=guard).compile(maxi_func)
+        assert report.quarantined == 2
+        assert len(guard.quarantine) == 2
+
+    def test_unguarded_report_defaults_to_zero(self, maxi_func):
+        report = BatchCompiler().compile(maxi_func)
+        assert report.quarantined == 0
+
+    def test_probabilistic_compiler_survives_faults(
+        self, maxi_func, small_interactions
+    ):
+        from repro.core.probabilistic import ProbabilisticCompiler
+
+        guard = GuardedPhaseRunner(
+            fault_injector=FaultInjector(modes=("raise",), attempts={1, 2})
+        )
+        report = ProbabilisticCompiler(
+            small_interactions, guard=guard
+        ).compile(maxi_func)
+        assert report.quarantined == 2
+        assert report.code_size > 0
+
+
+class TestQuarantineLog:
+    def test_report_counts_by_kind_and_phase(self):
+        log = QuarantineLog()
+        log.add(QuarantineRecord("b", "exception", "boom"))
+        log.add(QuarantineRecord("b", "validation", "bad ir"))
+        log.add(QuarantineRecord("s", "exception", "boom"))
+        assert log.by_kind() == {"exception": 2, "validation": 1}
+        assert log.by_phase() == {"b": 2, "s": 1}
+        report = log.format_report()
+        assert "3 phase application(s) rejected" in report
+        assert "exception: 2" in report
+
+    def test_empty_report(self):
+        assert "no phase applications" in QuarantineLog().format_report()
+
+    def test_dict_roundtrip(self):
+        log = QuarantineLog()
+        log.add(QuarantineRecord("b", "timeout", "slow", "node#3", 2, "diff"))
+        restored = QuarantineLog.from_dicts(log.to_dicts())
+        record = restored.records[0]
+        assert (record.phase_id, record.kind, record.detail) == ("b", "timeout", "slow")
+        assert (record.node_key, record.level, record.diff) == ("node#3", 2, "diff")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="bad quarantine kind"):
+            QuarantineRecord("b", "meltdown", "oops")

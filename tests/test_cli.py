@@ -101,6 +101,93 @@ class TestEnumerate:
             main(["enumerate", source_file, "--function", "nope"])
 
 
+class TestEnumerateRobustness:
+    def test_validate_flag(self, source_file, capsys):
+        assert (
+            main(
+                ["enumerate", source_file, "--function", "clamp", "--validate"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "quarantine: no phase applications rejected" in out
+
+    def test_difftest_flag(self, source_file, capsys):
+        assert (
+            main(
+                ["enumerate", source_file, "--function", "clamp", "--difftest"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "quarantine: no phase applications rejected" in out
+
+    def test_fault_injection_reports_quarantine(self, source_file, capsys):
+        assert (
+            main(
+                [
+                    "enumerate",
+                    source_file,
+                    "--function",
+                    "clamp",
+                    "--validate",
+                    "--inject-faults",
+                    "0.2",
+                    "--fault-seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault injection:" in out
+        assert "quarantine:" in out
+
+    def test_checkpoint_and_resume(self, source_file, tmp_path, capsys):
+        path = tmp_path / "ckpt.json"
+        assert (
+            main(
+                [
+                    "enumerate",
+                    source_file,
+                    "--function",
+                    "clamp",
+                    "--max-nodes",
+                    "5",
+                    "--checkpoint",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "aborted: max_nodes" in out
+        assert "state saved" in out
+        assert path.exists()
+        assert (
+            main(
+                [
+                    "enumerate",
+                    source_file,
+                    "--function",
+                    "clamp",
+                    "--checkpoint",
+                    str(path),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"resumed from {path}" in out
+        assert "aborted" not in out
+        assert not path.exists()  # removed once the space completes
+
+    def test_resume_requires_checkpoint(self, source_file):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["enumerate", source_file, "--function", "clamp", "--resume"])
+
+
 class TestSearchAndMisc:
     def test_search(self, source_file, capsys):
         assert (
