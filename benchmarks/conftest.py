@@ -23,7 +23,14 @@ Environment knobs (the defaults keep a full run around 10-20 minutes):
 - ``REPRO_BENCH_FULL=1``       — study every benchmark function
   (otherwise a representative subset);
 - ``REPRO_BENCH_MAX_NODES``    — per-function instance cap (default 4000);
-- ``REPRO_BENCH_TIME_LIMIT``   — per-function seconds cap (default 45).
+- ``REPRO_BENCH_TIME_LIMIT``   — per-function seconds cap (default 45);
+- ``REPRO_BENCH_JOBS``         — enumerate the study set with the
+  parallel service (``repro.parallel``) at this worker count;
+- ``REPRO_BENCH_STORE``        — persistent merged-space store
+  directory; completed spaces are reused across runs.
+
+Every bench run also records per-test wall-clock timings in
+``benchmarks/results/timings.json``.
 
 Functions whose space exceeds the caps are reported N/A, exactly as
 the paper marks its two over-budget functions.
@@ -31,7 +38,9 @@ the paper marks its two over-budget functions.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -78,6 +87,13 @@ def bench_config(**overrides) -> EnumerationConfig:
     return EnumerationConfig(**defaults)
 
 
+def parallel_knobs():
+    """(jobs, store_dir) from the environment; (1, None) = serial."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    store_dir = os.environ.get("REPRO_BENCH_STORE") or None
+    return jobs, store_dir
+
+
 def study_functions():
     if os.environ.get("REPRO_BENCH_FULL"):
         return [
@@ -98,18 +114,83 @@ def write_result(name: str, text: str) -> Path:
 
 @pytest.fixture(scope="session")
 def enumerated_suite():
-    """(bench, function) -> FunctionSpaceStats for the study set."""
-    stats = {}
-    for bench_name, function_name in study_functions():
+    """(bench, function) -> FunctionSpaceStats for the study set.
+
+    With ``REPRO_BENCH_JOBS>1`` or ``REPRO_BENCH_STORE`` set, the study
+    set is enumerated through the sharded parallel service; the merged
+    spaces are bit-identical to serial, so every downstream table is
+    unchanged.
+    """
+    study = study_functions()
+    functions, all_facts = {}, {}
+    for bench_name, function_name in study:
         program = compile_benchmark(bench_name)
         func = program.functions[function_name]
         implicit_cleanup(func)
-        facts = static_function_facts(func)
-        result = enumerate_space(func, bench_config())
-        stats[(bench_name, function_name)] = FunctionSpaceStats(
-            f"{function_name}({bench_name[0]})", *facts, result
+        functions[(bench_name, function_name)] = func
+        all_facts[(bench_name, function_name)] = static_function_facts(func)
+
+    jobs, store_dir = parallel_knobs()
+    if jobs > 1 or store_dir:
+        from repro.parallel import (
+            EnumerationRequest,
+            ParallelConfig,
+            ParallelEnumerator,
+            SpaceStore,
         )
-    return stats
+
+        requests = [
+            EnumerationRequest(f"{bench}.{name}", functions[(bench, name)])
+            for bench, name in study
+        ]
+        parallel = ParallelConfig(
+            jobs=jobs, store=SpaceStore(store_dir) if store_dir else None
+        )
+        results = dict(
+            zip(study, ParallelEnumerator(bench_config(), parallel).enumerate(requests))
+        )
+    else:
+        results = {
+            key: enumerate_space(func, bench_config())
+            for key, func in functions.items()
+        }
+
+    return {
+        (bench_name, function_name): FunctionSpaceStats(
+            f"{function_name}({bench_name[0]})",
+            *all_facts[(bench_name, function_name)],
+            results[(bench_name, function_name)],
+        )
+        for bench_name, function_name in study
+    }
+
+
+_TIMINGS: dict = {}
+
+
+@pytest.fixture(autouse=True)
+def _record_wall_clock(request):
+    """Record each bench's wall-clock into results/timings.json."""
+    start = time.perf_counter()
+    yield
+    _TIMINGS[request.node.name] = round(time.perf_counter() - start, 3)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TIMINGS:
+        return
+    jobs, store_dir = parallel_knobs()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "jobs": jobs,
+        "store": store_dir,
+        "cpu_count": os.cpu_count(),
+        "wall_clock_seconds": dict(sorted(_TIMINGS.items())),
+        "total_seconds": round(sum(_TIMINGS.values()), 3),
+    }
+    (RESULTS_DIR / "timings.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -47,23 +47,36 @@ from repro.search import GeneticSearcher
 from repro.vm import Interpreter, VMError
 
 
-def _load_program(spec: str) -> Program:
+def _load_source(spec: str) -> str:
+    """The mini-C text behind a file path or ``bench:NAME`` spec.
+
+    Kept separate from compilation because the parallel service ships
+    raw source to worker processes (each worker recompiles it) instead
+    of pickling compiled Program objects.
+    """
     if spec.startswith("bench:"):
         name = spec[len("bench:") :]
         if name not in PROGRAMS:
             raise SystemExit(
                 f"unknown benchmark {name!r}; try: {', '.join(sorted(PROGRAMS))}"
             )
-        return compile_source(PROGRAMS[name].source)
+        return PROGRAMS[name].source
     try:
         with open(spec) as handle:
-            source = handle.read()
+            return handle.read()
     except OSError as error:
         raise SystemExit(f"cannot read {spec}: {error}")
+
+
+def _compile_spec(spec: str, source: str) -> Program:
     try:
         return compile_source(source)
     except CompileError as error:
         raise SystemExit(f"{spec}: {error}")
+
+
+def _load_program(spec: str) -> Program:
+    return _compile_spec(spec, _load_source(spec))
 
 
 def _select_function(program: Program, name: Optional[str]):
@@ -138,13 +151,44 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _parallel_service(args, store_dir, progress, run_dir):
+    """Build the (ParallelConfig, reporter) pair for --jobs/--store."""
+    import os
+
+    from repro.parallel import ParallelConfig, ProgressReporter, SpaceStore
+
+    store = SpaceStore(store_dir) if store_dir else None
+    jsonl = None
+    if run_dir:
+        os.makedirs(run_dir, exist_ok=True)
+        jsonl = os.path.join(run_dir, "events.jsonl")
+    reporter = (
+        ProgressReporter(jsonl_path=jsonl) if (progress or jsonl) else None
+    )
+    parallel = ParallelConfig(
+        jobs=args.jobs,
+        run_dir=run_dir,
+        resume=getattr(args, "resume", False),
+        store=store,
+        progress=reporter,
+    )
+    return parallel, reporter
+
+
 def cmd_enumerate(args) -> int:
-    program = _load_program(args.file)
+    source = _load_source(args.file)
+    program = _compile_spec(args.file, source)
     func = _select_function(program, args.function)
     implicit_cleanup(func)
     facts = static_function_facts(func)
-    if args.resume and not args.checkpoint:
-        raise SystemExit("--resume requires --checkpoint PATH")
+    use_parallel = args.jobs > 1 or args.store or args.run_dir
+    if args.resume and not (args.checkpoint or args.run_dir):
+        raise SystemExit("--resume requires --checkpoint PATH (or --run-dir DIR)")
+    if use_parallel and args.checkpoint:
+        raise SystemExit(
+            "--checkpoint is the serial persistence flag; "
+            "use --run-dir DIR with --jobs/--store"
+        )
     injector = None
     if args.inject_faults:
         if not 0.0 < args.inject_faults <= 1.0:
@@ -156,14 +200,37 @@ def cmd_enumerate(args) -> int:
         exact=args.exact,
         validate=args.validate,
         difftest=args.difftest,
-        program=program if args.difftest else None,
+        program=program if (args.difftest and not use_parallel) else None,
         phase_timeout=args.phase_timeout,
         fault_injector=injector,
-        checkpoint_path=args.checkpoint,
-        resume=args.resume,
+        checkpoint_path=None if use_parallel else args.checkpoint,
+        resume=False if use_parallel else args.resume,
     )
     try:
-        result = enumerate_space(func, config)
+        if use_parallel:
+            from repro.parallel import EnumerationRequest, ParallelEnumerator
+
+            parallel, reporter = _parallel_service(
+                args, args.store, args.progress, args.run_dir
+            )
+            request = EnumerationRequest(
+                args.function, func, source if args.difftest else None
+            )
+            try:
+                result = ParallelEnumerator(config, parallel).enumerate(
+                    [request]
+                )[0]
+            finally:
+                if reporter is not None:
+                    reporter.close()
+            if parallel.store is not None:
+                print(
+                    f"store: {parallel.store.hits} hit(s), "
+                    f"{parallel.store.misses} miss(es) ({args.store})",
+                    file=sys.stderr,
+                )
+        else:
+            result = enumerate_space(func, config)
     except CheckpointError as error:
         raise SystemExit(str(error))
     stats = FunctionSpaceStats(args.function, *facts, result)
@@ -172,18 +239,31 @@ def cmd_enumerate(args) -> int:
         print(f"(resumed from {result.resumed_from})")
     if not result.completed:
         print(f"(aborted: {result.abort_reason})")
-        if args.checkpoint:
+        if args.checkpoint and not use_parallel:
             print(
                 f"(state saved; rerun with --checkpoint {args.checkpoint} "
                 "--resume to continue)"
             )
+        elif args.run_dir:
+            print(
+                f"(state saved; rerun with --run-dir {args.run_dir} "
+                "--resume to continue)"
+            )
     if injector is not None:
-        print(
-            f"fault injection: {injector.injected} fault(s) over "
-            f"{injector.applications} guarded applications "
-            f"(seed={injector.seed}, rate={injector.rate})"
-        )
-    if config.guards_enabled():
+        if use_parallel:
+            # Per-shard injector counters live in the workers; the
+            # quarantine log below is the merged record of what fired.
+            print(
+                f"fault injection: seed={injector.seed}, "
+                f"rate={injector.rate} (per-shard; see quarantine report)"
+            )
+        else:
+            print(
+                f"fault injection: {injector.injected} fault(s) over "
+                f"{injector.applications} guarded applications "
+                f"(seed={injector.seed}, rate={injector.rate})"
+            )
+    if config.guards_enabled() or (use_parallel and args.difftest):
         print(result.quarantine.format_report())
     if args.dot:
         with open(args.dot, "w") as handle:
@@ -195,23 +275,38 @@ def cmd_enumerate(args) -> int:
 def cmd_interactions(args) -> int:
     program = _load_program(args.file)
     names = args.functions.split(",") if args.functions else list(program.functions)
-    results = []
+    config = EnumerationConfig(
+        max_nodes=args.max_nodes, time_limit=args.time_limit
+    )
+    funcs = []
     for name in names:
         func = program.functions.get(name)
         if func is None:
             raise SystemExit(f"no function {name!r}")
         clone = func.clone()
         implicit_cleanup(clone)
-        results.append(
-            enumerate_space(
-                clone,
-                EnumerationConfig(
-                    max_nodes=args.max_nodes, time_limit=args.time_limit
-                ),
-            )
+        funcs.append((name, clone))
+    if args.jobs > 1 or args.store:
+        from repro.parallel import EnumerationRequest, ParallelEnumerator
+
+        parallel, reporter = _parallel_service(
+            args, args.store, args.progress, None
         )
-        status = "complete" if results[-1].completed else "truncated"
-        print(f"{name}: {len(results[-1].dag)} instances ({status})", file=sys.stderr)
+        requests = [EnumerationRequest(name, func) for name, func in funcs]
+        try:
+            results = ParallelEnumerator(config, parallel).enumerate(requests)
+        finally:
+            if reporter is not None:
+                reporter.close()
+    else:
+        results = [enumerate_space(func, config) for _name, func in funcs]
+    for (name, _func), result in zip(funcs, results):
+        status = "complete" if result.completed else "truncated"
+        if result.resumed_from and result.resumed_from.startswith("store:"):
+            status += ", cached"
+        print(
+            f"{name}: {len(result.dag)} instances ({status})", file=sys.stderr
+        )
     analysis = analyze_interactions(results)
     print(analysis.format_enabling())
     print()
@@ -252,6 +347,28 @@ def cmd_list_benchmarks(args) -> int:
 
 
 # ----------------------------------------------------------------------
+
+
+def _add_parallel_arguments(p) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="enumerate with N worker processes (merged space is "
+        "bit-identical to --jobs 1; see docs/PARALLEL.md)",
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persistent space store; completed spaces are cached "
+        "here and later runs hit the cache instead of re-enumerating",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="live status line on stderr (TTY only)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -332,6 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2006,
         help="random seed for --inject-faults",
     )
+    _add_parallel_arguments(p)
+    p.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="parallel work journal (shard/level checkpoints, event "
+        "log); makes a --jobs run crash-safe and resumable",
+    )
     p.set_defaults(handler=cmd_enumerate)
 
     p = sub.add_parser("interactions", help="print Tables 4/5/6")
@@ -339,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--functions", help="comma-separated subset")
     p.add_argument("--max-nodes", type=int, default=4000)
     p.add_argument("--time-limit", type=float, default=60.0)
+    _add_parallel_arguments(p)
     p.set_defaults(handler=cmd_interactions)
 
     p = sub.add_parser("search", help="genetic search for a phase ordering")

@@ -195,6 +195,85 @@ def dag_from_dict(function_name: str, data: Dict[str, object]) -> SpaceDAG:
 # ----------------------------------------------------------------------
 
 
+class CheckpointLock:
+    """Advisory single-writer lock guarding a checkpoint path.
+
+    Two enumerations resuming from the same checkpoint would silently
+    corrupt each other's progress (last atomic write wins); the lock
+    turns that into an immediate error.  Implemented as an ``O_EXCL``
+    pid file next to the checkpoint: portable, NFS-tolerant enough for
+    this use, and inspectable.  A lock whose owning pid no longer
+    exists (the process crashed before releasing) is stolen.
+    """
+
+    def __init__(self, path: str):
+        self.lock_path = path + ".lock"
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "CheckpointLock":
+        while self._fd is None:
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                owner = self._owner_pid()
+                if owner is not None and self._pid_alive(owner):
+                    raise CheckpointError(
+                        f"checkpoint is locked by running process {owner} "
+                        f"({self.lock_path})"
+                    )
+                # Crashed owner: steal the stale lock and retry (another
+                # stealer may beat us to the unlink; the loop handles it).
+                try:
+                    os.unlink(self.lock_path)
+                except OSError:
+                    pass
+                continue
+            os.write(fd, f"{os.getpid()}\n".encode())
+            self._fd = fd
+        return self
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        os.close(self._fd)
+        self._fd = None
+        try:
+            os.unlink(self.lock_path)
+        except OSError:
+            pass
+
+    def _owner_pid(self) -> Optional[int]:
+        try:
+            with open(self.lock_path) as handle:
+                return int(handle.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True
+        return True
+
+    def __enter__(self) -> "CheckpointLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
 def save_checkpoint(path: str, state: Dict[str, object]) -> None:
     """Atomically write *state* as JSON to *path*."""
     state = dict(state)

@@ -87,6 +87,7 @@ class EnumerationConfig:
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: Optional[float] = 30.0,
         resume: bool = False,
+        canonical_input: bool = False,
     ):
         self.max_level_sequences = max_level_sequences
         self.max_nodes = max_nodes
@@ -129,6 +130,12 @@ class EnumerationConfig:
         self.checkpoint_interval = checkpoint_interval
         #: continue from ``checkpoint_path`` when it exists
         self.resume = resume
+        #: the input function is already the canonical root instance
+        #: (implicit cleanup applied — e.g. round-tripped from a
+        #: checkpoint or a shard spec); skips the redundant cleanup
+        #: pass on the root and on the resume probe, which matters when
+        #: many small enumerations are spawned from serialized inputs
+        self.canonical_input = canonical_input
 
     def guards_enabled(self) -> bool:
         """Whether phase applications must run through the guard."""
@@ -246,6 +253,23 @@ class SpaceEnumerator:
 
     def run(self) -> EnumerationResult:
         config = self.config
+        # Single-writer discipline: two runs checkpointing to the same
+        # path would corrupt each other.  The lock (and its file
+        # handle) is released on every exit path — completion, abort,
+        # or exception — never left for the interpreter to collect.
+        self.lock = (
+            ckpt.CheckpointLock(config.checkpoint_path).acquire()
+            if config.checkpoint_path is not None
+            else None
+        )
+        try:
+            return self._run_locked()
+        finally:
+            if self.lock is not None:
+                self.lock.release()
+
+    def _run_locked(self) -> EnumerationResult:
+        config = self.config
         consumed = 0.0
         if (
             config.resume
@@ -321,7 +345,8 @@ class SpaceEnumerator:
     def _initialize(self) -> None:
         config = self.config
         root_func = self.input_func.clone()
-        implicit_cleanup(root_func)  # canonical root instance
+        if not config.canonical_input:
+            implicit_cleanup(root_func)  # canonical root instance
         self.root_func = root_func
         self.dag = SpaceDAG(self.input_func.name)
         self.texts: Dict[object, str] = {}
@@ -365,7 +390,8 @@ class SpaceEnumerator:
         # from: its canonical root instance must fingerprint to the
         # checkpointed root key.
         probe = self.input_func.clone()
-        implicit_cleanup(probe)
+        if not config.canonical_input:
+            implicit_cleanup(probe)
         probe_fp = fingerprint_function(probe, remap=config.remap)
         if _node_key(probe_fp, probe) != self.dag.root.key:
             raise ckpt.CheckpointError(

@@ -1,0 +1,34 @@
+"""Sharded multi-process exhaustive enumeration (``repro.parallel``).
+
+The serial enumerator (:mod:`repro.core.enumeration`) is the reference
+implementation; this package scales it across worker processes while
+keeping the merged space DAG **bit-identical** to a serial run — same
+node ids, edges, dormant sets and counters, so every Table 3–7 number
+is reproducible at any ``--jobs`` level.  See ``docs/PARALLEL.md``.
+
+- :mod:`~repro.parallel.coordinator` — job decomposition, worker
+  leases, deterministic in-order merging, budgets, level checkpoints;
+- :mod:`~repro.parallel.worker` — the stateless shard-expansion
+  process;
+- :mod:`~repro.parallel.merge` — serial-order replay of shard results;
+- :mod:`~repro.parallel.store` — persistent completed-space cache;
+- :mod:`~repro.parallel.telemetry` — JSONL event log + live status.
+"""
+
+from repro.parallel.coordinator import (
+    EnumerationRequest,
+    ParallelConfig,
+    ParallelEnumerator,
+    enumerate_space_parallel,
+)
+from repro.parallel.store import SpaceStore
+from repro.parallel.telemetry import ProgressReporter
+
+__all__ = [
+    "EnumerationRequest",
+    "ParallelConfig",
+    "ParallelEnumerator",
+    "ProgressReporter",
+    "SpaceStore",
+    "enumerate_space_parallel",
+]

@@ -1,0 +1,899 @@
+"""The sharded enumeration coordinator.
+
+:class:`ParallelEnumerator` decomposes a compilation job top-down —
+program → functions → frontier-level sub-shards — into a work queue
+consumed by a ``multiprocessing`` worker pool, merges the shard
+results deterministically (see :mod:`repro.parallel.merge`), and
+produces per-function :class:`EnumerationResult` objects whose DAGs
+are bit-identical to serial runs.
+
+Scheduling model
+----------------
+Each function job advances level by level (the enumeration is
+level-synchronous, like the serial algorithm), but different functions
+overlap freely: while one function waits for the last shard of its
+level, the pool stays busy on other functions' shards.  Within one
+function, a wide frontier is split into sub-shards so several workers
+expand it concurrently.
+
+Fault model
+-----------
+Every dispatched shard is a **lease**: the coordinator tracks the
+worker's process liveness and heartbeats, and when a worker dies or
+goes silent past ``lease_timeout`` the shard is re-leased (to a
+respawned worker slot), resuming from the shard's last checkpoint if
+one was written.  Shard expansion is deterministic — including
+per-shard seeded fault injection — so a re-leased shard produces the
+same result no matter which worker runs it or how often it was
+interrupted.
+
+Persistence
+-----------
+With a ``run_dir``, the coordinator journals progress at three
+granularities, all through the PR-1 checkpoint format:
+
+- per-shard partial results (written by workers);
+- per-function level checkpoints, written at level barriers in the
+  exact :mod:`repro.core.checkpoint` layout — a parallel run aborted
+  by budget or ^C can be **resumed serially** with ``--checkpoint
+  ... --resume``, and vice versa;
+- the completed-space store (:mod:`repro.parallel.store`), which later
+  runs hit instead of re-enumerating.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import re
+import time
+from multiprocessing.connection import wait as connection_wait
+from collections import deque
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.core import checkpoint as ckpt
+from repro.core.dag import SpaceDAG
+from repro.core.enumeration import (
+    EnumerationConfig,
+    EnumerationResult,
+    _arrival_phases,
+    _node_key,
+)
+from repro.core.fingerprint import fingerprint_function
+from repro.ir.function import Function
+from repro.machine.target import DEFAULT_TARGET
+from repro.opt import implicit_cleanup
+from repro.parallel import shards as shards_mod
+from repro.parallel.merge import merge_shard
+from repro.parallel.store import SpaceStore
+from repro.parallel.telemetry import ProgressReporter
+from repro.parallel.worker import worker_main
+from repro.robustness.quarantine import QuarantineLog
+
+
+class EnumerationRequest(NamedTuple):
+    """One function to enumerate: a display label, the function, and —
+    when differential testing is on — its program's mini-C source."""
+
+    label: str
+    function: Function
+    source: Optional[str] = None
+
+
+class ParallelConfig:
+    """Tunables of the parallel service (the serial knobs stay on
+    :class:`EnumerationConfig`)."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        lease_timeout: float = 30.0,
+        heartbeat_interval: float = 0.5,
+        shard_checkpoint_interval: float = 5.0,
+        checkpoint_interval: float = 30.0,
+        run_dir: Optional[str] = None,
+        resume: bool = False,
+        store: Optional[SpaceStore] = None,
+        progress: Optional[ProgressReporter] = None,
+        chaos: Optional[Dict] = None,
+        start_method: Optional[str] = None,
+    ):
+        #: worker process count
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        #: frontier nodes per shard (None = auto from frontier width)
+        self.shard_size = shard_size
+        #: seconds of heartbeat silence before a lease is reclaimed;
+        #: must exceed the worst-case single-node expansion time
+        self.lease_timeout = lease_timeout
+        self.heartbeat_interval = heartbeat_interval
+        #: how often workers persist partial shards (0 = every node)
+        self.shard_checkpoint_interval = shard_checkpoint_interval
+        #: how often level checkpoints are written at barriers
+        self.checkpoint_interval = checkpoint_interval
+        #: directory for the persistent work journal (shard + level
+        #: checkpoints, telemetry JSONL); None disables persistence
+        self.run_dir = run_dir
+        #: continue from level checkpoints found in run_dir
+        self.resume = resume
+        #: completed-space cache consulted before enumerating
+        self.store = store
+        #: telemetry sink (events + status line); caller-owned
+        self.progress = progress
+        #: test hook: {"worker": id, "after_nodes": n, "kind":
+        #: "exit"|"hang"} — makes one worker fail mid-shard, once
+        self.chaos = chaos
+        self.start_method = start_method
+
+    def resolve_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        env = os.environ.get("REPRO_START_METHOD")
+        if env:
+            return env
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+
+def _safe_name(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", label)
+
+
+def _recipe(dag: SpaceDAG, node_id: int) -> str:
+    """The serial enumerator's recipe for a node: the phase path along
+    each node's first (creation) in-edge back to the root."""
+    parts: List[str] = []
+    while node_id != dag.root_id:
+        parent_id, phase_id = dag.nodes[node_id].parents[0]
+        parts.append(phase_id)
+        node_id = parent_id
+    return "".join(reversed(parts))
+
+
+class _FunctionJob:
+    """Coordinator-side state of one function's enumeration."""
+
+    def __init__(
+        self,
+        job_id: int,
+        request: EnumerationRequest,
+        config: EnumerationConfig,
+        run_dir: Optional[str],
+    ):
+        self.job_id = job_id
+        self.label = request.label
+        self.source = request.source
+        self.config = config
+        self.function_name = request.function.name
+        root = request.function.clone()
+        if not config.canonical_input:
+            implicit_cleanup(root)
+        fingerprint = fingerprint_function(
+            root, keep_text=config.exact, remap=config.remap
+        )
+        self.root_key = _node_key(fingerprint, root)
+        self.dag = SpaceDAG(self.function_name)
+        root_node = self.dag.add_node(
+            self.root_key, 0, fingerprint.num_insts, fingerprint.cf_crc
+        )
+        #: node id -> serialized Function, for every pending instance
+        self.functions: Dict[int, dict] = {
+            root_node.node_id: ckpt.function_to_dict(root)
+        }
+        self.root_function_dict = self.functions[root_node.node_id]
+        self.texts: Dict[object, str] = (
+            {self.root_key: fingerprint.text} if config.exact else {}
+        )
+        self.frontier: List[int] = [root_node.node_id]
+        self.frontier_index = 0
+        self.next_frontier: List[int] = []
+        self.level = 0
+        self.attempted = 0
+        self.applied = 0
+        self.quarantine = QuarantineLog()
+        #: seconds consumed by prior runs (level-checkpoint resume)
+        self.consumed = 0.0
+        #: started lazily at first planning, so time_limit measures the
+        #: function's own enumeration (serial semantics), not how long
+        #: the job sat queued behind other functions
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+        self.state = "ready"  # ready | waiting | done
+        self.completed = False
+        self.abort_reason: Optional[str] = None
+        self.resumed_from: Optional[str] = None
+        self._cached: Optional[EnumerationResult] = None
+        # current level's shard bookkeeping
+        self.expected: List[int] = []
+        self.results: Dict[int, Dict] = {}
+        self.merged = 0
+        self.done_shards = set()
+        self.checkpoint_path = (
+            os.path.join(run_dir, f"{_safe_name(self.label)}.ckpt.json")
+            if run_dir
+            else None
+        )
+        self._last_checkpoint = time.monotonic()
+
+    # ------------------------------------------------------------------
+
+    def start_clock(self) -> None:
+        if self.start is None:
+            self.start = time.monotonic()
+
+    def elapsed(self) -> float:
+        if self.start is None:
+            return self.consumed
+        end = self.end if self.end is not None else time.monotonic()
+        return self.consumed + end - self.start
+
+    def adopt_cached(self, result: EnumerationResult) -> None:
+        self._cached = result
+        self.state = "done"
+        self.completed = True
+        self.end = time.monotonic()
+
+    def result(self) -> EnumerationResult:
+        if self._cached is not None:
+            return self._cached
+        return EnumerationResult(
+            self.dag,
+            self.completed,
+            self.attempted,
+            self.applied,
+            self.elapsed(),
+            self.abort_reason,
+            quarantine=self.quarantine,
+            levels_completed=self.level,
+            resumed_from=self.resumed_from,
+        )
+
+    # ------------------------------------------------------------------
+    # Level checkpoints (PR-1 format; serially resumable)
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self, outstanding_specs: Dict[int, Dict]) -> Dict:
+        pending = self.frontier[self.frontier_index :] + self.next_frontier
+        functions = {
+            str(node_id): self.functions[node_id]
+            for node_id in pending
+            if node_id in self.functions
+        }
+        # Frontier instances currently embedded in unmerged shard specs.
+        for shard_id in self.expected[self.merged :]:
+            spec = outstanding_specs.get(shard_id)
+            if spec is not None:
+                for entry in spec["nodes"]:
+                    functions[str(entry["node_id"])] = entry["function"]
+        return {
+            "function_name": self.function_name,
+            "config": self.config.signature(),
+            "completed": False,
+            "level": self.level,
+            "frontier": list(self.frontier),
+            "frontier_index": self.frontier_index,
+            "next_frontier": list(self.next_frontier),
+            "attempted": self.attempted,
+            "applied": self.applied,
+            "elapsed": self.elapsed(),
+            "dag": ckpt.dag_to_dict(self.dag),
+            "root_function": self.root_function_dict,
+            "functions": functions,
+            "recipes": {
+                str(node_id): _recipe(self.dag, node_id) for node_id in pending
+            },
+            "texts": [
+                [ckpt.key_to_json(key), text] for key, text in self.texts.items()
+            ],
+            "quarantine": self.quarantine.to_dicts(),
+        }
+
+    def write_checkpoint(
+        self, outstanding_specs: Dict[int, Dict], interval: float, force: bool = False
+    ) -> None:
+        if self.checkpoint_path is None or self.state == "done":
+            return
+        now = time.monotonic()
+        if not force and now - self._last_checkpoint < interval:
+            return
+        self._last_checkpoint = now
+        ckpt.save_checkpoint(self.checkpoint_path, self.checkpoint_state(outstanding_specs))
+
+    def try_restore(self) -> bool:
+        """Continue from a level checkpoint in run_dir, if present."""
+        path = self.checkpoint_path
+        if path is None or not os.path.exists(path):
+            return False
+        state = ckpt.load_checkpoint(path)
+        if state["function_name"] != self.function_name:
+            raise ckpt.CheckpointError(
+                f"checkpoint {path} is for function "
+                f"{state['function_name']!r}, not {self.function_name!r}"
+            )
+        if state["config"] != self.config.signature():
+            raise ckpt.CheckpointError(
+                f"checkpoint {path} was written with different enumeration "
+                f"settings ({state['config']} != {self.config.signature()})"
+            )
+        dag = ckpt.dag_from_dict(self.function_name, state["dag"])
+        if dag.root.key != self.root_key:
+            raise ckpt.CheckpointError(
+                f"checkpoint {path} was written for a different version of "
+                f"{self.function_name!r} (root fingerprint mismatch)"
+            )
+        self.dag = dag
+        self.frontier = list(state["frontier"])
+        self.frontier_index = state["frontier_index"]
+        self.next_frontier = list(state["next_frontier"])
+        self.functions = {
+            int(node_id): data for node_id, data in state["functions"].items()
+        }
+        self.texts = {
+            ckpt.key_from_json(key): text for key, text in state["texts"]
+        }
+        self.attempted = state["attempted"]
+        self.applied = state["applied"]
+        self.consumed = state["elapsed"]
+        self.level = state["level"]
+        self.quarantine = QuarantineLog.from_dicts(state["quarantine"])
+        # A checkpoint written exactly at a level boundary has its whole
+        # frontier expanded; roll to the next level like the serial
+        # loop's top would.
+        if self.frontier and self.frontier_index >= len(self.frontier):
+            self.frontier = self.next_frontier
+            self.next_frontier = []
+            self.frontier_index = 0
+            self.level += 1
+        self.resumed_from = path
+        return True
+
+    def discard_checkpoint(self) -> None:
+        if self.checkpoint_path is not None:
+            try:
+                os.unlink(self.checkpoint_path)
+            except OSError:
+                pass
+
+
+class _WorkerSlot:
+    """One worker process slot (respawned across worker deaths)."""
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process = None
+        self.task_queue = None
+        #: per-worker event channel.  Deliberately *not* shared: a
+        #: worker killed mid-write can leave a multiprocessing.Queue's
+        #: cross-process lock held forever, deadlocking every other
+        #: worker's put().  A SimpleQueue with a single writer confines
+        #: any damage to the dead worker's own channel.
+        self.event_queue = None
+        self.busy: Optional[int] = None  # leased shard id
+        self.last_heartbeat = 0.0
+        self.deaths = 0
+
+
+class ParallelEnumerator:
+    """Sharded multi-process exhaustive enumeration service."""
+
+    #: a worker slot dying this often aborts the run (systemic failure)
+    MAX_SLOT_DEATHS = 3
+    #: a shard failing this often aborts its function job
+    MAX_SHARD_RETRIES = 2
+
+    def __init__(
+        self,
+        config: Optional[EnumerationConfig] = None,
+        parallel: Optional[ParallelConfig] = None,
+    ):
+        self.config = config if config is not None else EnumerationConfig()
+        self.parallel = parallel if parallel is not None else ParallelConfig()
+        self._check_supported(self.config)
+        self._slots: List[_WorkerSlot] = []
+        self._specs: Dict[int, Dict] = {}
+        self._spec_job: Dict[int, _FunctionJob] = {}
+        self._pending = deque()
+        self._retries: Dict[int, int] = {}
+        self._next_shard_id = 0
+        self._instances = 0
+        self._ctx = None
+        if self.parallel.run_dir:
+            os.makedirs(self.parallel.run_dir, exist_ok=True)
+
+    @staticmethod
+    def _check_supported(config: EnumerationConfig) -> None:
+        if not config.share_prefixes:
+            raise ValueError(
+                "parallel enumeration requires share_prefixes=True "
+                "(sequence-replay mode is a serial ablation)"
+            )
+        if config.keep_functions:
+            raise ValueError("keep_functions is not supported in parallel runs")
+        if config.checkpoint_path is not None or config.resume:
+            raise ValueError(
+                "use ParallelConfig(run_dir=..., resume=...) instead of "
+                "EnumerationConfig checkpointing for parallel runs"
+            )
+        if config.input_vectors is not None:
+            raise ValueError(
+                "custom difftest input vectors are not supported in "
+                "parallel runs (workers derive the default vectors)"
+            )
+        if config.target is not DEFAULT_TARGET:
+            raise ValueError("parallel workers only support the default target")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def enumerate(
+        self, requests: Sequence[EnumerationRequest]
+    ) -> List[EnumerationResult]:
+        """Enumerate every requested function; results in request order."""
+        config, parallel = self.config, self.parallel
+        if config.difftest:
+            for request in requests:
+                if request.source is None:
+                    raise ValueError(
+                        f"difftest requires program source for {request.label!r}"
+                    )
+        labels = set()
+        for request in requests:
+            if request.label in labels:
+                raise ValueError(f"duplicate request label {request.label!r}")
+            labels.add(request.label)
+        self._emit("job_start", functions=len(requests), jobs=parallel.jobs)
+        jobs = [
+            _FunctionJob(job_id, request, config, parallel.run_dir)
+            for job_id, request in enumerate(requests)
+        ]
+        for job in jobs:
+            cached = (
+                parallel.store.get(job.function_name, job.root_key, config)
+                if parallel.store is not None
+                else None
+            )
+            if cached is not None:
+                job.adopt_cached(cached)
+                self._emit("cache_hit", function=job.label)
+            elif parallel.resume and job.try_restore():
+                self._emit(
+                    "job_restored",
+                    function=job.label,
+                    level=job.level,
+                    instances=len(job.dag),
+                )
+        if any(job.state != "done" for job in jobs):
+            self._run_pool(jobs)
+        if parallel.progress is not None:
+            parallel.progress.tick(force=True)
+        self._emit(
+            "job_done",
+            instances=self._instances,
+            functions=len(jobs),
+            completed=sum(1 for job in jobs if job.completed),
+        )
+        return [job.result() for job in jobs]
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _job_spec(self, with_chaos: bool) -> Dict:
+        config, parallel = self.config, self.parallel
+        fault = None
+        if config.fault_injector is not None:
+            injector = config.fault_injector
+            fault = {
+                "seed": injector.seed,
+                "rate": injector.rate,
+                "modes": list(injector.modes),
+            }
+        spec = {
+            "config": {
+                "phases": "".join(phase.id for phase in config.phases),
+                "remap": config.remap,
+                "exact": config.exact,
+                "validate": config.validate,
+                "difftest": bool(config.difftest),
+                "phase_timeout": config.phase_timeout,
+                "fault": fault,
+            },
+            "run_dir": parallel.run_dir,
+            "heartbeat_interval": parallel.heartbeat_interval,
+            "shard_checkpoint_interval": parallel.shard_checkpoint_interval,
+        }
+        if with_chaos and parallel.chaos is not None:
+            spec["chaos"] = dict(parallel.chaos)
+        return spec
+
+    def _spawn(self, slot: _WorkerSlot, with_chaos: bool) -> None:
+        # fresh queues per (re)spawn: nothing is inherited from a
+        # previous incarnation that died holding a lock or a half
+        # written pipe message
+        slot.task_queue = self._ctx.Queue()
+        slot.event_queue = self._ctx.SimpleQueue()
+        slot.process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                slot.worker_id,
+                self._job_spec(with_chaos),
+                slot.task_queue,
+                slot.event_queue,
+            ),
+            daemon=True,
+        )
+        slot.process.start()
+
+    def _run_pool(self, jobs: List[_FunctionJob]) -> None:
+        self._ctx = multiprocessing.get_context(self.parallel.resolve_start_method())
+        self._slots = [_WorkerSlot(i) for i in range(self.parallel.jobs)]
+        for slot in self._slots:
+            self._spawn(slot, with_chaos=True)
+        try:
+            self._drive(jobs)
+        except KeyboardInterrupt:
+            for job in jobs:
+                if job.state != "done":
+                    job.write_checkpoint(self._specs, 0.0, force=True)
+            raise
+        finally:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                try:
+                    slot.task_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            self._drain_events()  # unblock workers mid-put
+            if all(
+                slot.process is None or not slot.process.is_alive()
+                for slot in self._slots
+            ):
+                break
+            time.sleep(0.02)
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(1.0)
+                if slot.process.is_alive():
+                    slot.process.kill()
+        self._drain_events()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _drive(self, jobs: List[_FunctionJob]) -> None:
+        while True:
+            free = sum(1 for slot in self._slots if slot.busy is None)
+            for job in jobs:
+                if job.state != "ready":
+                    continue
+                # In-flight jobs always replan (level roll); a *new*
+                # function only starts once the shard queue is starved,
+                # so its time_limit clock is not charged for work that
+                # belongs to the functions ahead of it.
+                if job.start is None and len(self._pending) >= max(1, free):
+                    continue
+                self._plan(job)
+            if all(job.state == "done" for job in jobs):
+                return
+            self._dispatch()
+            self._pump_events(timeout=0.05)
+            self._check_budgets(jobs)
+            self._health()
+            reporter = self.parallel.progress
+            if reporter is not None:
+                busy = sum(1 for slot in self._slots if slot.busy is not None)
+                reporter.gauges(
+                    queue_depth=len(self._pending) + busy,
+                    busy=busy,
+                    instances=self._instances,
+                )
+                reporter.tick()
+
+    # ------------------------------------------------------------------
+    # Planning (program -> function -> frontier sub-shards)
+    # ------------------------------------------------------------------
+
+    def _plan(self, job: _FunctionJob) -> None:
+        job.start_clock()
+        config = job.config
+        pending = job.frontier[job.frontier_index :]
+        if not pending:
+            self._finish(job, completed=True)
+            return
+        at_level_start = job.frontier_index == 0 and not job.next_frontier
+        if at_level_start:
+            if (
+                config.max_levels is not None
+                and job.level >= config.max_levels
+            ):
+                self._abort(job, "max_levels")
+                return
+            sequences_this_level = sum(
+                len(config.phases)
+                - len(_arrival_phases(job.dag.nodes[node_id]))
+                for node_id in pending
+            )
+            if sequences_this_level > config.max_level_sequences:
+                self._abort(job, "max_level_sequences")
+                return
+        if (
+            config.time_limit is not None
+            and job.elapsed() > config.time_limit
+        ):
+            self._abort(job, "time_limit")
+            return
+        size = self.parallel.shard_size or shards_mod.auto_shard_size(
+            len(pending), self.parallel.jobs
+        )
+        job.expected = []
+        job.results = {}
+        job.merged = 0
+        for chunk in shards_mod.partition(pending, size):
+            shard_id = self._next_shard_id
+            self._next_shard_id += 1
+            spec = {
+                "shard_id": shard_id,
+                "job_id": job.job_id,
+                "function_name": job.function_name,
+                "level": job.level,
+                "nodes": [
+                    {
+                        "node_id": node_id,
+                        "function": job.functions.pop(node_id),
+                        "skip": sorted(
+                            _arrival_phases(job.dag.nodes[node_id])
+                        ),
+                    }
+                    for node_id in chunk
+                ],
+            }
+            if self.config.difftest and job.source is not None:
+                spec["source"] = job.source
+            self._specs[shard_id] = spec
+            self._spec_job[shard_id] = job
+            job.expected.append(shard_id)
+            self._pending.append(shard_id)
+        job.state = "waiting"
+        self._emit(
+            "level_start",
+            function=job.label,
+            level=job.level,
+            frontier=len(pending),
+            shards=len(job.expected),
+        )
+
+    def _dispatch(self) -> None:
+        for slot in self._slots:
+            if slot.busy is not None or not self._pending:
+                continue
+            while self._pending:
+                shard_id = self._pending.popleft()
+                job = self._spec_job.get(shard_id)
+                if job is None or job.state == "done" or shard_id in job.done_shards:
+                    continue  # stale work from an aborted/merged level
+                slot.task_queue.put(self._specs[shard_id])
+                slot.busy = shard_id
+                slot.last_heartbeat = time.monotonic()
+                self._emit(
+                    "shard_dispatch", shard=shard_id, worker=slot.worker_id
+                )
+                break
+
+    # ------------------------------------------------------------------
+    # Events, merging, budgets, health
+    # ------------------------------------------------------------------
+
+    def _pump_events(self, timeout: float) -> None:
+        if self._drain_events():
+            return
+        readers = [
+            slot.event_queue._reader
+            for slot in self._slots
+            if slot.event_queue is not None
+        ]
+        if readers:
+            # select()-based wakeup: react to the next event
+            # immediately instead of polling on a sleep cadence
+            connection_wait(readers, timeout)
+            self._drain_events()
+        else:
+            time.sleep(timeout)
+
+    def _drain_events(self) -> bool:
+        handled = False
+        for slot in self._slots:
+            channel = slot.event_queue
+            if channel is None:
+                continue
+            # single reader: empty() == False guarantees get() returns
+            while not channel.empty():
+                self._handle_event(channel.get())
+                handled = True
+        return handled
+
+    def _handle_event(self, event) -> None:
+        kind, worker_id, payload = event
+        slot = self._slots[worker_id]
+        if kind == "heartbeat":
+            slot.last_heartbeat = time.monotonic()
+        elif kind == "shard_resumed":
+            slot.last_heartbeat = time.monotonic()
+            self._emit(
+                "shard_resumed",
+                shard=payload["shard_id"],
+                worker=worker_id,
+                nodes_done=payload["nodes_done"],
+            )
+        elif kind == "result":
+            if slot.busy == payload["shard_id"]:
+                slot.busy = None
+            slot.last_heartbeat = time.monotonic()
+            self._on_result(worker_id, payload)
+        elif kind == "shard_error":
+            if slot.busy == payload["shard_id"]:
+                slot.busy = None
+            self._emit(
+                "shard_error",
+                shard=payload["shard_id"],
+                worker=worker_id,
+                error=payload["error"],
+            )
+            self._requeue(payload["shard_id"], payload["error"])
+
+    def _on_result(self, worker_id: int, result: Dict) -> None:
+        shard_id = result["shard_id"]
+        job = self._spec_job.get(shard_id)
+        if job is None or job.state != "waiting" or shard_id in job.done_shards:
+            return  # duplicate or aborted-job result
+        job.results[shard_id] = result
+        while job.merged < len(job.expected):
+            next_id = job.expected[job.merged]
+            if next_id not in job.results:
+                break
+            merged_result = job.results.pop(next_id)
+            added = merge_shard(job, merged_result)
+            job.frontier_index += len(merged_result["expansions"])
+            job.merged += 1
+            job.done_shards.add(next_id)
+            self._specs.pop(next_id, None)
+            self._spec_job.pop(next_id, None)
+            self._instances += added
+            self._emit(
+                "shard_done",
+                shard=next_id,
+                worker=worker_id,
+                function=job.label,
+                nodes=added,
+                attempts=merged_result["attempts"],
+                wall=round(merged_result["wall"], 4),
+            )
+            if (
+                job.config.max_nodes is not None
+                and len(job.dag) > job.config.max_nodes
+            ):
+                self._abort(job, "max_nodes")
+                return
+        if job.merged == len(job.expected):
+            job.frontier = job.next_frontier
+            job.next_frontier = []
+            job.frontier_index = 0
+            job.level += 1
+            job.write_checkpoint(self._specs, self.parallel.checkpoint_interval)
+            job.state = "ready"
+
+    def _check_budgets(self, jobs: List[_FunctionJob]) -> None:
+        for job in jobs:
+            if job.state == "done":
+                continue
+            config = job.config
+            if (
+                config.time_limit is not None
+                and job.elapsed() > config.time_limit
+            ):
+                self._abort(job, "time_limit")
+
+    def _health(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.busy is None:
+                continue
+            dead = not slot.process.is_alive()
+            hung = now - slot.last_heartbeat > self.parallel.lease_timeout
+            if not dead and not hung:
+                continue
+            shard_id = slot.busy
+            slot.busy = None
+            self._emit(
+                "worker_dead" if dead else "lease_timeout",
+                worker=slot.worker_id,
+                shard=shard_id,
+            )
+            if not dead:
+                slot.process.terminate()
+                slot.process.join(2.0)
+                if slot.process.is_alive():
+                    slot.process.kill()
+                    slot.process.join(1.0)
+            slot.deaths += 1
+            if slot.deaths > self.MAX_SLOT_DEATHS:
+                raise RuntimeError(
+                    f"worker slot {slot.worker_id} died {slot.deaths} times; "
+                    "aborting the run (systemic failure)"
+                )
+            # The replacement never inherits the chaos hook: the fault
+            # being simulated happened, and the recovery path is what
+            # is being exercised.
+            self._spawn(slot, with_chaos=False)
+            self._requeue(shard_id, "worker lost")
+
+    def _requeue(self, shard_id: int, why: str) -> None:
+        job = self._spec_job.get(shard_id)
+        if job is None or job.state == "done" or shard_id in job.done_shards:
+            return
+        self._retries[shard_id] = self._retries.get(shard_id, 0) + 1
+        if self._retries[shard_id] > self.MAX_SHARD_RETRIES:
+            self._abort(job, f"shard_failed: {why}")
+            return
+        self._pending.appendleft(shard_id)
+        self._emit(
+            "lease_reclaim",
+            shard=shard_id,
+            retries=self._retries[shard_id],
+            why=why,
+        )
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _abort(self, job: _FunctionJob, reason: str) -> None:
+        job.abort_reason = reason
+        job.write_checkpoint(self._specs, 0.0, force=True)
+        self._finish(job, completed=False)
+
+    def _finish(self, job: _FunctionJob, completed: bool) -> None:
+        job.completed = completed
+        job.state = "done"
+        job.end = time.monotonic()
+        if completed:
+            job.discard_checkpoint()
+            if self.parallel.store is not None:
+                self.parallel.store.put(
+                    job.function_name, job.root_key, job.config, job.result()
+                )
+        self._emit(
+            "function_done",
+            function=job.label,
+            instances=len(job.dag),
+            levels=job.level,
+            completed=completed,
+            reason=job.abort_reason,
+            wall=round(job.elapsed(), 3),
+        )
+
+    def _emit(self, name: str, **fields) -> None:
+        if self.parallel.progress is not None:
+            self.parallel.progress.event(name, **fields)
+
+
+def enumerate_space_parallel(
+    func: Function,
+    config: Optional[EnumerationConfig] = None,
+    parallel: Optional[ParallelConfig] = None,
+    source: Optional[str] = None,
+    label: Optional[str] = None,
+) -> EnumerationResult:
+    """Enumerate one function's space with the parallel service."""
+    enumerator = ParallelEnumerator(config, parallel)
+    request = EnumerationRequest(label or func.name, func, source)
+    return enumerator.enumerate([request])[0]

@@ -1,0 +1,99 @@
+"""Deterministic fusion of shard results into one space DAG.
+
+The coordinator does not union per-shard graphs — it **replays** each
+shard's recorded outcomes into the function's DAG in exactly the order
+the serial enumerator would have taken: shards strictly in creation
+order (frontier order), nodes in shard order, phases in Table 1 order.
+Replay is what makes the merged space *bit-identical* to a serial run:
+node ids, levels, edges, dormant sets and the attempted/applied
+counters all come out the same, so Table 3 rows and the Table 4–6
+interaction matrices match a ``--jobs 1`` run exactly.
+
+Two details make the replay equivalent rather than merely similar:
+
+- **arrival phases are re-derived at merge time.**  A shard is cut at
+  a level barrier, but an earlier node of the same level can merge an
+  edge *into* a later node while that node's shard is already out at a
+  worker.  The worker therefore attempts the phase anyway; the replay
+  consults the DAG's current in-edges (exactly what the serial loop
+  does) and discards outcomes for phases that became arrival phases
+  after the shard was cut — including their quarantine records;
+- **identical-instance lookups happen here, not in workers.**  Workers
+  fingerprint candidates but never see the global key table, so two
+  workers discovering the same instance cannot race; the first replay
+  in serial order creates the node, the second becomes an edge.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import checkpoint as ckpt
+from repro.core.enumeration import _arrival_phases
+from repro.robustness.quarantine import QuarantineRecord
+
+
+class MergeError(RuntimeError):
+    """A shard result cannot be replayed into the space DAG."""
+
+
+def merge_shard(job, result) -> int:
+    """Replay one shard's expansions into *job*'s DAG.
+
+    *job* is the coordinator's per-function state (``dag``, ``config``,
+    ``functions``, ``texts``, ``next_frontier``, counters).  Returns
+    the number of new instances discovered.
+    """
+    config = job.config
+    dag = job.dag
+    functions = result["functions"]
+    texts = result["texts"]
+    added = 0
+    for node_id, outcomes in result["expansions"]:
+        node = dag.nodes[node_id]
+        by_phase = {outcome["phase"]: outcome for outcome in outcomes}
+        arrival = _arrival_phases(node)
+        for phase in config.phases:
+            if phase.id in arrival:
+                # The phase that produced this instance just ran to its
+                # fixpoint; the serial enumerator marks it dormant
+                # without an attempt, and so does the replay — even
+                # when the worker, holding a stale arrival set,
+                # attempted it anyway.
+                node.dormant.add(phase.id)
+                continue
+            outcome = by_phase.get(phase.id)
+            if outcome is None:
+                raise MergeError(
+                    f"shard {result['shard_id']} has no outcome for phase "
+                    f"{phase.id!r} at node {node_id} of {dag.function_name!r}"
+                )
+            job.attempted += 1
+            job.applied += 1
+            for record in outcome.get("quarantine", ()):
+                job.quarantine.add(QuarantineRecord.from_dict(record))
+            if not outcome["active"]:
+                node.dormant.add(phase.id)
+                continue
+            key = ckpt.key_from_json(outcome["key"])
+            keystr = json.dumps(outcome["key"])
+            existing = dag.lookup(key)
+            if existing is not None:
+                if config.exact and job.texts.get(key) != texts.get(keystr):
+                    raise RuntimeError(
+                        f"fingerprint collision in {dag.function_name}: two "
+                        "distinct instances share (count, byte-sum, CRC)"
+                    )
+                dag.add_edge(node, phase.id, existing)
+                continue
+            child = dag.add_node(
+                key, node.level + 1, outcome["num_insts"], outcome["cf_crc"]
+            )
+            if config.exact:
+                job.texts[key] = texts.get(keystr)
+            dag.add_edge(node, phase.id, child)
+            job.functions[child.node_id] = functions[keystr]
+            job.next_frontier.append(child.node_id)
+            added += 1
+        node.expanded = True
+    return added

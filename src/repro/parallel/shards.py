@@ -1,0 +1,151 @@
+"""Work-shard descriptors and per-shard crash recovery.
+
+A **shard** is the unit of leased work: a slice of one function's
+current frontier, expanded by exactly one worker at a time.  The
+coordinator decomposes a compilation job top-down — program →
+functions → frontier-level sub-shards when a level grows past the
+shard size — and every descriptor and result is a plain
+JSON-serializable dict so it can cross process boundaries and be
+journaled to disk.
+
+Shard spec (coordinator → worker)::
+
+    {
+      "shard_id":      17,            // globally unique, creation order
+      "job_id":        2,             // which function job it belongs to
+      "function_name": "rol",
+      "source":        "...",         // mini-C text; only when difftest is on
+      "level":         3,             // frontier level being expanded
+      "nodes": [
+        {"node_id": 41,
+         "function": {...},           // repro.core.checkpoint function dict
+         "skip":     ["c", "s"]},     // arrival phases at shard creation
+        ...
+      ]
+    }
+
+Shard result (worker → coordinator)::
+
+    {
+      "shard_id": 17, "job_id": 2, "level": 3,
+      "expansions": [[41, [outcome, ...]], ...],   // frontier order
+      "functions":  {keystr: function dict},       // one per new key
+      "texts":      {keystr: remapped text},       // exact mode only
+      "wall":       0.84, "attempts": 112,
+    }
+
+where each *outcome* is ``{"phase": id, "active": bool}`` plus — for
+active phases — ``key`` (JSON-ified node key), ``num_insts``,
+``cf_crc``; and, when guards ran, the ``quarantine`` records the
+attempt produced.  ``keystr`` is ``json.dumps`` of the JSON-ified key,
+so results stay pure JSON.
+
+Outcomes are recorded for **every** phase not in the shard-creation
+``skip`` set, in phase order; the merge step replays them serially and
+discards the ones that became arrival phases after the shard was cut.
+
+Per-shard checkpoints reuse the PR-1 checkpoint machinery
+(:func:`repro.core.checkpoint.save_checkpoint` — versioned, atomic):
+a worker expanding a large shard periodically persists its completed
+node expansions, and whichever worker is re-leased the shard after a
+crash resumes from the last instance boundary instead of restarting.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import checkpoint as ckpt
+from repro.robustness.faults import FaultInjector
+
+
+def partition(items: Sequence, size: int) -> List[List]:
+    """Split *items* into consecutive chunks of at most *size*."""
+    if size <= 0:
+        raise ValueError(f"shard size must be positive, got {size}")
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def auto_shard_size(frontier_len: int, workers: int) -> int:
+    """Default nodes-per-shard: enough shards to keep every worker busy
+    (about two waves per level), without degenerating into per-node
+    dispatch overhead on wide frontiers."""
+    return max(1, min(64, -(-frontier_len // max(1, workers * 2))))
+
+
+def shard_checkpoint_path(run_dir: str, shard_id: int) -> str:
+    return os.path.join(run_dir, f"shard-{shard_id:06d}.json")
+
+
+def save_shard_checkpoint(
+    run_dir: str,
+    shard_id: int,
+    expansions: List,
+    functions: Dict[str, dict],
+    texts: Dict[str, str],
+    injector: Optional[FaultInjector],
+) -> None:
+    """Atomically persist a shard's completed node expansions."""
+    ckpt.save_checkpoint(
+        shard_checkpoint_path(run_dir, shard_id),
+        {
+            "function_name": f"shard-{shard_id}",
+            "shard_id": shard_id,
+            "expansions": expansions,
+            "functions": functions,
+            "texts": texts,
+            "injector_applications": injector.applications if injector else 0,
+        },
+    )
+
+
+def load_shard_checkpoint(run_dir: str, shard_id: int) -> Optional[Dict]:
+    """The previous lease's partial results, or None when absent/bad."""
+    path = shard_checkpoint_path(run_dir, shard_id)
+    if not os.path.exists(path):
+        return None
+    try:
+        state = ckpt.load_checkpoint(path)
+    except ckpt.CheckpointError:
+        return None
+    if state.get("shard_id") != shard_id:
+        return None
+    return state
+
+
+def discard_shard_checkpoint(run_dir: str, shard_id: int) -> None:
+    try:
+        os.unlink(shard_checkpoint_path(run_dir, shard_id))
+    except OSError:
+        pass
+
+
+def shard_fault_injector(
+    fault: Optional[Dict], shard_id: int
+) -> Optional[FaultInjector]:
+    """A deterministic injector for one shard.
+
+    Seeding mixes the run seed with the shard id, so a shard produces
+    the same fault decisions no matter which worker runs it or how
+    many times its lease is reclaimed — re-leased work is replayable.
+    """
+    if not fault:
+        return None
+    return FaultInjector(
+        seed=(fault["seed"] * 1_000_003 + shard_id) & 0x7FFFFFFF,
+        rate=fault["rate"],
+        modes=tuple(fault["modes"]),
+    )
+
+
+def fast_forward_injector(
+    injector: FaultInjector, applications: int, timeout: Optional[float]
+) -> None:
+    """Replay *applications* decisions so a resumed shard continues the
+    same fault stream (the skipped nodes' decisions are re-drawn in
+    order, consuming exactly the RNG state the original lease did)."""
+    for _ in range(applications):
+        if injector.should_inject():
+            injector.choose_mode(timeout)
+            injector.injected += 1

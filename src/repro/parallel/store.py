@@ -1,0 +1,160 @@
+"""Persistent store of merged, fully-enumerated phase order spaces.
+
+Repeated benchmark sweeps enumerate the same functions over and over;
+the store turns the second and later runs into cache hits.  Each entry
+persists one *completed* enumeration — the space DAG plus its counters
+— keyed by everything that shapes the space:
+
+- the function's canonical root instance (its fingerprint key, which
+  covers the actual post-``implicit_cleanup`` RTL, not just the name);
+- the phase set and the space-shaping config switches (``remap``,
+  ``exact``);
+- the guard switches that can change dormancy (``validate``,
+  ``difftest``, ``phase_timeout``).
+
+Runs with a fault injector are never stored: sabotage makes the space
+depend on the application order, which a parallel run does not
+reproduce.  Truncated (aborted) enumerations are never stored either —
+a cache must not serve a partial space as the real one.
+
+Entries are single JSON files written atomically through
+:func:`repro.core.checkpoint.save_checkpoint`, so a crash mid-write
+can never corrupt the store.  Unreadable or incompatible entries are
+treated as misses (and reported through the telemetry layer), never as
+errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Dict, Optional
+
+from repro.core import checkpoint as ckpt
+from repro.core.enumeration import EnumerationConfig, EnumerationResult
+from repro.robustness.quarantine import QuarantineLog
+
+STORE_VERSION = 1
+
+
+def store_signature(config: EnumerationConfig) -> Dict[str, object]:
+    """The config fields a cached space must agree on.
+
+    Extends the checkpoint signature with the guard switches: a space
+    enumerated with ``--validate`` can differ from an unguarded one
+    (quarantined applications read as dormant), so they must not share
+    cache entries.  Budgets stay excluded — a *completed* run yields
+    the same space under any budget.
+    """
+    signature = dict(config.signature())
+    # difftest keys on the flag alone (not on whether a program is
+    # attached): parallel runs carry source text per request rather
+    # than a Program on the config, and a difftest-on space must never
+    # share an entry with an unguarded one.
+    signature.update(
+        validate=config.validate,
+        difftest=bool(config.difftest),
+        phase_timeout=config.phase_timeout,
+    )
+    return signature
+
+
+def cacheable(config: EnumerationConfig) -> bool:
+    """Whether results under *config* may be stored at all."""
+    return config.fault_injector is None
+
+
+class SpaceStore:
+    """A directory of merged spaces keyed by (function, phases, config)."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        #: store telemetry for the session
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def entry_path(self, function_name: str, root_key, config: EnumerationConfig) -> str:
+        digest = hashlib.sha256(
+            json.dumps(
+                {
+                    "function": function_name,
+                    "root_key": ckpt.key_to_json(root_key),
+                    "config": store_signature(config),
+                },
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()[:16]
+        safe_name = re.sub(r"[^A-Za-z0-9_.-]", "_", function_name)
+        return os.path.join(self.root, f"{safe_name}-{digest}.json")
+
+    def get(
+        self, function_name: str, root_key, config: EnumerationConfig
+    ) -> Optional[EnumerationResult]:
+        """The cached result for this exact space, or None."""
+        path = self.entry_path(function_name, root_key, config)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            state = ckpt.load_checkpoint(path)
+        except ckpt.CheckpointError:
+            self.misses += 1
+            return None
+        if (
+            state.get("store_version") != STORE_VERSION
+            or state.get("function_name") != function_name
+        ):
+            self.misses += 1
+            return None
+        dag = ckpt.dag_from_dict(function_name, state["dag"])
+        self.hits += 1
+        return EnumerationResult(
+            dag,
+            completed=True,
+            attempted_phases=state["attempted"],
+            phases_applied=state["applied"],
+            elapsed=state["elapsed"],
+            quarantine=QuarantineLog.from_dicts(state["quarantine"]),
+            levels_completed=state["levels_completed"],
+            resumed_from=f"store:{path}",
+        )
+
+    def put(
+        self,
+        function_name: str,
+        root_key,
+        config: EnumerationConfig,
+        result: EnumerationResult,
+    ) -> Optional[str]:
+        """Persist a completed enumeration; returns its path, or None
+        when the result is not cacheable (aborted, or fault-injected)."""
+        if not result.completed or not cacheable(config):
+            return None
+        path = self.entry_path(function_name, root_key, config)
+        ckpt.save_checkpoint(
+            path,
+            {
+                "store_version": STORE_VERSION,
+                "function_name": function_name,
+                "root_key": ckpt.key_to_json(root_key),
+                "config": store_signature(config),
+                "dag": ckpt.dag_to_dict(result.dag),
+                "attempted": result.attempted_phases,
+                "applied": result.phases_applied,
+                "elapsed": result.elapsed,
+                "levels_completed": result.levels_completed,
+                "quarantine": result.quarantine.to_dicts(),
+            },
+        )
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
+
+    def __repr__(self):
+        return f"<SpaceStore {self.root}: {len(self)} entries>"

@@ -1,0 +1,167 @@
+"""Live progress and structured event telemetry for parallel runs.
+
+Two outputs, both optional and both driven by the same event stream:
+
+- a **JSONL event log** — one JSON object per line, ``{"t": seconds
+  since start, "event": name, ...fields}`` — the machine-readable
+  record of a run (dispatches, merges, lease reclaims, cache hits).
+  When the coordinator runs with a ``run_dir``, this doubles as the
+  persistent work-queue journal;
+- a **live TTY status line** — a single ``\\r``-rewritten line showing
+  functions done, worker occupancy, queue depth, instance throughput
+  and a coarse ETA.  It only renders when the stream is a TTY (or when
+  forced), so piped output and test logs stay clean.
+
+The reporter is deliberately passive: the coordinator pushes events
+and gauges; nothing here spawns threads or touches the worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, Optional, TextIO
+
+
+class ProgressReporter:
+    """Collects run events; renders a status line and a JSONL log."""
+
+    def __init__(
+        self,
+        jsonl_path: Optional[str] = None,
+        stream: Optional[TextIO] = None,
+        interval: float = 0.25,
+        force_tty: bool = False,
+    ):
+        self.jsonl_path = jsonl_path
+        self._log = open(jsonl_path, "a") if jsonl_path else None
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._tty = force_tty or bool(
+            getattr(self.stream, "isatty", lambda: False)()
+        )
+        self._start = time.monotonic()
+        self._last_render = 0.0
+        self._line_live = False
+        #: recent (t, instances) samples for the throughput window
+        self._samples = []
+        # gauges the status line renders
+        self.instances = 0
+        self.attempts = 0
+        self.functions_done = 0
+        self.functions_total = 0
+        self.cache_hits = 0
+        self.queue_depth = 0
+        self.workers = 0
+        self.busy = 0
+        self.reclaims = 0
+        self._function_walls = []
+
+    # ------------------------------------------------------------------
+    # Event stream
+    # ------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    def event(self, name: str, **fields) -> None:
+        """Record one event: update gauges, append to the JSONL log."""
+        if name == "job_start":
+            self.functions_total = fields.get("functions", 0)
+            self.workers = fields.get("jobs", 0)
+        elif name == "cache_hit":
+            self.cache_hits += 1
+            self.functions_done += 1
+        elif name == "shard_done":
+            self.instances += fields.get("nodes", 0)
+            self.attempts += fields.get("attempts", 0)
+        elif name == "function_done":
+            self.functions_done += 1
+            if "wall" in fields:
+                self._function_walls.append(fields["wall"])
+        elif name == "lease_reclaim":
+            self.reclaims += 1
+        if self._log is not None:
+            record = {"t": round(self.elapsed(), 3), "event": name}
+            record.update(fields)
+            self._log.write(json.dumps(record, sort_keys=True) + "\n")
+            self._log.flush()
+
+    def gauges(self, queue_depth: int, busy: int, instances: int) -> None:
+        """Update the fast-moving gauges (called every coordinator tick)."""
+        self.queue_depth = queue_depth
+        self.busy = busy
+        self.instances = instances
+
+    # ------------------------------------------------------------------
+    # Status line
+    # ------------------------------------------------------------------
+
+    def throughput(self) -> float:
+        """Instances/second over a sliding ~5s window."""
+        now = self.elapsed()
+        self._samples.append((now, self.instances))
+        while self._samples and now - self._samples[0][0] > 5.0:
+            self._samples.pop(0)
+        t0, n0 = self._samples[0]
+        if now - t0 < 1e-6:
+            return 0.0
+        return (self.instances - n0) / (now - t0)
+
+    def eta_seconds(self) -> Optional[float]:
+        """Coarse ETA from completed-function wall times; None early on."""
+        if not self._function_walls or not self.functions_total:
+            return None
+        remaining = self.functions_total - self.functions_done
+        if remaining <= 0:
+            return 0.0
+        avg = sum(self._function_walls) / len(self._function_walls)
+        return remaining * avg / max(self.busy, 1)
+
+    def status_line(self) -> str:
+        rate = self.throughput()
+        eta = self.eta_seconds()
+        parts = [
+            f"[repro.parallel] fns {self.functions_done}/{self.functions_total}",
+            f"workers {self.busy}/{self.workers} busy",
+            f"queue {self.queue_depth}",
+            f"{self.instances} inst",
+            f"{rate:.0f} inst/s",
+        ]
+        if self.cache_hits:
+            parts.append(f"{self.cache_hits} cached")
+        if self.reclaims:
+            parts.append(f"{self.reclaims} reclaimed")
+        parts.append(f"eta {'~%.0fs' % eta if eta is not None else '?'}")
+        return " · ".join(parts)
+
+    def tick(self, force: bool = False) -> None:
+        """Re-render the status line if the render interval has passed."""
+        if not self._tty:
+            return
+        now = self.elapsed()
+        if not force and now - self._last_render < self.interval:
+            return
+        self._last_render = now
+        line = self.status_line()
+        self.stream.write("\r" + line.ljust(100)[:100])
+        self.stream.flush()
+        self._line_live = True
+
+    def close(self) -> None:
+        """Finish the status line and close the JSONL log."""
+        if self._tty and self._line_live:
+            self.tick(force=True)
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_live = False
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

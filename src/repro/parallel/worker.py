@@ -1,0 +1,289 @@
+"""Worker-process side of the parallel enumeration service.
+
+Each worker is one OS process running :func:`worker_main`: it takes
+shard specs off its task queue, expands every frontier node in the
+shard (clone → guarded phase application → fingerprint, exactly the
+serial enumerator's per-attempt pipeline), and posts the recorded
+outcomes back on the shared event queue.  Workers never touch the
+space DAG — merging is the coordinator's job — so they stay stateless
+between shards and a dead worker loses at most one shard lease.
+
+Liveness and crash safety:
+
+- a **heartbeat** event is posted between node expansions; the
+  coordinator re-leases the shard of any worker whose heartbeats stop
+  (hung) or whose process died;
+- with a ``run_dir``, large shards are **checkpointed** at instance
+  boundaries through the PR-1 checkpoint writer, so the next lease
+  resumes instead of restarting;
+- the per-phase watchdog inside :class:`GuardedPhaseRunner` works here
+  unchanged: a worker process's main thread can install ``SIGALRM``,
+  and off the main thread the guard degrades to the cooperative
+  deadline check.
+
+The ``chaos`` entry of the job spec is a test hook: it makes one
+worker die (or hang) after a set number of node expansions so the
+lease-recovery path can be exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import traceback
+from typing import Dict, Optional, Tuple
+
+from repro.core import checkpoint as ckpt
+from repro.core.enumeration import _node_key
+from repro.core.fingerprint import fingerprint_function
+from repro.frontend import compile_source
+from repro.machine.target import DEFAULT_TARGET
+from repro.opt import apply_phase, phase_by_id
+from repro.parallel import shards
+from repro.robustness.guard import (
+    DifferentialTester,
+    GuardedPhaseRunner,
+    default_vectors,
+)
+
+
+def _build_guard(
+    cfg: Dict, spec: Dict, program_cache: Dict
+) -> Optional[Tuple[GuardedPhaseRunner, object]]:
+    """The ``(guard, fault injector)`` stack for one shard, mirroring
+    :meth:`EnumerationConfig.guards_enabled`; None when no guard is
+    needed."""
+    injector = shards.shard_fault_injector(cfg.get("fault"), spec["shard_id"])
+    difftester = None
+    if cfg.get("difftest") and spec.get("source"):
+        job_id = spec["job_id"]
+        if job_id not in program_cache:
+            program_cache[job_id] = compile_source(spec["source"])
+        program = program_cache[job_id]
+        pristine = program.functions[spec["function_name"]]
+        difftester = DifferentialTester(
+            program, spec["function_name"], default_vectors(pristine)
+        )
+    if not (
+        cfg.get("validate")
+        or cfg.get("phase_timeout") is not None
+        or injector is not None
+        or difftester is not None
+    ):
+        return None
+    return GuardedPhaseRunner(
+        target=DEFAULT_TARGET,
+        validate=bool(cfg.get("validate")),
+        difftest=difftester,
+        phase_timeout=cfg.get("phase_timeout"),
+        fault_injector=injector,
+    ), injector
+
+
+class _ShardRunner:
+    """Expands one shard; owns its checkpoint/heartbeat cadence."""
+
+    def __init__(self, worker_id: int, job_spec: Dict, spec: Dict, event_queue):
+        self.worker_id = worker_id
+        self.job_spec = job_spec
+        self.spec = spec
+        self.event_queue = event_queue
+        self.cfg = job_spec["config"]
+        self.phases = [phase_by_id(p) for p in self.cfg["phases"]]
+        self.run_dir = job_spec.get("run_dir")
+        self.expansions = []
+        self.functions: Dict[str, dict] = {}
+        self.texts: Dict[str, str] = {}
+        self.attempts = 0
+        self._last_heartbeat = time.monotonic()
+        self._last_checkpoint = time.monotonic()
+
+    def run(self, program_cache: Dict, chaos_state: Dict) -> Dict:
+        spec, cfg = self.spec, self.cfg
+        guard = None
+        injector = None
+        built = _build_guard(cfg, spec, program_cache)
+        if built is not None:
+            guard, injector = built
+        start_index = self._restore(injector)
+        started = time.monotonic()
+        for index in range(start_index, len(spec["nodes"])):
+            self._expand_node(spec["nodes"][index], guard)
+            chaos_state["nodes"] = chaos_state.get("nodes", 0) + 1
+            self._chaos(chaos_state, injector)
+            self._heartbeat(index + 1)
+            self._maybe_checkpoint(injector)
+        if self.run_dir:
+            shards.discard_shard_checkpoint(self.run_dir, spec["shard_id"])
+        return {
+            "shard_id": spec["shard_id"],
+            "job_id": spec["job_id"],
+            "level": spec["level"],
+            "expansions": self.expansions,
+            "functions": self.functions,
+            "texts": self.texts,
+            "attempts": self.attempts,
+            "wall": time.monotonic() - started,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _restore(self, injector) -> int:
+        """Resume a reclaimed shard from its last instance boundary."""
+        if not self.run_dir:
+            return 0
+        state = shards.load_shard_checkpoint(self.run_dir, self.spec["shard_id"])
+        if state is None:
+            return 0
+        self.expansions = state["expansions"]
+        self.functions = state["functions"]
+        self.texts = state["texts"]
+        self.attempts = sum(
+            len(outcomes) for _node_id, outcomes in self.expansions
+        )
+        if injector is not None:
+            shards.fast_forward_injector(
+                injector,
+                state["injector_applications"],
+                self.cfg.get("phase_timeout"),
+            )
+        self.event_queue.put(
+            (
+                "shard_resumed",
+                self.worker_id,
+                {
+                    "shard_id": self.spec["shard_id"],
+                    "nodes_done": len(self.expansions),
+                },
+            )
+        )
+        return len(self.expansions)
+
+    def _expand_node(self, entry: Dict, guard: Optional[GuardedPhaseRunner]) -> None:
+        """One frontier node: attempt every non-arrival phase in order."""
+        cfg = self.cfg
+        func = ckpt.function_from_dict(entry["function"])
+        skip = set(entry["skip"])
+        outcomes = []
+        for phase in self.phases:
+            if phase.id in skip:
+                continue
+            candidate = func.clone()
+            self.attempts += 1
+            if guard is not None:
+                quarantined_before = len(guard.quarantine.records)
+                active = guard.apply(
+                    candidate,
+                    phase,
+                    node_key=f"node#{entry['node_id']}",
+                    level=self.spec["level"],
+                )
+                quarantine = [
+                    record.to_dict()
+                    for record in guard.quarantine.records[quarantined_before:]
+                ]
+            else:
+                active = apply_phase(candidate, phase, DEFAULT_TARGET)
+                quarantine = []
+            outcome = {"phase": phase.id, "active": bool(active)}
+            if quarantine:
+                outcome["quarantine"] = quarantine
+            if active:
+                fingerprint = fingerprint_function(
+                    candidate, keep_text=cfg["exact"], remap=cfg["remap"]
+                )
+                key = ckpt.key_to_json(_node_key(fingerprint, candidate))
+                keystr = json.dumps(key)
+                outcome.update(
+                    key=key,
+                    num_insts=fingerprint.num_insts,
+                    cf_crc=fingerprint.cf_crc,
+                )
+                if keystr not in self.functions:
+                    self.functions[keystr] = ckpt.function_to_dict(candidate)
+                if cfg["exact"]:
+                    self.texts[keystr] = fingerprint.text
+            outcomes.append(outcome)
+        self.expansions.append([entry["node_id"], outcomes])
+
+    def _heartbeat(self, nodes_done: int) -> None:
+        interval = self.job_spec.get("heartbeat_interval", 0.5)
+        now = time.monotonic()
+        if now - self._last_heartbeat >= interval:
+            self._last_heartbeat = now
+            self.event_queue.put(
+                (
+                    "heartbeat",
+                    self.worker_id,
+                    {"shard_id": self.spec["shard_id"], "nodes_done": nodes_done},
+                )
+            )
+
+    def _maybe_checkpoint(self, injector, force: bool = False) -> None:
+        if not self.run_dir:
+            return
+        interval = self.job_spec.get("shard_checkpoint_interval", 5.0)
+        now = time.monotonic()
+        if force or now - self._last_checkpoint >= interval:
+            self._last_checkpoint = now
+            shards.save_shard_checkpoint(
+                self.run_dir,
+                self.spec["shard_id"],
+                self.expansions,
+                self.functions,
+                self.texts,
+                injector,
+            )
+
+    def _chaos(self, chaos_state: Dict, injector) -> None:
+        """Test hook: die or hang after N node expansions (once)."""
+        chaos = self.job_spec.get("chaos")
+        if not chaos or chaos["worker"] != self.worker_id:
+            return
+        if chaos_state["nodes"] < chaos.get("after_nodes", 1):
+            return
+        # Persist the partial shard first so the recovery path that the
+        # chaos run exercises includes the checkpoint resume.
+        self._maybe_checkpoint(injector, force=True)
+        if chaos.get("kind", "exit") == "hang":
+            time.sleep(3600.0)
+        os._exit(137)
+
+
+def worker_main(worker_id: int, job_spec: Dict, task_queue, event_queue) -> None:
+    """Worker process entry point: lease shards until told to stop."""
+    # The coordinator owns lifecycle; a ^C in the parent must not kill
+    # workers mid-shard (the graceful path drains and joins them).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread (tests)
+        pass
+    program_cache: Dict = {}
+    chaos_state: Dict = {}
+    while True:
+        spec = task_queue.get()
+        if spec is None:
+            break
+        try:
+            result = _ShardRunner(worker_id, job_spec, spec, event_queue).run(
+                program_cache, chaos_state
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as error:
+            event_queue.put(
+                (
+                    "shard_error",
+                    worker_id,
+                    {
+                        "shard_id": spec["shard_id"],
+                        "job_id": spec["job_id"],
+                        "error": f"{type(error).__name__}: {error}",
+                        "traceback": traceback.format_exc(limit=8),
+                    },
+                )
+            )
+            continue
+        event_queue.put(("result", worker_id, result))

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
 from contextlib import contextmanager
 from typing import List, Optional, Sequence, Tuple
 
@@ -45,19 +46,26 @@ class PhaseTimeout(Exception):
     """A phase application exceeded the guard's time budget."""
 
 
+def _alarm_available() -> bool:
+    """Whether the preemptive SIGALRM watchdog can be armed here:
+    signal handlers can only be installed on the main thread, and only
+    on platforms that have SIGALRM."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
 @contextmanager
 def _phase_alarm(seconds: Optional[float]):
     """Interrupt the enclosed block after *seconds* via SIGALRM.
 
-    A no-op when no timeout is configured, on platforms without
-    SIGALRM, or off the main thread (signal handlers can only be
-    installed there).
+    A no-op when no timeout is configured or the alarm cannot be armed
+    (see :func:`_alarm_available`); callers that need a timeout off the
+    main thread rely on the runner's cooperative deadline check
+    instead.
     """
-    if (
-        seconds is None
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if seconds is None or not _alarm_available():
         yield
         return
 
@@ -211,6 +219,7 @@ class GuardedPhaseRunner:
             self.fault_injector is not None
             and self.fault_injector.should_inject()
         )
+        started = time.monotonic()
         try:
             with _phase_alarm(self.phase_timeout):
                 if injected:
@@ -240,6 +249,30 @@ class GuardedPhaseRunner:
                 phase,
                 "exception",
                 f"{type(error).__name__}: {error}",
+                node_key,
+                level,
+            )
+            return False
+
+        # Cooperative deadline: where the SIGALRM watchdog could not be
+        # armed (worker threads; platforms without SIGALRM) the phase
+        # ran to completion unsupervised, so enforce the budget after
+        # the fact — the instance is restored and the attempt
+        # quarantined exactly as a preempted one would be.  This cannot
+        # unstick a truly hung phase (nothing cooperative can), but it
+        # keeps the timeout *policy* identical on and off the main
+        # thread.
+        if (
+            self.phase_timeout is not None
+            and not _alarm_available()
+            and time.monotonic() - started > self.phase_timeout
+        ):
+            restore_function(func, snapshot)
+            self._record(
+                phase,
+                "timeout",
+                f"phase application exceeded {self.phase_timeout:g}s "
+                "(cooperative deadline; SIGALRM unavailable)",
                 node_key,
                 level,
             )

@@ -1,6 +1,7 @@
 """Checkpoint/resume: interrupted enumerations must be bit-identical."""
 
 import json
+import os
 
 import pytest
 
@@ -263,3 +264,114 @@ class TestFaultInjectionEndToEnd:
         assert resumed.completed
         # Quarantine records from before the abort are carried over.
         assert len(resumed.quarantine) >= len(aborted.quarantine)
+
+
+class TestCheckpointLock:
+    def test_acquire_release_cycle(self, tmp_path):
+        path = str(tmp_path / "space.ckpt.json")
+        lock = ckpt.CheckpointLock(path)
+        lock.acquire()
+        assert lock.held
+        assert os.path.exists(path + ".lock")
+        lock.release()
+        assert not lock.held
+        assert not os.path.exists(path + ".lock")
+        # releasing twice is harmless
+        lock.release()
+
+    def test_second_acquire_fails_while_held(self, tmp_path):
+        path = str(tmp_path / "space.ckpt.json")
+        with ckpt.CheckpointLock(path):
+            with pytest.raises(ckpt.CheckpointError, match="locked by"):
+                ckpt.CheckpointLock(path).acquire()
+        # released: acquirable again
+        with ckpt.CheckpointLock(path):
+            pass
+
+    def test_stale_lock_of_dead_process_is_stolen(self, tmp_path):
+        path = str(tmp_path / "space.ckpt.json")
+        # No live process has this pid (kernel pid_max is far below it).
+        with open(path + ".lock", "w") as handle:
+            handle.write("99999999\n")
+        with ckpt.CheckpointLock(path) as lock:
+            assert lock.held
+
+    def test_garbage_lock_file_is_stolen(self, tmp_path):
+        path = str(tmp_path / "space.ckpt.json")
+        with open(path + ".lock", "w") as handle:
+            handle.write("not a pid")
+        with ckpt.CheckpointLock(path) as lock:
+            assert lock.held
+
+    def test_enumeration_releases_lock_on_completion(self, tmp_path, gcd_func):
+        path = str(tmp_path / "gcd.ckpt.json")
+        config = EnumerationConfig(checkpoint_path=path)
+        result = enumerate_space(gcd_func, config)
+        assert result.completed
+        assert not os.path.exists(path + ".lock")
+        # ...and the path is immediately reusable by another run
+        again = enumerate_space(gcd_func, EnumerationConfig(checkpoint_path=path))
+        assert again.completed
+
+    def test_enumeration_releases_lock_on_abort(self, tmp_path, gcd_func):
+        path = str(tmp_path / "gcd.ckpt.json")
+        result = enumerate_space(
+            gcd_func, EnumerationConfig(max_nodes=5, checkpoint_path=path)
+        )
+        assert not result.completed
+        assert os.path.exists(path)  # abort checkpoint written
+        assert not os.path.exists(path + ".lock")
+
+    def test_concurrent_enumeration_is_rejected(self, tmp_path, gcd_func):
+        path = str(tmp_path / "gcd.ckpt.json")
+        held = ckpt.CheckpointLock(path).acquire()
+        try:
+            with pytest.raises(ckpt.CheckpointError, match="locked by"):
+                enumerate_space(
+                    gcd_func, EnumerationConfig(checkpoint_path=path)
+                )
+        finally:
+            held.release()
+
+
+class TestCanonicalInput:
+    def test_fast_path_matches_default_on_canonical_input(self):
+        func = bench_function("jpeg", "descale")  # already canonicalized
+        default = enumerate_space(func, EnumerationConfig())
+        fast = enumerate_space(func, EnumerationConfig(canonical_input=True))
+        assert dag_snapshot(fast.dag) == dag_snapshot(default.dag)
+        assert fast.attempted_phases == default.attempted_phases
+
+    def test_fast_path_skips_cleanup(self, gcd_func, monkeypatch):
+        import repro.core.enumeration as enum_mod
+
+        calls = []
+        real = enum_mod.implicit_cleanup
+
+        def counting(func):
+            calls.append(func.name)
+            return real(func)
+
+        monkeypatch.setattr(enum_mod, "implicit_cleanup", counting)
+        enumerate_space(gcd_func, EnumerationConfig(canonical_input=True, max_levels=1))
+        assert calls == []
+        enumerate_space(gcd_func, EnumerationConfig(max_levels=1))
+        assert calls == [gcd_func.name]
+
+    def test_resume_probe_respects_fast_path(self, tmp_path):
+        func = bench_function("sha", "rol")
+        path = str(tmp_path / "rol.ckpt.json")
+        config = EnumerationConfig(
+            max_nodes=20, checkpoint_path=path, canonical_input=True
+        )
+        aborted = enumerate_space(func, config)
+        assert not aborted.completed
+        resumed = enumerate_space(
+            func,
+            EnumerationConfig(
+                checkpoint_path=path, resume=True, canonical_input=True
+            ),
+        )
+        reference = enumerate_space(func, EnumerationConfig())
+        assert resumed.completed
+        assert dag_snapshot(resumed.dag) == dag_snapshot(reference.dag)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the parallel enumeration tests.
+
+Serial baselines are session-scoped: each is enumerated once and every
+equivalence test compares against the same reference snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.frontend import compile_source
+from repro.opt import implicit_cleanup
+from repro.programs import PROGRAMS
+
+#: the three bundled functions the equivalence matrix runs on — small
+#: enough to enumerate in well under a second each, and together they
+#: exercise merges, multi-parent nodes and several levels of depth
+CASES = (("sha", "rol"), ("jpeg", "descale"), ("fft", "fcos"))
+
+
+def bench_function(bench: str, name: str):
+    func = compile_source(PROGRAMS[bench].source).functions[name].clone()
+    implicit_cleanup(func)
+    return func
+
+
+def dag_snapshot(dag):
+    """Everything "bit-identical" promises: ids, keys, levels, sizes,
+    edges, dormant sets, expansion flags and in-edge order."""
+    return tuple(
+        (
+            node_id,
+            dag.nodes[node_id].key,
+            dag.nodes[node_id].level,
+            dag.nodes[node_id].num_insts,
+            dag.nodes[node_id].cf_crc,
+            tuple(sorted(dag.nodes[node_id].active.items())),
+            tuple(sorted(dag.nodes[node_id].dormant)),
+            dag.nodes[node_id].expanded,
+            tuple(dag.nodes[node_id].parents),
+        )
+        for node_id in range(len(dag.nodes))
+    )
+
+
+@pytest.fixture(scope="session")
+def case_functions():
+    return {case: bench_function(*case) for case in CASES}
+
+
+@pytest.fixture(scope="session")
+def serial_results(case_functions):
+    return {
+        case: enumerate_space(func, EnumerationConfig())
+        for case, func in case_functions.items()
+    }

@@ -1,0 +1,81 @@
+"""Telemetry layer: JSONL event log, gauges, status line, ETA."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.parallel import ProgressReporter
+
+
+def test_jsonl_event_log(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with ProgressReporter(jsonl_path=str(path)) as reporter:
+        reporter.event("job_start", functions=3, jobs=2)
+        reporter.event("shard_done", shard=0, nodes=5, attempts=70)
+        reporter.event("function_done", function="f", wall=1.5)
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [event["event"] for event in events] == [
+        "job_start",
+        "shard_done",
+        "function_done",
+    ]
+    assert all("t" in event for event in events)
+    assert events[1]["nodes"] == 5
+
+
+def test_gauges_follow_events():
+    reporter = ProgressReporter()
+    reporter.event("job_start", functions=4, jobs=2)
+    reporter.event("cache_hit", function="a")
+    reporter.event("shard_done", nodes=10, attempts=150)
+    reporter.event("lease_reclaim", shard=3)
+    reporter.event("function_done", function="b", wall=2.0)
+    assert reporter.functions_total == 4
+    assert reporter.workers == 2
+    assert reporter.cache_hits == 1
+    assert reporter.functions_done == 2  # cache hit + function_done
+    assert reporter.attempts == 150
+    assert reporter.reclaims == 1
+    reporter.gauges(queue_depth=7, busy=2, instances=42)
+    assert reporter.queue_depth == 7
+    assert reporter.instances == 42
+
+
+def test_status_line_content():
+    reporter = ProgressReporter()
+    reporter.event("job_start", functions=2, jobs=4)
+    reporter.event("cache_hit", function="a")
+    reporter.gauges(queue_depth=3, busy=4, instances=100)
+    line = reporter.status_line()
+    assert "fns 1/2" in line
+    assert "workers 4/4" in line
+    assert "queue 3" in line
+    assert "100 inst" in line
+    assert "1 cached" in line
+
+
+def test_tty_rendering_only_when_tty():
+    quiet = io.StringIO()
+    reporter = ProgressReporter(stream=quiet)
+    reporter.tick(force=True)
+    assert quiet.getvalue() == ""  # not a TTY: no escape noise
+
+    loud = io.StringIO()
+    forced = ProgressReporter(stream=loud, force_tty=True)
+    forced.event("job_start", functions=1, jobs=1)
+    forced.tick(force=True)
+    forced.close()
+    assert loud.getvalue().startswith("\r")
+    assert loud.getvalue().endswith("\n")
+
+
+def test_eta_appears_after_first_function():
+    reporter = ProgressReporter()
+    reporter.event("job_start", functions=4, jobs=2)
+    assert reporter.eta_seconds() is None
+    reporter.event("function_done", function="a", wall=2.0)
+    reporter.gauges(queue_depth=0, busy=2, instances=0)
+    eta = reporter.eta_seconds()
+    assert eta is not None
+    assert eta == 3 * 2.0 / 2  # 3 functions left, 2 busy workers

@@ -270,3 +270,60 @@ class TestQuarantineLog:
     def test_bad_kind_rejected(self):
         with pytest.raises(ValueError, match="bad quarantine kind"):
             QuarantineRecord("b", "meltdown", "oops")
+
+
+class TestCooperativeDeadline:
+    """The timeout policy off the main thread, where SIGALRM cannot be
+    armed: the phase runs unsupervised but its result is rejected and
+    quarantined after the fact."""
+
+    @staticmethod
+    def _apply_in_thread(guard, func, phase):
+        import threading
+
+        outcome = {}
+
+        def target():
+            outcome["active"] = guard.apply(func, phase)
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        return outcome["active"]
+
+    def test_slow_phase_rejected_off_main_thread(self):
+        class _SlowConstTweak(_ConstTweakPhase):
+            def run(self, func, target):
+                time.sleep(0.2)
+                return super().run(func, target)
+
+        func = compile_fn(FIVE_SRC, "five")
+        guard = GuardedPhaseRunner(phase_timeout=0.05)
+        before = _fp(func)
+        active = self._apply_in_thread(guard, func, _SlowConstTweak())
+        assert active is False
+        assert _fp(func) == before  # restored despite "success"
+        record = guard.quarantine.records[0]
+        assert record.kind == "timeout"
+        assert "cooperative" in record.detail
+
+    def test_slow_dormant_phase_also_counts(self, maxi_func):
+        class _SlowDormant(Phase):
+            id = "b"
+            name = "slow and dormant"
+
+            def run(self, func, target):
+                time.sleep(0.2)
+                return False
+
+        guard = GuardedPhaseRunner(phase_timeout=0.05)
+        active = self._apply_in_thread(guard, maxi_func, _SlowDormant())
+        assert active is False
+        assert guard.quarantine.records[0].kind == "timeout"
+
+    def test_fast_phase_passes_off_main_thread(self, maxi_func):
+        from repro.opt import phase_by_id
+
+        guard = GuardedPhaseRunner(phase_timeout=5.0)
+        self._apply_in_thread(guard, maxi_func, phase_by_id("b"))
+        assert len(guard.quarantine) == 0

@@ -232,3 +232,75 @@ class TestSearchAndMisc:
     def test_unknown_benchmark(self):
         with pytest.raises(SystemExit, match="unknown benchmark"):
             main(["run", "bench:nope"])
+
+
+class TestParallelFlags:
+    def test_jobs_output_matches_serial(self, capsys):
+        assert main(["enumerate", "bench:jpeg", "--function", "descale"]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(["enumerate", "bench:jpeg", "--function", "descale", "--jobs", "2"])
+            == 0
+        )
+        assert capsys.readouterr().out == serial_out
+
+    def test_store_caches_between_runs(self, tmp_path, capsys):
+        store = str(tmp_path / "spaces")
+        argv = [
+            "enumerate", "bench:jpeg", "--function", "descale",
+            "--jobs", "2", "--store", store,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "1 miss(es)" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "1 hit(s)" in second.err
+        assert "(resumed from store:" in second.out
+        # the table itself is identical either way
+        assert first.out.splitlines()[:2] == second.out.splitlines()[:2]
+
+    def test_difftest_with_jobs(self, capsys):
+        assert (
+            main([
+                "enumerate", "bench:jpeg", "--function", "descale",
+                "--jobs", "2", "--difftest",
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no phase applications" in out  # empty quarantine report
+
+    def test_run_dir_resume_after_abort(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        base = ["enumerate", "bench:sha", "--function", "rol", "--jobs", "2",
+                "--run-dir", run_dir]
+        assert main(base + ["--max-nodes", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "(aborted: max_nodes)" in out
+        assert "--resume to continue" in out
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "(resumed from" in out
+        assert "aborted" not in out
+
+    def test_checkpoint_conflicts_with_jobs(self, tmp_path):
+        with pytest.raises(SystemExit, match="run-dir"):
+            main([
+                "enumerate", "bench:sha", "--function", "rol",
+                "--jobs", "2", "--checkpoint", str(tmp_path / "c.json"),
+            ])
+
+    def test_interactions_with_jobs_and_store(self, tmp_path, capsys):
+        store = str(tmp_path / "spaces")
+        argv = [
+            "interactions", "bench:jpeg", "--functions", "descale,rgb_to_y",
+            "--jobs", "2", "--store", store,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Enabling" in first.out
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "cached" in second.err
+        assert second.out == first.out
