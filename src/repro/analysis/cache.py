@@ -1,0 +1,194 @@
+"""Per-function dataflow analysis cache with dirty-bit invalidation.
+
+Phases rebuild the CFG, liveness, dominators, and loop nest from
+scratch on every query, which dominates the per-edge cost of the
+enumeration hot path.  This module memoizes those analyses on the
+function itself (``Function._analyses``) so a fixpoint that queries
+liveness five times between mutations computes it once.
+
+The contract (documented on :meth:`Function.invalidate_analyses`):
+
+- Every mutation commit point calls ``func.invalidate_analyses()``,
+  which *rebinds* ``_analyses`` to ``None`` rather than clearing the
+  cache object.
+- ``Function.clone()`` copies the ``_analyses`` reference.  A clone is
+  content-equal to its source at that moment, so the cached analyses
+  describe it too; the rebinding discipline means neither side can
+  clobber the other's view.
+- :class:`Liveness`/:class:`SlotLiveness` hold a back-reference to the
+  function they were computed over (their per-instruction iterators
+  re-walk ``self.func``).  When a cached view is requested for a
+  *different* (cloned) function object, the getter rebinds a view onto
+  the current function — same dataflow dicts, correct back-reference.
+
+Two switches support differential testing and the hot-path bench:
+
+- ``REPRO_NO_ANALYSIS_CACHE=1`` (or :func:`set_cache_enabled(False)`)
+  disables the cache entirely — every getter recomputes.
+- ``REPRO_PARANOID_ANALYSIS=1`` (or :func:`set_paranoid(True)`)
+  recomputes on every hit and raises if a cached analysis disagrees
+  with a fresh one, catching any phase that mutates without
+  invalidating.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.analysis.liveness import (
+    Liveness,
+    SlotLiveness,
+    compute_liveness,
+    compute_slot_liveness,
+)
+from repro.analysis.loops import find_natural_loops
+from repro.ir.cfg import CFG, build_cfg
+from repro.ir.function import Function
+
+_ENABLED = not os.environ.get("REPRO_NO_ANALYSIS_CACHE")
+_PARANOID = bool(os.environ.get("REPRO_PARANOID_ANALYSIS"))
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable the analysis cache; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = enabled
+    return previous
+
+
+def set_paranoid(enabled: bool) -> bool:
+    """Recompute-and-compare on every cache hit (differential mode)."""
+    global _PARANOID
+    previous = _PARANOID
+    _PARANOID = enabled
+    return previous
+
+
+class AnalysisCache:
+    """Lazily-filled analyses for one function *content* (shared by
+    content-equal clones)."""
+
+    __slots__ = ("cfg", "liveness", "slot_liveness", "dominators", "loops")
+
+    def __init__(self) -> None:
+        self.cfg: Optional[CFG] = None
+        self.liveness: Optional[Liveness] = None
+        self.slot_liveness: Optional[SlotLiveness] = None
+        self.dominators: Optional[DominatorTree] = None
+        self.loops = None
+
+
+def _cache_of(func: Function) -> AnalysisCache:
+    cache = func._analyses
+    if cache is None:
+        cache = AnalysisCache()
+        func._analyses = cache
+    return cache
+
+
+def cfg_of(func: Function) -> CFG:
+    """The function's CFG, cached until the next invalidation."""
+    if not _ENABLED:
+        return build_cfg(func)
+    cache = _cache_of(func)
+    if cache.cfg is None:
+        cache.cfg = build_cfg(func)
+    elif _PARANOID:
+        _compare_cfg(func, cache.cfg)
+    return cache.cfg
+
+
+def liveness_of(func: Function) -> Liveness:
+    """Register liveness, cached; rebound to *func* on clone sharing."""
+    if not _ENABLED:
+        return compute_liveness(func)
+    cache = _cache_of(func)
+    if cache.liveness is None:
+        cache.liveness = compute_liveness(func, cfg_of(func))
+    elif _PARANOID:
+        _compare_dicts(
+            func, "liveness", cache.liveness.live_in, compute_liveness(func).live_in
+        )
+    if cache.liveness.func is not func:
+        cache.liveness = Liveness(
+            cache.liveness.live_in, cache.liveness.live_out, func
+        )
+    return cache.liveness
+
+
+def slot_liveness_of(func: Function) -> SlotLiveness:
+    """Frame-slot liveness, cached; rebound to *func* on clone sharing."""
+    if not _ENABLED:
+        return compute_slot_liveness(func)
+    cache = _cache_of(func)
+    if cache.slot_liveness is None:
+        cache.slot_liveness = compute_slot_liveness(func, cfg_of(func))
+    elif _PARANOID:
+        _compare_dicts(
+            func,
+            "slot_liveness",
+            cache.slot_liveness.live_in,
+            compute_slot_liveness(func).live_in,
+        )
+    if cache.slot_liveness.func is not func:
+        old = cache.slot_liveness
+        cache.slot_liveness = SlotLiveness(
+            old.live_in, old.live_out, func, old.tracked, old.frame_refs
+        )
+    return cache.slot_liveness
+
+
+def dominators_of(func: Function) -> DominatorTree:
+    """The dominator tree, cached until the next invalidation."""
+    if not _ENABLED:
+        return compute_dominators(func)
+    cache = _cache_of(func)
+    if cache.dominators is None:
+        cache.dominators = compute_dominators(func, cfg_of(func))
+    elif _PARANOID:
+        _compare_dicts(
+            func,
+            "dominators",
+            cache.dominators.idom,
+            compute_dominators(func).idom,
+        )
+    return cache.dominators
+
+
+def loops_of(func: Function):
+    """The natural-loop nest (innermost first), cached."""
+    if not _ENABLED:
+        return find_natural_loops(func)
+    cache = _cache_of(func)
+    if cache.loops is None:
+        cache.loops = find_natural_loops(func, cfg_of(func), dominators_of(func))
+    elif _PARANOID:
+        fresh = find_natural_loops(func)
+        got = [(l.header, frozenset(l.body)) for l in cache.loops]
+        want = [(l.header, frozenset(l.body)) for l in fresh]
+        if got != want:
+            raise RuntimeError(
+                f"{func.name}: stale cached loops {got} != fresh {want} "
+                "(a phase mutated without invalidate_analyses())"
+            )
+    return cache.loops
+
+
+def _compare_cfg(func: Function, cached: CFG) -> None:
+    fresh = build_cfg(func)
+    if cached.succs != fresh.succs or cached.order != fresh.order:
+        raise RuntimeError(
+            f"{func.name}: stale cached CFG "
+            "(a phase mutated without invalidate_analyses())"
+        )
+
+
+def _compare_dicts(func: Function, what: str, cached, fresh) -> None:
+    if cached != fresh:
+        raise RuntimeError(
+            f"{func.name}: stale cached {what} "
+            "(a phase mutated without invalidate_analyses())"
+        )

@@ -175,6 +175,30 @@ def _parallel_service(args, store_dir, progress, run_dir):
     return parallel, reporter
 
 
+def _dump_profile(profiler, run_dir: Optional[str]) -> None:
+    """Write ``--profile`` stats (binary + cumtime-sorted text) to the
+    run dir, or the working directory when no --run-dir was given."""
+    import io
+    import os
+    import pstats
+
+    directory = run_dir or "."
+    os.makedirs(directory, exist_ok=True)
+    binary_path = os.path.join(directory, "profile.pstats")
+    text_path = os.path.join(directory, "profile.txt")
+    profiler.dump_stats(binary_path)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(40)
+    with open(text_path, "w") as handle:
+        handle.write(buffer.getvalue())
+    print(
+        f"profile: {text_path} (cumtime top 40; full data in "
+        f"{binary_path}, inspect with `python -m pstats`)",
+        file=sys.stderr,
+    )
+
+
 def cmd_enumerate(args) -> int:
     source = _load_source(args.file)
     program = _compile_spec(args.file, source)
@@ -206,6 +230,12 @@ def cmd_enumerate(args) -> int:
         checkpoint_path=None if use_parallel else args.checkpoint,
         resume=False if use_parallel else args.resume,
     )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         if use_parallel:
             from repro.parallel import EnumerationRequest, ParallelEnumerator
@@ -233,6 +263,10 @@ def cmd_enumerate(args) -> int:
             result = enumerate_space(func, config)
     except CheckpointError as error:
         raise SystemExit(str(error))
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            _dump_profile(profiler, args.run_dir)
     stats = FunctionSpaceStats(args.function, *facts, result)
     print(format_stats_table([stats]))
     if result.resumed_from:
@@ -455,6 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="parallel work journal (shard/level checkpoints, event "
         "log); makes a --jobs run crash-safe and resumable",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the enumeration with cProfile; writes "
+        "profile.pstats and a cumtime-sorted profile.txt to --run-dir "
+        "(or the working directory)",
     )
     p.set_defaults(handler=cmd_enumerate)
 

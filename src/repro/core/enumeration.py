@@ -51,9 +51,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core import checkpoint as ckpt
 from repro.core.dag import SpaceDAG, SpaceNode
 from repro.core.fingerprint import Fingerprint, fingerprint_function
+from repro.core.memo import TransitionMemo
 from repro.ir.function import Function, Program
 from repro.machine.target import DEFAULT_TARGET, Target
-from repro.opt import PHASES, Phase, apply_phase, implicit_cleanup
+from repro.opt import (
+    PHASES,
+    Phase,
+    apply_phase,
+    attempt_phase_on_clone,
+    implicit_cleanup,
+)
 from repro.robustness.faults import FaultInjector
 from repro.robustness.guard import (
     DifferentialTester,
@@ -88,6 +95,7 @@ class EnumerationConfig:
         checkpoint_interval: Optional[float] = 30.0,
         resume: bool = False,
         canonical_input: bool = False,
+        memo: Optional[TransitionMemo] = None,
     ):
         self.max_level_sequences = max_level_sequences
         self.max_nodes = max_nodes
@@ -136,6 +144,14 @@ class EnumerationConfig:
         #: pass on the root and on the resume probe, which matters when
         #: many small enumerations are spawned from serialized inputs
         self.canonical_input = canonical_input
+        #: opt-in phase-transition memo table (see repro.core.memo).
+        #: Shared across enumerations: memo keys are content-based
+        #: node keys, so hits are sound across functions and runs.
+        #: Only consulted on the unguarded prefix-sharing hot path;
+        #: in exact mode entries are verified, never trusted.
+        #: Deliberately excluded from ``signature()``: the memo changes
+        #: how results are computed, not what they are.
+        self.memo = memo
 
     def guards_enabled(self) -> bool:
         """Whether phase applications must run through the guard."""
@@ -242,6 +258,19 @@ class SpaceEnumerator:
         self.guard = self._build_guard()
         self.quarantine = (
             self.guard.quarantine if self.guard is not None else QuarantineLog()
+        )
+        # The memo shortcut only replaces the plain prefix-sharing
+        # transition; guarded runs must actually execute every phase
+        # (the guard's whole point), and replay mode re-applies the
+        # entire sequence anyway.
+        self.memo = (
+            self.config.memo
+            if (
+                self.config.memo is not None
+                and self.config.share_prefixes
+                and self.guard is None
+            )
+            else None
         )
         self.resumed_from: Optional[str] = None
         self._interrupted = False
@@ -522,10 +551,50 @@ class SpaceEnumerator:
                 rollback()
                 return False
             self.attempted += 1
-            if config.share_prefixes:
-                candidate = node.function.clone()
+            entry = (
+                self.memo.lookup(node.key, phase.id)
+                if self.memo is not None
+                else None
+            )
+            if entry is not None and not config.exact:
+                # Memo fast path: the transition outcome is a recorded
+                # content-keyed fact — skip clone + apply + fingerprint.
+                # Counters advance exactly as the cold path would.
                 self.applied += 1
-                active = self._apply(candidate, phase, node)
+                if entry.dormant:
+                    node.dormant.add(phase.id)
+                    continue
+                key = entry.key
+                existing = self.dag.lookup(key)
+                if existing is not None:
+                    self.dag.add_edge(node, phase.id, existing)
+                    added_edges.append((node, phase.id, existing))
+                    continue
+                child = self.dag.add_node(
+                    key, self.level + 1, entry.num_insts, entry.cf_crc
+                )
+                child.function = TransitionMemo.materialize(entry)
+                self.recipes[child.node_id] = self.recipes[node.node_id] + (
+                    phase.id,
+                )
+                self.dag.add_edge(node, phase.id, child)
+                added_nodes.append(child)
+                added_edges.append((node, phase.id, child))
+                self.next_frontier.append(child)
+                continue
+            if config.share_prefixes:
+                self.applied += 1
+                if self.guard is None:
+                    # Single-clone fast path (see opt/base.py): at most
+                    # one clone per attempted edge, none when the phase
+                    # is illegal in the current state.
+                    candidate = attempt_phase_on_clone(
+                        node.function, phase, self.target
+                    )
+                    active = candidate is not None
+                else:
+                    candidate = node.function.clone()
+                    active = self._apply(candidate, phase, node)
             else:
                 candidate = self.root_func.clone()
                 for prior_id in self.recipes[node.node_id]:
@@ -536,12 +605,36 @@ class SpaceEnumerator:
                 self.applied += 1
                 active = self._apply(candidate, phase, node)
             if not active:
+                if entry is not None and not entry.dormant:
+                    raise RuntimeError(
+                        f"{self.input_func.name}: memo claims phase "
+                        f"{phase.id} is active on node#{node.node_id} but "
+                        "the real application was dormant (exact-mode "
+                        "memo verification)"
+                    )
+                if self.memo is not None:
+                    self.memo.record_dormant(node.key, phase.id)
                 node.dormant.add(phase.id)
                 continue
             fingerprint = fingerprint_function(
                 candidate, keep_text=config.exact, remap=config.remap
             )
             key = _node_key(fingerprint, candidate)
+            if entry is not None and (entry.dormant or entry.key != key):
+                raise RuntimeError(
+                    f"{self.input_func.name}: memo entry for phase "
+                    f"{phase.id} on node#{node.node_id} diverges from the "
+                    "real application (exact-mode memo verification)"
+                )
+            if self.memo is not None and entry is None:
+                self.memo.record_active(
+                    node.key,
+                    phase.id,
+                    key,
+                    fingerprint.num_insts,
+                    fingerprint.cf_crc,
+                    candidate,
+                )
             existing = self.dag.lookup(key)
             if existing is not None:
                 if config.exact and self.texts.get(key) != fingerprint.text:

@@ -22,7 +22,12 @@ u       remove useless jumps
 ======  ================================  ==============================
 """
 
-from repro.opt.base import Phase, apply_phase
+from repro.opt.base import (
+    Phase,
+    apply_phase,
+    attempt_phase_on_clone,
+    set_legacy_clone_mode,
+)
 from repro.opt.cleanup import implicit_cleanup
 from repro.opt.register_assignment import assign_registers
 
@@ -74,6 +79,8 @@ def phase_by_id(phase_id: str) -> Phase:
 __all__ = [
     "Phase",
     "apply_phase",
+    "attempt_phase_on_clone",
+    "set_legacy_clone_mode",
     "implicit_cleanup",
     "assign_registers",
     "PHASES",

@@ -16,10 +16,37 @@ assignment) is trivially dormant.
 
 A dormant attempt leaves the function unchanged (callers that need the
 original must apply phases to a clone, as the enumerator does).
+
+Cloning invariant (the enumeration hot path)
+--------------------------------------------
+
+``apply_phase`` mutates its argument in place, so enumeration callers
+historically cloned the parent *and* — for phases requiring the
+compulsory register assignment — ``apply_phase`` cloned a scratch copy
+again and copied it back, i.e. two deep clones per attempted edge.
+:func:`attempt_phase_on_clone` collapses this to **at most one clone
+per attempt, and none for a trivially-dormant phase**:
+
+- legality (``phase.applicable``) is checked *before* cloning, so an
+  illegal phase costs nothing;
+- one clone is made, and for ``requires_assignment`` phases the
+  register assignment is committed directly on that clone (no
+  scratch-and-copy-back: if the phase turns out dormant the clone is
+  simply discarded, which is what preserves the dormant-leaves-the-
+  parent-unchanged invariant);
+- a dormant run returns ``None`` and the parent is untouched;
+- an active run returns the clone after the implicit cleanup fixpoint
+  and legality-flag update, exactly as ``apply_phase`` would have left
+  it.
+
+``set_legacy_clone_mode(True)`` (or ``REPRO_LEGACY_CLONE=1``) restores
+the old clone-then-``apply_phase`` flow so the hot-path bench can
+measure what the double clone cost.
 """
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 from repro.ir.function import Function
@@ -83,6 +110,49 @@ def apply_phase(func: Function, phase: Phase, target: Optional[Target] = None) -
     return changed
 
 
+_LEGACY_CLONE = bool(os.environ.get("REPRO_LEGACY_CLONE"))
+
+
+def set_legacy_clone_mode(enabled: bool) -> bool:
+    """Restore the clone + apply_phase double-clone flow (bench toggle).
+
+    Returns the previous setting so callers can restore it.
+    """
+    global _LEGACY_CLONE
+    previous = _LEGACY_CLONE
+    _LEGACY_CLONE = enabled
+    return previous
+
+
+def attempt_phase_on_clone(
+    func: Function, phase: Phase, target: Optional[Target] = None
+) -> Optional[Function]:
+    """Attempt *phase* on a clone of *func*; None when dormant.
+
+    Single-clone fast path for enumeration (see the module docstring
+    for the invariant): *func* is never mutated, and at most one clone
+    is made — none when the phase is illegal in the current state.
+    """
+    from repro.opt.register_assignment import assign_registers
+
+    if target is None:
+        target = DEFAULT_TARGET
+    if _LEGACY_CLONE:
+        candidate = func.clone()
+        return candidate if apply_phase(candidate, phase, target) else None
+    if not phase.applicable(func):
+        return None
+    candidate = func.clone()
+    if phase.requires_assignment and not candidate.reg_assigned:
+        assign_registers(candidate, target)
+        candidate.reg_assigned = True
+    if not phase.run(candidate, target):
+        return None
+    _cleanup_fixpoint(candidate, phase, target)
+    _note_active(candidate, phase)
+    return candidate
+
+
 def _cleanup_fixpoint(func: Function, phase: Phase, target: Target) -> None:
     """Run the implicit cleanup and re-run *phase* to a joint fixpoint.
 
@@ -122,3 +192,4 @@ def _copy_into(source: Function, dest: Function) -> None:
     dest.sel_applied = source.sel_applied
     dest.alloc_applied = source.alloc_applied
     dest.unrolled = source.unrolled
+    dest._analyses = source._analyses

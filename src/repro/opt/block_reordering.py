@@ -17,7 +17,7 @@ Two cases:
 
 from __future__ import annotations
 
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import cfg_of
 from repro.ir.function import Function
 from repro.ir.instructions import CondBranch, Jump, Return
 from repro.machine.target import Target
@@ -35,7 +35,7 @@ class BlockReordering(Phase):
         return changed
 
     def _apply_once(self, func: Function) -> bool:
-        cfg = build_cfg(func)
+        cfg = cfg_of(func)
         for i, block in enumerate(func.blocks):
             term = block.terminator()
             if not isinstance(term, Jump):
@@ -44,6 +44,7 @@ class BlockReordering(Phase):
             if i + 1 < len(func.blocks) and func.blocks[i + 1].label == target_label:
                 # Jump to the next positional block: delete it.
                 block.insts.pop()
+                func.invalidate_analyses()
                 return True
             if target_label == func.entry.label:
                 continue
@@ -66,5 +67,6 @@ class BlockReordering(Phase):
             del func.blocks[j]
             insert_at = func.block_index(block.label) + 1
             func.blocks.insert(insert_at, moved)
+            func.invalidate_analyses()
             return True
         return False

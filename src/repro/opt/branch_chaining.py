@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import cfg_of
 from repro.ir.function import Function
 from repro.ir.instructions import CondBranch, Jump
 from repro.machine.target import Target
@@ -59,10 +59,14 @@ class BranchChaining(Phase):
                     changed = True
 
         if changed:
-            # Remove code made unreachable by the retargeting.
-            cfg = build_cfg(func)
+            # Remove code made unreachable by the retargeting.  The
+            # cache must be dropped first: the retargeting above mutated
+            # terminators in place.
+            func.invalidate_analyses()
+            cfg = cfg_of(func)
             reachable = cfg.reachable(func.entry.label)
             func.blocks = [
                 block for block in func.blocks if block.label in reachable
             ]
+            func.invalidate_analyses()
         return changed

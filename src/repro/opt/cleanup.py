@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import cfg_of
 from repro.ir.function import Function
 from repro.ir.instructions import CondBranch, Jump
 
@@ -61,6 +61,7 @@ def remove_empty_blocks(func: Function) -> bool:
             for i, block in enumerate(func.blocks)
             if i == 0 or block.insts or i == len(func.blocks) - 1
         ]
+        func.invalidate_analyses()
         changed = True
 
 
@@ -68,7 +69,7 @@ def merge_fallthrough_blocks(func: Function) -> bool:
     """Merge a block into its fallthrough-only single predecessor."""
     changed = False
     while True:
-        cfg = build_cfg(func)
+        cfg = cfg_of(func)
         merged = False
         for i in range(len(func.blocks) - 1):
             upper = func.blocks[i]
@@ -79,6 +80,7 @@ def merge_fallthrough_blocks(func: Function) -> bool:
                 continue
             upper.insts.extend(lower.insts)
             del func.blocks[i + 1]
+            func.invalidate_analyses()
             merged = True
             changed = True
             break

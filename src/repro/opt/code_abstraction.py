@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import cfg_of
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Compare, CondBranch, Instruction, Jump
 from repro.machine.target import Target
@@ -41,7 +41,7 @@ class CodeAbstraction(Phase):
     # ------------------------------------------------------------------
 
     def _cross_jump_once(self, func: Function) -> bool:
-        cfg = build_cfg(func)
+        cfg = cfg_of(func)
         for join in func.blocks:
             preds = cfg.preds.get(join.label, [])
             if len(preds) < 2 or join.label == func.entry.label:
@@ -61,6 +61,7 @@ class CodeAbstraction(Phase):
                 keep = pred.body()[:-suffix_len]
                 pred.insts = keep + ([term] if term is not None else [])
             join.insts[0:0] = suffix
+            func.invalidate_analyses()
             return True
         return False
 
@@ -92,7 +93,7 @@ class CodeAbstraction(Phase):
     # ------------------------------------------------------------------
 
     def _hoist_once(self, func: Function) -> bool:
-        cfg = build_cfg(func)
+        cfg = cfg_of(func)
         for i, block in enumerate(func.blocks):
             term = block.terminator()
             if not isinstance(term, CondBranch):
@@ -120,5 +121,6 @@ class CodeAbstraction(Phase):
                 fallthrough.insts.pop(0)
                 hoisted = True
             if hoisted:
+                func.invalidate_analyses()
                 return True
         return False

@@ -31,9 +31,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.cache import cfg_of, dominators_of
 from repro.analysis.defuse import defined_reg, rewrite_uses, single_def_registers
-from repro.analysis.dominators import compute_dominators
-from repro.ir.cfg import build_cfg
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, Call, Compare, Instruction
 from repro.ir.operands import (
@@ -211,6 +210,8 @@ class CommonSubexpressionElimination(Phase):
                 elif isinstance(inst, Assign) and isinstance(inst.dst, Mem):
                     table.invalidate_memory(inst.dst)
                 table.record(inst)
+        if changed:
+            func.invalidate_analyses()
         return changed
 
     # ------------------------------------------------------------------
@@ -245,8 +246,8 @@ class CommonSubexpressionElimination(Phase):
                 reg in single_defs or reg == FP for reg in expr.registers()
             )
 
-        cfg = build_cfg(func)
-        dom = compute_dominators(func, cfg)
+        cfg = cfg_of(func)
+        dom = dominators_of(func)
         reachable = set(dom.idom)
         position: Dict[Reg, Tuple[str, int]] = {}
         for block in func.blocks:
@@ -287,6 +288,8 @@ class CommonSubexpressionElimination(Phase):
                 if dominated and holder != dst:
                     block.insts[i] = Assign(dst, holder)
                     changed = True
+        if changed:
+            func.invalidate_analyses()
         return changed
 
     # ------------------------------------------------------------------
@@ -298,8 +301,8 @@ class CommonSubexpressionElimination(Phase):
         single_defs: Dict[Reg, Instruction],
         values: Dict[Reg, Expr],
     ) -> bool:
-        cfg = build_cfg(func)
-        dom = compute_dominators(func, cfg)
+        cfg = cfg_of(func)
+        dom = dominators_of(func)
         reachable = set(dom.idom)
         position: Dict[Reg, Tuple[str, int]] = {}
         for block in func.blocks:
@@ -342,4 +345,6 @@ class CommonSubexpressionElimination(Phase):
                 if legal is not None and legal != inst:
                     block.insts[i] = legal
                     changed = True
+        if changed:
+            func.invalidate_analyses()
         return changed

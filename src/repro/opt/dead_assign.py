@@ -20,8 +20,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.analysis.liveness import compute_liveness, compute_slot_liveness
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import liveness_of, slot_liveness_of
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, Compare, CondBranch, Instruction
 from repro.ir.operands import Mem, Reg
@@ -40,9 +39,8 @@ class DeadAssignmentElimination(Phase):
         return changed
 
     def _sweep(self, func: Function) -> bool:
-        cfg = build_cfg(func)
-        liveness = compute_liveness(func, cfg)
-        slot_liveness = compute_slot_liveness(func, cfg)
+        liveness = liveness_of(func)
+        slot_liveness = slot_liveness_of(func)
         frame_refs = slot_liveness.frame_refs
         removed = False
         for block in func.blocks:
@@ -72,6 +70,7 @@ class DeadAssignmentElimination(Phase):
                 kept.append(inst)
             if len(kept) != len(block.insts):
                 block.insts = kept
+                func.invalidate_analyses()
         return removed
 
     @staticmethod

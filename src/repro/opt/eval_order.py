@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-from repro.analysis.liveness import compute_liveness
+from repro.analysis.cache import liveness_of
 from repro.ir.function import Function
 from repro.ir.instructions import Call, Compare, CondBranch, Instruction
 from repro.ir.operands import Reg
@@ -72,7 +72,7 @@ class EvaluationOrderDetermination(Phase):
         return not func.reg_assigned
 
     def run(self, func: Function, target: Target) -> bool:
-        liveness = compute_liveness(func)
+        liveness = liveness_of(func)
         changed = False
         for block in func.blocks:
             if len(block.insts) < 3:
@@ -80,6 +80,7 @@ class EvaluationOrderDetermination(Phase):
             new_order = self._schedule(block.insts, liveness.live_out[block.label])
             if new_order != list(range(len(block.insts))):
                 block.insts = [block.insts[i] for i in new_order]
+                func.invalidate_analyses()
                 changed = True
         return changed
 

@@ -130,6 +130,8 @@ class InstructionSelection(Phase):
                 if folded is not inst and folded != inst and target.is_legal(folded):
                     block.insts[i] = folded
                     folded_any = True
+        if folded_any:
+            func.invalidate_analyses()
 
         use_counts = count_register_uses(func)
         for block in func.blocks:
@@ -160,6 +162,7 @@ class InstructionSelection(Phase):
                 continue
             insts[j] = combined
             del insts[i]
+            func.invalidate_analyses()
             return True
         return False
 

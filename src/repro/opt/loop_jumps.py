@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.analysis.loops import find_natural_loops
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import cfg_of, loops_of
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import CondBranch, INVERTED_RELOP, Jump
 from repro.machine.target import Target
@@ -36,8 +35,7 @@ class MinimizeLoopJumps(Phase):
         return changed
 
     def _apply_once(self, func: Function) -> bool:
-        cfg = build_cfg(func)
-        loops = find_natural_loops(func, cfg)
+        loops = loops_of(func)
         for loop in loops:
             header = func.block(loop.header)
             term = header.terminator()
@@ -102,3 +100,4 @@ class MinimizeLoopJumps(Phase):
         if needs_thunk:
             thunk = BasicBlock(func.new_label(), [Jump(exit_label)])
             func.blocks.insert(latch_index + 1, thunk)
+        func.invalidate_analyses()

@@ -30,10 +30,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.dominators import compute_dominators
-from repro.analysis.liveness import compute_liveness
-from repro.analysis.loops import Loop, find_natural_loops
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import cfg_of, dominators_of, liveness_of, loops_of
+from repro.analysis.loops import Loop
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import (
     Assign,
@@ -52,7 +50,7 @@ _TRAPPING_OPS = frozenset({"div", "rem", "fdiv"})
 
 def ensure_preheader(func: Function, loop: Loop) -> BasicBlock:
     """Return the loop's preheader, creating one when necessary."""
-    cfg = build_cfg(func)
+    cfg = cfg_of(func)
     header_label = loop.header
     outside = [p for p in cfg.preds.get(header_label, ()) if p not in loop.body]
     if len(outside) == 1:
@@ -78,6 +76,7 @@ def ensure_preheader(func: Function, loop: Loop) -> BasicBlock:
             pred.insts[-1] = CondBranch(term.relop, preheader.label)
         # Fallthrough predecessors now fall into the preheader, which
         # falls into the header.
+    func.invalidate_analyses()
     return preheader
 
 
@@ -128,8 +127,7 @@ class LoopTransformations(Phase):
         return changed
 
     def _apply_once(self, func: Function, target: Target) -> bool:
-        cfg = build_cfg(func)
-        loops = find_natural_loops(func, cfg)
+        loops = loops_of(func)
         for loop in loops:  # innermost first
             if self._transform_loop(func, target, loop):
                 return True
@@ -148,9 +146,9 @@ class LoopTransformations(Phase):
     # ------------------------------------------------------------------
 
     def _licm_once(self, func: Function, loop: Loop, info: _LoopInfo) -> bool:
-        cfg = build_cfg(func)
-        dom = compute_dominators(func, cfg)
-        liveness = compute_liveness(func, cfg)
+        cfg = cfg_of(func)
+        dom = dominators_of(func)
+        liveness = liveness_of(func)
         header_live_in = liveness.live_in[loop.header]
         latches = loop.latches
         exiting = loop.exiting_blocks(cfg)
@@ -192,8 +190,10 @@ class LoopTransformations(Phase):
                     continue
                 # Commit: move to the preheader.
                 del block.insts[i]
+                func.invalidate_analyses()
                 preheader = ensure_preheader(func, loop)
                 _append_to_preheader(preheader, [inst])
+                func.invalidate_analyses()
                 return True
         return False
 
@@ -204,8 +204,7 @@ class LoopTransformations(Phase):
     def _strength_reduce(
         self, func: Function, target: Target, loop: Loop, info: _LoopInfo
     ) -> bool:
-        cfg = build_cfg(func)
-        dom = compute_dominators(func, cfg)
+        dom = dominators_of(func)
         bivs = self._basic_ivs(info, dom, loop)
         if not bivs:
             return False
@@ -329,6 +328,7 @@ class LoopTransformations(Phase):
         bump_block.insts[bump_at + 1 : bump_at + 1] = bumps
 
         self._try_eliminate_biv(func, target, loop, biv, new_regs, preheader)
+        func.invalidate_analyses()
         return True
 
     @staticmethod

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.analysis.loops import Loop, find_natural_loops
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import loops_of
+from repro.analysis.loops import Loop
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import CondBranch, Jump
 from repro.machine.target import Target
@@ -46,8 +46,7 @@ class LoopUnrolling(Phase):
         return changed
 
     def _apply_once(self, func: Function) -> bool:
-        cfg = build_cfg(func)
-        loops = find_natural_loops(func, cfg)
+        loops = loops_of(func)
         for loop in loops:
             if loop.header in func.unrolled:
                 continue
@@ -131,4 +130,5 @@ class LoopUnrolling(Phase):
                 copy_latch.insts[-1] = CondBranch(copy_term.relop, loop.header)
 
         func.blocks[insert_at:insert_at] = copies
+        func.invalidate_analyses()
         return True

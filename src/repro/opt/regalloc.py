@@ -22,8 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.analysis.liveness import compute_liveness, compute_slot_liveness
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import liveness_of, slot_liveness_of
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, Instruction
 from repro.ir.operands import Mem, Reg
@@ -40,8 +39,7 @@ class RegisterAllocation(Phase):
         return func.sel_applied
 
     def run(self, func: Function, target: Target) -> bool:
-        cfg = build_cfg(func)
-        slot_liveness = compute_slot_liveness(func, cfg)
+        slot_liveness = slot_liveness_of(func)
         frame_refs = slot_liveness.frame_refs
         if frame_refs.has_wild:
             return False  # an unresolved frame access may alias any slot
@@ -50,7 +48,7 @@ class RegisterAllocation(Phase):
         if not candidates:
             return False
 
-        liveness = compute_liveness(func, cfg)
+        liveness = liveness_of(func)
         forbidden, slot_edges = self._interference(
             func, candidates, liveness, slot_liveness
         )
@@ -58,6 +56,7 @@ class RegisterAllocation(Phase):
         if not coloring:
             return False
         self._rewrite(func, frame_refs, coloring)
+        func.invalidate_analyses()
         return True
 
     @staticmethod

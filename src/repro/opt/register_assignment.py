@@ -15,9 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.cache import liveness_of
 from repro.analysis.defuse import rewrite_registers
-from repro.analysis.liveness import compute_liveness
-from repro.ir.cfg import build_cfg
 from repro.ir.function import Function
 from repro.ir.instructions import Assign, Instruction
 from repro.ir.operands import BinOp, Const, Mem, Reg
@@ -67,7 +66,7 @@ def _try_color(func: Function) -> Tuple[Dict[Reg, Reg], List[Reg]]:
         interference.setdefault(pseudo, set())
         forbidden.setdefault(pseudo, set())
 
-    liveness = compute_liveness(func)
+    liveness = liveness_of(func)
     for block in func.blocks:
         live_after = liveness.live_after_each(block.label)
         for inst, live in zip(block.insts, live_after):
@@ -131,6 +130,7 @@ def _try_color(func: Function) -> Tuple[Dict[Reg, Reg], List[Reg]]:
 def _rewrite(func: Function, coloring: Dict[Reg, Reg]) -> None:
     for block in func.blocks:
         block.insts = [rewrite_registers(inst, coloring) for inst in block.insts]
+    func.invalidate_analyses()
 
 
 def _spill_slot_name(func: Function) -> str:
@@ -165,3 +165,4 @@ def _spill(func: Function, pseudo: Reg) -> None:
             else:
                 new_insts.append(inst)
         block.insts = new_insts
+    func.invalidate_analyses()

@@ -17,7 +17,7 @@ becomes::
 
 from __future__ import annotations
 
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import cfg_of
 from repro.ir.function import Function
 from repro.ir.instructions import CondBranch, INVERTED_RELOP, Jump
 from repro.machine.target import Target
@@ -31,7 +31,7 @@ class ReverseBranches(Phase):
     def run(self, func: Function, target: Target) -> bool:
         changed = False
         while True:
-            cfg = build_cfg(func)
+            cfg = cfg_of(func)
             applied = False
             for i in range(len(func.blocks) - 2):
                 upper = func.blocks[i]
@@ -53,6 +53,7 @@ class ReverseBranches(Phase):
                     INVERTED_RELOP[term.relop], jump_target
                 )
                 del func.blocks[i + 1]
+                func.invalidate_analyses()
                 applied = True
                 changed = True
                 break

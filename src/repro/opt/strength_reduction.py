@@ -83,6 +83,8 @@ class StrengthReduction(Phase):
                     new_insts.extend(expansion)
                     changed = True
             block.insts = new_insts
+        if changed:
+            func.invalidate_analyses()
         return changed
 
     @staticmethod

@@ -6,7 +6,7 @@ entry block."
 
 from __future__ import annotations
 
-from repro.ir.cfg import build_cfg
+from repro.analysis.cache import cfg_of
 from repro.ir.function import Function
 from repro.machine.target import Target
 from repro.opt.base import Phase
@@ -17,9 +17,10 @@ class RemoveUnreachableCode(Phase):
     name = "remove unreachable code"
 
     def run(self, func: Function, target: Target) -> bool:
-        cfg = build_cfg(func)
+        cfg = cfg_of(func)
         reachable = cfg.reachable(func.entry.label)
         if all(block.label in reachable for block in func.blocks):
             return False
         func.blocks = [block for block in func.blocks if block.label in reachable]
+        func.invalidate_analyses()
         return True

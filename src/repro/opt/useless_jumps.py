@@ -24,4 +24,6 @@ class RemoveUselessJumps(Phase):
             if isinstance(term, (Jump, CondBranch)) and term.target == next_label:
                 block.insts.pop()
                 changed = True
+        if changed:
+            func.invalidate_analyses()
         return changed

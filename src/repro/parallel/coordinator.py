@@ -43,6 +43,7 @@ granularities, all through the PR-1 checkpoint format:
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import re
@@ -65,7 +66,7 @@ from repro.machine.target import DEFAULT_TARGET
 from repro.opt import implicit_cleanup
 from repro.parallel import shards as shards_mod
 from repro.parallel.merge import merge_shard
-from repro.parallel.store import SpaceStore
+from repro.parallel.store import SpaceStore, cacheable
 from repro.parallel.telemetry import ProgressReporter
 from repro.parallel.worker import worker_main
 from repro.robustness.quarantine import QuarantineLog
@@ -399,6 +400,9 @@ class ParallelEnumerator:
         self._next_shard_id = 0
         self._instances = 0
         self._ctx = None
+        #: cross-run phase-transition memo (loaded from the store);
+        #: None when the run is ineligible (exact, guarded, sabotaged)
+        self._memo = None
         if self.parallel.run_dir:
             os.makedirs(self.parallel.run_dir, exist_ok=True)
 
@@ -445,6 +449,19 @@ class ParallelEnumerator:
                 raise ValueError(f"duplicate request label {request.label!r}")
             labels.add(request.label)
         self._emit("job_start", functions=len(requests), jobs=parallel.jobs)
+        # Warm transition memo: hot-path shortcut for re-reached
+        # instances.  Exact mode verifies rather than trusts (and only
+        # the serial engine implements the verification), and guarded
+        # runs must actually execute phases, so both stay cold here.
+        if (
+            parallel.store is not None
+            and not config.exact
+            and not config.guards_enabled()
+            and cacheable(config)
+        ):
+            self._memo = parallel.store.load_memo(config)
+            if len(self._memo):
+                self._emit("memo_loaded", entries=len(self._memo))
         jobs = [
             _FunctionJob(job_id, request, config, parallel.run_dir)
             for job_id, request in enumerate(requests)
@@ -467,6 +484,16 @@ class ParallelEnumerator:
                 )
         if any(job.state != "done" for job in jobs):
             self._run_pool(jobs)
+        if self._memo is not None:
+            # Memo entries are per-transition facts, valid even from an
+            # aborted run — persist whatever was learned.
+            parallel.store.save_memo(config, self._memo)
+            self._emit(
+                "memo_saved",
+                entries=len(self._memo),
+                hits=self._memo.hits,
+                misses=self._memo.misses,
+            )
         if parallel.progress is not None:
             parallel.progress.tick(force=True)
         self._emit(
@@ -638,6 +665,7 @@ class ParallelEnumerator:
         job.expected = []
         job.results = {}
         job.merged = 0
+        synthesized: List[Dict] = []
         for chunk in shards_mod.partition(pending, size):
             shard_id = self._next_shard_id
             self._next_shard_id += 1
@@ -662,7 +690,11 @@ class ParallelEnumerator:
             self._specs[shard_id] = spec
             self._spec_job[shard_id] = job
             job.expected.append(shard_id)
-            self._pending.append(shard_id)
+            memo_result = self._memo_expand(job, spec)
+            if memo_result is not None:
+                synthesized.append(memo_result)
+            else:
+                self._pending.append(shard_id)
         job.state = "waiting"
         self._emit(
             "level_start",
@@ -670,7 +702,99 @@ class ParallelEnumerator:
             level=job.level,
             frontier=len(pending),
             shards=len(job.expected),
+            memo_shards=len(synthesized),
         )
+        # Fully-memoized shards never reach a worker: their synthesized
+        # results merge through the exact same replay path, so the DAG
+        # stays bit-identical to a cold run.
+        for result in synthesized:
+            self._on_result(-1, result)
+
+    def _memo_expand(self, job: _FunctionJob, spec: Dict) -> Optional[Dict]:
+        """A synthesized worker result for a fully-memoized shard.
+
+        Succeeds only when *every* non-arrival transition of every node
+        in the shard is in the memo; a single cold transition sends the
+        whole shard to a worker (workers re-derive everything anyway,
+        and a per-phase split would complicate the replay for little
+        gain — shards are cut along node boundaries).
+        """
+        memo = self._memo
+        if memo is None or not memo.entries:
+            return None
+        config = job.config
+        expansions = []
+        functions: Dict[str, dict] = {}
+        attempts = 0
+        for entry_spec in spec["nodes"]:
+            node = job.dag.nodes[entry_spec["node_id"]]
+            skip = set(entry_spec["skip"])
+            outcomes = []
+            for phase in config.phases:
+                if phase.id in skip:
+                    continue
+                entry = memo.entries.get((node.key, phase.id))
+                if entry is None:
+                    memo.misses += 1
+                    return None
+                attempts += 1
+                if entry.dormant:
+                    outcomes.append({"phase": phase.id, "active": False})
+                    continue
+                key_json = ckpt.key_to_json(entry.key)
+                keystr = json.dumps(key_json)
+                if keystr not in functions:
+                    function = entry.function
+                    if isinstance(function, Function):
+                        function = ckpt.function_to_dict(function)
+                    functions[keystr] = function
+                outcomes.append(
+                    {
+                        "phase": phase.id,
+                        "active": True,
+                        "key": key_json,
+                        "num_insts": entry.num_insts,
+                        "cf_crc": entry.cf_crc,
+                    }
+                )
+            expansions.append([entry_spec["node_id"], outcomes])
+        memo.hits += attempts
+        return {
+            "shard_id": spec["shard_id"],
+            "job_id": spec["job_id"],
+            "level": spec["level"],
+            "expansions": expansions,
+            "functions": functions,
+            "texts": {},
+            "attempts": attempts,
+            "wall": 0.0,
+            "memo_shard": True,
+        }
+
+    def _record_memo(self, job: _FunctionJob, result: Dict) -> None:
+        """Fold a worker shard's outcomes into the transition memo.
+
+        Every recorded outcome is a valid deterministic fact keyed by
+        instance content — including outcomes the replay later discards
+        as stale arrivals (the worker really did apply the phase)."""
+        memo = self._memo
+        functions = result["functions"]
+        for node_id, outcomes in result["expansions"]:
+            parent_key = job.dag.nodes[node_id].key
+            for outcome in outcomes:
+                if outcome.get("quarantine"):
+                    continue  # defensive: memo runs are unguarded
+                if not outcome["active"]:
+                    memo.record_dormant(parent_key, outcome["phase"])
+                    continue
+                memo.record_active(
+                    parent_key,
+                    outcome["phase"],
+                    ckpt.key_from_json(outcome["key"]),
+                    outcome["num_insts"],
+                    outcome["cf_crc"],
+                    functions[json.dumps(outcome["key"])],
+                )
 
     def _dispatch(self) -> None:
         for slot in self._slots:
@@ -761,6 +885,8 @@ class ParallelEnumerator:
             if next_id not in job.results:
                 break
             merged_result = job.results.pop(next_id)
+            if self._memo is not None and not merged_result.get("memo_shard"):
+                self._record_memo(job, merged_result)
             added = merge_shard(job, merged_result)
             job.frontier_index += len(merged_result["expansions"])
             job.merged += 1

@@ -34,6 +34,7 @@ from typing import Dict, Optional
 
 from repro.core import checkpoint as ckpt
 from repro.core.enumeration import EnumerationConfig, EnumerationResult
+from repro.core.memo import TransitionMemo
 from repro.robustness.quarantine import QuarantineLog
 
 STORE_VERSION = 1
@@ -153,8 +154,54 @@ class SpaceStore:
         )
         return path
 
+    # ------------------------------------------------------------------
+    # Phase-transition memo (the warm cross-run expansion cache)
+    # ------------------------------------------------------------------
+
+    def memo_path(self, config: EnumerationConfig) -> str:
+        """One memo file per space-shaping config.
+
+        Memo entries are keyed by content-based node keys, so a single
+        table is shared by every function enumerated under the same
+        phase set and switches — that is what makes cross-function and
+        cross-run hits sound.
+        """
+        digest = hashlib.sha256(
+            json.dumps(store_signature(config), sort_keys=True).encode()
+        ).hexdigest()[:16]
+        return os.path.join(self.root, f"memo-{digest}.json")
+
+    def load_memo(self, config: EnumerationConfig) -> TransitionMemo:
+        """The persisted memo for *config*; empty on miss/corruption."""
+        path = self.memo_path(config)
+        if not os.path.exists(path):
+            return TransitionMemo()
+        try:
+            state = ckpt.load_checkpoint(path)
+            return TransitionMemo.from_dict(state)
+        except (ckpt.CheckpointError, KeyError, TypeError, ValueError):
+            # An unreadable memo is a cold cache, never an error.
+            return TransitionMemo()
+
+    def save_memo(self, config: EnumerationConfig, memo: TransitionMemo) -> Optional[str]:
+        """Persist *memo* (atomic write); None when not cacheable.
+
+        Unlike full space entries, memo entries from an aborted run are
+        still valid facts (each records one deterministic transition),
+        so the caller may save after any unguarded, un-sabotaged run.
+        """
+        if not cacheable(config):
+            return None
+        path = self.memo_path(config)
+        ckpt.save_checkpoint(path, memo.to_dict())
+        return path
+
     def __len__(self) -> int:
-        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
+        return sum(
+            1
+            for name in os.listdir(self.root)
+            if name.endswith(".json") and not name.startswith("memo-")
+        )
 
     def __repr__(self):
         return f"<SpaceStore {self.root}: {len(self)} entries>"

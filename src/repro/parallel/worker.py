@@ -40,7 +40,7 @@ from repro.core.enumeration import _node_key
 from repro.core.fingerprint import fingerprint_function
 from repro.frontend import compile_source
 from repro.machine.target import DEFAULT_TARGET
-from repro.opt import apply_phase, phase_by_id
+from repro.opt import attempt_phase_on_clone, phase_by_id
 from repro.parallel import shards
 from repro.robustness.guard import (
     DifferentialTester,
@@ -170,9 +170,9 @@ class _ShardRunner:
         for phase in self.phases:
             if phase.id in skip:
                 continue
-            candidate = func.clone()
             self.attempts += 1
             if guard is not None:
+                candidate = func.clone()
                 quarantined_before = len(guard.quarantine.records)
                 active = guard.apply(
                     candidate,
@@ -185,7 +185,9 @@ class _ShardRunner:
                     for record in guard.quarantine.records[quarantined_before:]
                 ]
             else:
-                active = apply_phase(candidate, phase, DEFAULT_TARGET)
+                # Single-clone fast path, same as the serial engine.
+                candidate = attempt_phase_on_clone(func, phase, DEFAULT_TARGET)
+                active = candidate is not None
                 quarantine = []
             outcome = {"phase": phase.id, "active": bool(active)}
             if quarantine:

@@ -1,0 +1,310 @@
+"""Hot-path engine tests: streaming fingerprints, the analysis cache,
+the single-clone fast path, and the phase-transition memo.
+
+Every optimization here is only admissible because it is invisible:
+each test pins some piece of the ``bit-identical to the slow path``
+contract — streaming vs render-then-hash fingerprints, zlib vs
+from-scratch CRC, cached vs recomputed analyses, memoized vs real
+phase transitions.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import crc as crc_mod
+from repro.core.crc import crc32, crc32_reference
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.core.fingerprint import fingerprint_function, set_legacy_mode
+from repro.core.memo import MemoEntry, TransitionMemo
+from repro.opt import (
+    PHASES,
+    apply_phase,
+    attempt_phase_on_clone,
+    implicit_cleanup,
+    set_legacy_clone_mode,
+)
+from repro.analysis import set_cache_enabled, set_paranoid
+from repro.programs import PROGRAMS, compile_benchmark
+
+
+def _all_seed_functions():
+    """Every function of every bundled benchmark, canonicalized."""
+    for bench_name in sorted(PROGRAMS):
+        program = compile_benchmark(bench_name)
+        for name, func in program.functions.items():
+            clone = func.clone()
+            implicit_cleanup(clone)
+            yield f"{bench_name}.{name}", clone
+
+
+def _mutated_functions(seed: int = 2006, count: int = 10, length: int = 6):
+    """Functions randomly walked through the phase space (each step is
+    a real phase application, so these cover post-optimization shapes:
+    assigned registers, folded instructions, unrolled loops, ...)."""
+    rng = random.Random(seed)
+    pool = list(_all_seed_functions())
+    for _ in range(count):
+        label, func = pool[rng.randrange(len(pool))]
+        func = func.clone()
+        applied = []
+        for _step in range(length):
+            phase = PHASES[rng.randrange(len(PHASES))]
+            if apply_phase(func, phase):
+                applied.append(phase.id)
+        yield f"{label}+{''.join(applied)}", func
+
+
+def _legacy_fingerprint(func, keep_text=False, remap=True):
+    previous = set_legacy_mode(True)
+    try:
+        return fingerprint_function(func, keep_text=keep_text, remap=remap)
+    finally:
+        set_legacy_mode(previous)
+
+
+def dag_snapshot(dag):
+    return tuple(
+        (
+            node_id,
+            dag.nodes[node_id].key,
+            dag.nodes[node_id].level,
+            dag.nodes[node_id].num_insts,
+            dag.nodes[node_id].cf_crc,
+            tuple(sorted(dag.nodes[node_id].active.items())),
+            tuple(sorted(dag.nodes[node_id].dormant)),
+            tuple(dag.nodes[node_id].parents),
+        )
+        for node_id in sorted(dag.nodes)
+    )
+
+
+def result_signature(result):
+    return (
+        dag_snapshot(result.dag),
+        result.attempted_phases,
+        result.phases_applied,
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming fingerprint == legacy render-then-hash fingerprint
+# ----------------------------------------------------------------------
+
+
+class TestStreamingFingerprint:
+    def test_matches_legacy_on_every_seed_function(self):
+        for label, func in _all_seed_functions():
+            assert fingerprint_function(func) == _legacy_fingerprint(func), label
+
+    def test_matches_legacy_on_phase_mutated_functions(self):
+        for label, func in _mutated_functions():
+            assert fingerprint_function(func) == _legacy_fingerprint(func), label
+
+    def test_matches_legacy_under_reference_crc(self):
+        # The table CRC and zlib must agree through the streaming
+        # chunk-chaining too, not just on whole buffers.
+        previous = crc_mod.set_reference_mode(True)
+        try:
+            for label, func in list(_all_seed_functions())[:8]:
+                assert fingerprint_function(func) == _legacy_fingerprint(
+                    func
+                ), label
+        finally:
+            crc_mod.set_reference_mode(previous)
+
+    def test_keep_text_matches_streaming_hashes(self):
+        # Exact mode renders the text; its hashes must equal the
+        # streaming ones bit for bit.
+        for label, func in list(_all_seed_functions())[:8]:
+            with_text = fingerprint_function(func, keep_text=True)
+            streamed = fingerprint_function(func)
+            assert with_text.key == streamed.key, label
+            assert with_text.cf_crc == streamed.cf_crc, label
+            assert with_text.text is not None
+
+    def test_no_remap_ablation_unchanged(self):
+        for label, func in list(_all_seed_functions())[:8]:
+            assert fingerprint_function(func, remap=False) == _legacy_fingerprint(
+                func, remap=False
+            ), label
+
+
+@given(st.lists(st.binary(max_size=64), max_size=8))
+def test_crc_chaining_matches_whole_buffer(chunks):
+    # The streaming pipeline relies on crc32(b, crc32(a)) == crc32(a+b)
+    # for both implementations.
+    joined = b"".join(chunks)
+    value = 0
+    reference = 0
+    for chunk in chunks:
+        value = crc32(chunk, value)
+        reference = crc32_reference(chunk, reference)
+    assert value == crc32(joined) == zlib.crc32(joined)
+    assert reference == crc32_reference(joined) == zlib.crc32(joined)
+
+
+@given(st.binary(max_size=256), st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_reference_crc_matches_zlib_with_seed(data, seed):
+    assert crc32_reference(data, seed) == zlib.crc32(data, seed)
+
+
+# ----------------------------------------------------------------------
+# Analysis cache: invisible, and invalidation is complete
+# ----------------------------------------------------------------------
+
+
+class TestAnalysisCache:
+    def test_cache_off_is_bit_identical(self):
+        func = compile_benchmark("sha").functions["rol"]
+        implicit_cleanup(func)
+        cached = enumerate_space(func, EnumerationConfig())
+        previous = set_cache_enabled(False)
+        try:
+            uncached = enumerate_space(func, EnumerationConfig())
+        finally:
+            set_cache_enabled(previous)
+        assert result_signature(cached) == result_signature(uncached)
+
+    def test_paranoid_mode_finds_no_stale_analyses(self):
+        # Paranoid mode recomputes every analysis and raises if a
+        # cached one diverges — a full enumeration is a sweep over
+        # every phase's invalidation discipline.
+        func = compile_benchmark("jpeg").functions["descale"]
+        implicit_cleanup(func)
+        previous = set_paranoid(True)
+        try:
+            result = enumerate_space(func, EnumerationConfig())
+        finally:
+            set_paranoid(previous)
+        assert result.completed
+
+
+# ----------------------------------------------------------------------
+# Single-clone fast path == legacy clone + apply_phase
+# ----------------------------------------------------------------------
+
+
+class TestSingleCloneFastPath:
+    def test_matches_legacy_on_mutated_functions(self):
+        for label, func in _mutated_functions(seed=7, count=6, length=4):
+            for phase in PHASES:
+                before = fingerprint_function(func, keep_text=True)
+                fast = attempt_phase_on_clone(func.clone(), phase)
+                previous = set_legacy_clone_mode(True)
+                try:
+                    slow = attempt_phase_on_clone(func.clone(), phase)
+                finally:
+                    set_legacy_clone_mode(previous)
+                # dormant/active agreement, identical results, and the
+                # parent untouched either way
+                assert (fast is None) == (slow is None), (label, phase.id)
+                if fast is not None:
+                    assert fingerprint_function(
+                        fast, keep_text=True
+                    ) == fingerprint_function(slow, keep_text=True), (
+                        label,
+                        phase.id,
+                    )
+                    assert (fast.reg_assigned, fast.sel_applied, fast.alloc_applied) == (
+                        slow.reg_assigned,
+                        slow.sel_applied,
+                        slow.alloc_applied,
+                    )
+                assert fingerprint_function(func, keep_text=True) == before
+
+    def test_dormant_phase_never_mutates_parent(self):
+        func = compile_benchmark("sha").functions["rol"]
+        implicit_cleanup(func)
+        before = fingerprint_function(func, keep_text=True)
+        for phase in PHASES:
+            attempt_phase_on_clone(func, phase)
+            assert fingerprint_function(func, keep_text=True) == before, phase.id
+
+
+# ----------------------------------------------------------------------
+# Phase-transition memo
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def rol():
+    func = compile_benchmark("sha").functions["rol"]
+    implicit_cleanup(func)
+    return func
+
+
+class TestTransitionMemo:
+    def test_cold_and_warm_runs_bit_identical(self, rol):
+        baseline = enumerate_space(rol, EnumerationConfig())
+        memo = TransitionMemo()
+        cold = enumerate_space(rol, EnumerationConfig(memo=memo))
+        assert len(memo) > 0
+        warm = enumerate_space(rol, EnumerationConfig(memo=memo))
+        assert (
+            result_signature(baseline)
+            == result_signature(cold)
+            == result_signature(warm)
+        )
+        # the warm run never executed a phase: every transition hit
+        assert memo.hits >= baseline.attempted_phases
+
+    def test_exact_mode_verifies_and_passes(self, rol):
+        memo = TransitionMemo()
+        enumerate_space(rol, EnumerationConfig(memo=memo))
+        exact = enumerate_space(rol, EnumerationConfig(memo=memo, exact=True))
+        baseline = enumerate_space(rol, EnumerationConfig(exact=True))
+        assert result_signature(exact) == result_signature(baseline)
+
+    def test_exact_mode_raises_on_poisoned_entry(self, rol):
+        memo = TransitionMemo()
+        enumerate_space(rol, EnumerationConfig(memo=memo))
+        # Flip one recorded dormancy: exact mode must notice.
+        parent_key, phase_id = next(
+            k for k, entry in memo.entries.items() if entry.dormant
+        )
+        memo.entries[(parent_key, phase_id)] = MemoEntry(
+            dormant=False, key=("poisoned",), num_insts=1, cf_crc=1
+        )
+        with pytest.raises(RuntimeError, match="memo"):
+            enumerate_space(rol, EnumerationConfig(memo=memo, exact=True))
+
+    def test_json_round_trip(self, rol):
+        memo = TransitionMemo()
+        baseline = enumerate_space(rol, EnumerationConfig(memo=memo))
+        restored = TransitionMemo.from_dict(
+            json.loads(json.dumps(memo.to_dict()))
+        )
+        assert len(restored) == len(memo)
+        warm = enumerate_space(rol, EnumerationConfig(memo=restored))
+        assert result_signature(warm) == result_signature(baseline)
+
+    def test_memo_ignored_under_guards(self, rol):
+        # A guarded run must execute every phase for real.
+        memo = TransitionMemo()
+        enumerate_space(rol, EnumerationConfig(memo=memo))
+        hits_before = memo.hits
+        guarded = enumerate_space(
+            rol, EnumerationConfig(memo=memo, validate=True)
+        )
+        assert guarded.completed
+        assert memo.hits == hits_before
+
+    def test_memo_shared_across_functions(self):
+        # Content-keyed entries: enumerating f twice under one memo via
+        # two *different* Function objects still hits.
+        a = compile_benchmark("fft").functions["fcos"]
+        b = compile_benchmark("fft").functions["fcos"]
+        implicit_cleanup(a)
+        implicit_cleanup(b)
+        memo = TransitionMemo()
+        first = enumerate_space(a, EnumerationConfig(memo=memo))
+        misses_after_first = memo.misses
+        second = enumerate_space(b, EnumerationConfig(memo=memo))
+        assert memo.misses == misses_after_first
+        assert result_signature(first) == result_signature(second)

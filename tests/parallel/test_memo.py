@@ -1,0 +1,115 @@
+"""The cross-run transition memo through the parallel service.
+
+A warm memo must be a pure accelerator: every DAG, dormant set and
+counter comes out bit-identical to a cold run — serial, sharded, and
+store-served alike.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig
+from repro.core.memo import TransitionMemo
+from repro.parallel import ParallelConfig, SpaceStore, enumerate_space_parallel
+from tests.parallel.conftest import dag_snapshot
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return SpaceStore(str(tmp_path / "spaces"))
+
+
+def _drop_space_entries(store):
+    """Delete the full-space cache entries, keeping only the memo —
+    forces the next run to re-enumerate through the memo fast path."""
+    for name in os.listdir(store.root):
+        if not name.startswith("memo-"):
+            os.unlink(os.path.join(store.root, name))
+
+
+def test_memo_written_alongside_space_entries(store, case_functions):
+    func = case_functions[("sha", "rol")]
+    enumerate_space_parallel(
+        func, EnumerationConfig(), ParallelConfig(jobs=2, store=store)
+    )
+    memo_file = os.path.basename(store.memo_path(EnumerationConfig()))
+    assert memo_file in os.listdir(store.root)
+    # memo files are not space entries
+    assert len(store) == 1
+    memo = store.load_memo(EnumerationConfig())
+    assert len(memo) > 0
+
+
+def test_memo_warm_run_bit_identical(store, case_functions, serial_results):
+    for case in (("sha", "rol"), ("jpeg", "descale")):
+        func = case_functions[case]
+        enumerate_space_parallel(
+            func, EnumerationConfig(), ParallelConfig(jobs=2, store=store)
+        )
+        _drop_space_entries(store)
+        warm_store = SpaceStore(store.root)
+        warm = enumerate_space_parallel(
+            func, EnumerationConfig(), ParallelConfig(jobs=2, store=warm_store)
+        )
+        serial = serial_results[case]
+        assert warm.resumed_from is None  # enumerated, not cache-served
+        assert dag_snapshot(warm.dag) == dag_snapshot(serial.dag)
+        assert warm.attempted_phases == serial.attempted_phases
+        assert warm.phases_applied == serial.phases_applied
+        assert warm.completed
+        # the Table 4/5/6 interaction matrices come out identical too
+        from repro.core.interactions import analyze_interactions
+
+        warm_tables = analyze_interactions([warm])
+        serial_tables = analyze_interactions([serial])
+        assert warm_tables.format_enabling() == serial_tables.format_enabling()
+        assert warm_tables.format_disabling() == serial_tables.format_disabling()
+        assert (
+            warm_tables.format_independence()
+            == serial_tables.format_independence()
+        )
+
+
+def test_memo_round_trips_through_disk(store, case_functions, serial_results):
+    func = case_functions[("fft", "fcos")]
+    enumerate_space_parallel(
+        func, EnumerationConfig(), ParallelConfig(jobs=1, store=store)
+    )
+    memo = store.load_memo(EnumerationConfig())
+    assert len(memo) > 0
+    # A serial run on the deserialized memo must also be identical —
+    # that is the serial/parallel/warm equivalence triangle.
+    from repro.core.enumeration import enumerate_space
+
+    warm = enumerate_space(func, EnumerationConfig(memo=memo))
+    serial = serial_results[("fft", "fcos")]
+    assert dag_snapshot(warm.dag) == dag_snapshot(serial.dag)
+    assert warm.attempted_phases == serial.attempted_phases
+
+
+def test_memo_is_per_config(store):
+    assert store.memo_path(EnumerationConfig()) != store.memo_path(
+        EnumerationConfig(exact=True)
+    )
+    assert store.memo_path(EnumerationConfig()) != store.memo_path(
+        EnumerationConfig(validate=True)
+    )
+
+
+def test_corrupt_memo_is_a_cold_cache(store):
+    path = store.memo_path(EnumerationConfig())
+    with open(path, "w") as handle:
+        handle.write("{ not json")
+    memo = store.load_memo(EnumerationConfig())
+    assert isinstance(memo, TransitionMemo)
+    assert len(memo) == 0
+
+
+def test_fault_injected_runs_never_save_a_memo(store):
+    from repro.robustness.faults import FaultInjector
+
+    config = EnumerationConfig(fault_injector=FaultInjector(seed=1, rate=0.5))
+    assert store.save_memo(config, TransitionMemo()) is None
