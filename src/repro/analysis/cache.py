@@ -46,9 +46,18 @@ from repro.analysis.liveness import (
 from repro.analysis.loops import find_natural_loops
 from repro.ir.cfg import CFG, build_cfg
 from repro.ir.function import Function
+from repro.observability import tracer as _obs
 
 _ENABLED = not os.environ.get("REPRO_NO_ANALYSIS_CACHE")
 _PARANOID = bool(os.environ.get("REPRO_PARANOID_ANALYSIS"))
+
+
+def _note(hit: bool) -> None:
+    """Count one cache query on the active tracer, if any (the counters
+    surface as a run-level ``analysis_cache_stats`` event)."""
+    tr = _obs.ACTIVE
+    if tr is not None:
+        tr.analysis_event(hit)
 
 
 def set_cache_enabled(enabled: bool) -> bool:
@@ -92,8 +101,10 @@ def _cache_of(func: Function) -> AnalysisCache:
 def cfg_of(func: Function) -> CFG:
     """The function's CFG, cached until the next invalidation."""
     if not _ENABLED:
+        _note(False)
         return build_cfg(func)
     cache = _cache_of(func)
+    _note(cache.cfg is not None)
     if cache.cfg is None:
         cache.cfg = build_cfg(func)
     elif _PARANOID:
@@ -104,8 +115,10 @@ def cfg_of(func: Function) -> CFG:
 def liveness_of(func: Function) -> Liveness:
     """Register liveness, cached; rebound to *func* on clone sharing."""
     if not _ENABLED:
+        _note(False)
         return compute_liveness(func)
     cache = _cache_of(func)
+    _note(cache.liveness is not None)
     if cache.liveness is None:
         cache.liveness = compute_liveness(func, cfg_of(func))
     elif _PARANOID:
@@ -122,8 +135,10 @@ def liveness_of(func: Function) -> Liveness:
 def slot_liveness_of(func: Function) -> SlotLiveness:
     """Frame-slot liveness, cached; rebound to *func* on clone sharing."""
     if not _ENABLED:
+        _note(False)
         return compute_slot_liveness(func)
     cache = _cache_of(func)
+    _note(cache.slot_liveness is not None)
     if cache.slot_liveness is None:
         cache.slot_liveness = compute_slot_liveness(func, cfg_of(func))
     elif _PARANOID:
@@ -144,8 +159,10 @@ def slot_liveness_of(func: Function) -> SlotLiveness:
 def dominators_of(func: Function) -> DominatorTree:
     """The dominator tree, cached until the next invalidation."""
     if not _ENABLED:
+        _note(False)
         return compute_dominators(func)
     cache = _cache_of(func)
+    _note(cache.dominators is not None)
     if cache.dominators is None:
         cache.dominators = compute_dominators(func, cfg_of(func))
     elif _PARANOID:
@@ -161,8 +178,10 @@ def dominators_of(func: Function) -> DominatorTree:
 def loops_of(func: Function):
     """The natural-loop nest (innermost first), cached."""
     if not _ENABLED:
+        _note(False)
         return find_natural_loops(func)
     cache = _cache_of(func)
+    _note(cache.loops is not None)
     if cache.loops is None:
         cache.loops = find_natural_loops(func, cfg_of(func), dominators_of(func))
     elif _PARANOID:

@@ -17,6 +17,10 @@ enumerate
     deterministic fault harness) — see docs/ROBUSTNESS.md.
 interactions
     Enumerate several functions and print the Table 4/5/6 matrices.
+report
+    Render a human summary of a ``--run-dir``'s telemetry (manifest,
+    event journal, phase outcomes, cache hit rates, quarantines) — see
+    docs/OBSERVABILITY.md.
 search
     Genetic-algorithm search for a good phase ordering.
 list-benchmarks
@@ -29,6 +33,7 @@ as ``bench:NAME`` (e.g. ``bench:sha``) wherever a file is expected.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -151,26 +156,53 @@ def cmd_run(args) -> int:
     return 0
 
 
-def _parallel_service(args, store_dir, progress, run_dir):
-    """Build the (ParallelConfig, reporter) pair for --jobs/--store."""
-    import os
+def _build_tracer(args, tool: str):
+    """The --run-dir journal + manifest, installed as the process-global
+    tracer.  The caller closes it with the run's ok flag."""
+    from repro.observability import build_manifest
+    from repro.observability.tracer import Tracer, install
 
+    seeds = {}
+    if getattr(args, "inject_faults", 0.0):
+        seeds["fault"] = args.fault_seed
+    config = {
+        key: value for key, value in sorted(vars(args).items())
+        if key != "handler"
+    }
+    manifest = build_manifest(
+        tool=tool, config=config, seeds=seeds, argv=sys.argv[1:]
+    )
+    tracer = Tracer(run_dir=args.run_dir, manifest=manifest)
+    install(tracer)
+    tracer.emit("run_start", tool=tool)
+    return tracer
+
+
+def _close_tracer(tracer, ok: bool) -> None:
+    if tracer is None:
+        return
+    from repro.observability.tracer import uninstall
+
+    uninstall()
+    tracer.close(ok=ok)
+
+
+def _parallel_service(args, store_dir, progress, run_dir, tracer=None):
+    """Build the (ParallelConfig, reporter) pair for --jobs/--store."""
     from repro.parallel import ParallelConfig, ProgressReporter, SpaceStore
 
     store = SpaceStore(store_dir) if store_dir else None
-    jsonl = None
-    if run_dir:
-        os.makedirs(run_dir, exist_ok=True)
-        jsonl = os.path.join(run_dir, "events.jsonl")
-    reporter = (
-        ProgressReporter(jsonl_path=jsonl) if (progress or jsonl) else None
-    )
+    # The run-dir journal belongs to the tracer; the reporter is a pure
+    # event consumer driving the status line (the coordinator delivers
+    # every event to both).
+    reporter = ProgressReporter() if progress else None
     parallel = ParallelConfig(
         jobs=args.jobs,
         run_dir=run_dir,
         resume=getattr(args, "resume", False),
         store=store,
         progress=reporter,
+        tracer=tracer,
     )
     return parallel, reporter
 
@@ -205,7 +237,7 @@ def cmd_enumerate(args) -> int:
     func = _select_function(program, args.function)
     implicit_cleanup(func)
     facts = static_function_facts(func)
-    use_parallel = args.jobs > 1 or args.store or args.run_dir
+    use_parallel = args.jobs > 1 or bool(args.store)
     if args.resume and not (args.checkpoint or args.run_dir):
         raise SystemExit("--resume requires --checkpoint PATH (or --run-dir DIR)")
     if use_parallel and args.checkpoint:
@@ -218,6 +250,11 @@ def cmd_enumerate(args) -> int:
         if not 0.0 < args.inject_faults <= 1.0:
             raise SystemExit("--inject-faults RATE must be in (0, 1]")
         injector = FaultInjector(seed=args.fault_seed, rate=args.inject_faults)
+    # A serial --run-dir run checkpoints into the run dir, so
+    # --run-dir DIR --resume works the same with and without --jobs.
+    checkpoint_path = args.checkpoint
+    if not use_parallel and args.run_dir and not checkpoint_path:
+        checkpoint_path = os.path.join(args.run_dir, "checkpoint.json")
     config = EnumerationConfig(
         max_nodes=args.max_nodes,
         time_limit=args.time_limit,
@@ -227,21 +264,23 @@ def cmd_enumerate(args) -> int:
         program=program if (args.difftest and not use_parallel) else None,
         phase_timeout=args.phase_timeout,
         fault_injector=injector,
-        checkpoint_path=None if use_parallel else args.checkpoint,
+        checkpoint_path=None if use_parallel else checkpoint_path,
         resume=False if use_parallel else args.resume,
     )
+    tracer = _build_tracer(args, "repro.enumerate") if args.run_dir else None
     profiler = None
     if args.profile:
         import cProfile
 
         profiler = cProfile.Profile()
         profiler.enable()
+    ok = False
     try:
         if use_parallel:
             from repro.parallel import EnumerationRequest, ParallelEnumerator
 
             parallel, reporter = _parallel_service(
-                args, args.store, args.progress, args.run_dir
+                args, args.store, args.progress, args.run_dir, tracer
             )
             request = EnumerationRequest(
                 args.function, func, source if args.difftest else None
@@ -261,12 +300,14 @@ def cmd_enumerate(args) -> int:
                 )
         else:
             result = enumerate_space(func, config)
+        ok = True
     except CheckpointError as error:
         raise SystemExit(str(error))
     finally:
         if profiler is not None:
             profiler.disable()
             _dump_profile(profiler, args.run_dir)
+        _close_tracer(tracer, ok)
     stats = FunctionSpaceStats(args.function, *facts, result)
     print(format_stats_table([stats]))
     if result.resumed_from:
@@ -320,20 +361,30 @@ def cmd_interactions(args) -> int:
         clone = func.clone()
         implicit_cleanup(clone)
         funcs.append((name, clone))
-    if args.jobs > 1 or args.store:
-        from repro.parallel import EnumerationRequest, ParallelEnumerator
+    tracer = (
+        _build_tracer(args, "repro.interactions")
+        if getattr(args, "run_dir", None)
+        else None
+    )
+    ok = False
+    try:
+        if args.jobs > 1 or args.store:
+            from repro.parallel import EnumerationRequest, ParallelEnumerator
 
-        parallel, reporter = _parallel_service(
-            args, args.store, args.progress, None
-        )
-        requests = [EnumerationRequest(name, func) for name, func in funcs]
-        try:
-            results = ParallelEnumerator(config, parallel).enumerate(requests)
-        finally:
-            if reporter is not None:
-                reporter.close()
-    else:
-        results = [enumerate_space(func, config) for _name, func in funcs]
+            parallel, reporter = _parallel_service(
+                args, args.store, args.progress, args.run_dir, tracer
+            )
+            requests = [EnumerationRequest(name, func) for name, func in funcs]
+            try:
+                results = ParallelEnumerator(config, parallel).enumerate(requests)
+            finally:
+                if reporter is not None:
+                    reporter.close()
+        else:
+            results = [enumerate_space(func, config) for _name, func in funcs]
+        ok = True
+    finally:
+        _close_tracer(tracer, ok)
     for (name, _func), result in zip(funcs, results):
         status = "complete" if result.completed else "truncated"
         if result.resumed_from and result.resumed_from.startswith("store:"):
@@ -347,6 +398,26 @@ def cmd_interactions(args) -> int:
     print(analysis.format_disabling())
     print()
     print(analysis.format_independence())
+    return 0
+
+
+def cmd_report(args) -> int:
+    import json
+
+    from repro.observability.report import (
+        ReportError,
+        render_report,
+        summarize_run,
+    )
+
+    try:
+        summary = summarize_run(args.run_dir)
+    except ReportError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_report(summary))
     return 0
 
 
@@ -487,8 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--run-dir",
         metavar="DIR",
-        help="parallel work journal (shard/level checkpoints, event "
-        "log); makes a --jobs run crash-safe and resumable",
+        help="run journal directory (events.jsonl, manifest.json, "
+        "checkpoints); works for serial and --jobs runs, makes both "
+        "crash-safe and resumable; inspect with `repro report DIR`",
     )
     p.add_argument(
         "--profile",
@@ -505,7 +577,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-nodes", type=int, default=4000)
     p.add_argument("--time-limit", type=float, default=60.0)
     _add_parallel_arguments(p)
+    p.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="run journal directory (events.jsonl, manifest.json); "
+        "inspect with `repro report DIR`",
+    )
     p.set_defaults(handler=cmd_interactions)
+
+    p = sub.add_parser("report", help="summarize a run dir's telemetry")
+    p.add_argument(
+        "run_dir",
+        metavar="RUN_DIR",
+        help="the --run-dir of a previous enumerate/interactions run",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    p.set_defaults(handler=cmd_report)
 
     p = sub.add_parser("search", help="genetic search for a phase ordering")
     p.add_argument("file", help="mini-C file or bench:NAME")

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.ir.function import Function
 from repro.machine.target import DEFAULT_TARGET, Target
+from repro.observability import tracer as _obs
 from repro.opt import PHASES, Phase, apply_phase, phase_by_id
 from repro.robustness.guard import GuardedPhaseRunner
 
@@ -145,7 +146,7 @@ class BatchCompiler:
             if self.guard is not None
             else 0
         )
-        return CompilationReport(
+        report = CompilationReport(
             func.name,
             attempted,
             len(active_sequence),
@@ -154,3 +155,16 @@ class BatchCompiler:
             func.num_instructions(),
             quarantined=quarantined,
         )
+        tr = _obs.ACTIVE
+        if tr is not None:
+            tr.emit(
+                "batch_compile",
+                function=report.function_name,
+                attempted=report.attempted,
+                active=report.active,
+                sequence="".join(report.active_sequence),
+                quarantined=report.quarantined,
+                code_size=report.code_size,
+                wall=round(report.elapsed, 3),
+            )
+        return report

@@ -54,6 +54,7 @@ from repro.core.fingerprint import Fingerprint, fingerprint_function
 from repro.core.memo import TransitionMemo
 from repro.ir.function import Function, Program
 from repro.machine.target import DEFAULT_TARGET, Target
+from repro.observability import tracer as _obs
 from repro.opt import (
     PHASES,
     Phase,
@@ -299,6 +300,7 @@ class SpaceEnumerator:
 
     def _run_locked(self) -> EnumerationResult:
         config = self.config
+        tracer = _obs.ACTIVE
         consumed = 0.0
         if (
             config.resume
@@ -307,8 +309,25 @@ class SpaceEnumerator:
         ):
             consumed = self._restore(config.checkpoint_path)
             self.resumed_from = config.checkpoint_path
+            if tracer is not None:
+                tracer.emit(
+                    "checkpoint_resume",
+                    path=config.checkpoint_path,
+                    function=self.input_func.name,
+                    level=self.level,
+                )
         else:
             self._initialize()
+        if tracer is not None:
+            tracer.emit(
+                "enum_start",
+                function=self.input_func.name,
+                level=self.level,
+                resumed=self.resumed_from is not None,
+            )
+            phase_snapshot = tracer.snapshot_phases()
+            memo_hits0 = self.memo.hits if self.memo is not None else 0
+            memo_misses0 = self.memo.misses if self.memo is not None else 0
         self.budget = _Budget(config, consumed=consumed)
         self._last_checkpoint = time.monotonic()
 
@@ -335,6 +354,32 @@ class SpaceEnumerator:
                 node.function = None
             for node in self.next_frontier:
                 node.function = None
+        if tracer is not None:
+            delta = tracer.phases_since(phase_snapshot)
+            if delta:
+                tracer.emit(
+                    "phase_stats",
+                    phases=delta,
+                    function=self.input_func.name,
+                )
+            if self.memo is not None:
+                tracer.emit(
+                    "memo_stats",
+                    hits=self.memo.hits - memo_hits0,
+                    misses=self.memo.misses - memo_misses0,
+                    entries=len(self.memo),
+                    function=self.input_func.name,
+                )
+            tracer.emit(
+                "enum_done",
+                function=self.input_func.name,
+                instances=len(self.dag),
+                completed=self.completed,
+                levels=self.level,
+                attempted=self.attempted,
+                reason=self.abort_reason,
+                wall=round(elapsed, 3),
+            )
         return EnumerationResult(
             self.dag,
             self.completed,
@@ -497,6 +542,15 @@ class SpaceEnumerator:
             self.next_frontier = []
             self.frontier_index = 0
             self.level += 1
+            tracer = _obs.ACTIVE
+            if tracer is not None:
+                tracer.emit(
+                    "level_done",
+                    function=self.input_func.name,
+                    level=self.level - 1,
+                    frontier=len(self.frontier),
+                    instances=len(self.dag),
+                )
 
     def _abort(self, reason: Optional[str]) -> None:
         self.completed = False
@@ -511,6 +565,7 @@ class SpaceEnumerator:
         scratch — keeping resumed enumerations bit-identical.
         """
         config = self.config
+        tracer = _obs.ACTIVE
         arrival = _arrival_phases(node)
         dormant_before = set(node.dormant)
         attempted_before = self.attempted
@@ -561,6 +616,10 @@ class SpaceEnumerator:
                 # content-keyed fact — skip clone + apply + fingerprint.
                 # Counters advance exactly as the cold path would.
                 self.applied += 1
+                if tracer is not None:
+                    tracer.phase_outcome(
+                        phase.id, "dormant" if entry.dormant else "active"
+                    )
                 if entry.dormant:
                     node.dormant.add(phase.id)
                     continue
@@ -595,6 +654,10 @@ class SpaceEnumerator:
                 else:
                     candidate = node.function.clone()
                     active = self._apply(candidate, phase, node)
+                    if tracer is not None:
+                        tracer.phase_outcome(
+                            phase.id, "active" if active else "dormant"
+                        )
             else:
                 candidate = self.root_func.clone()
                 for prior_id in self.recipes[node.node_id]:
@@ -604,6 +667,10 @@ class SpaceEnumerator:
                     )
                 self.applied += 1
                 active = self._apply(candidate, phase, node)
+                if tracer is not None:
+                    tracer.phase_outcome(
+                        phase.id, "active" if active else "dormant"
+                    )
             if not active:
                 if entry is not None and not entry.dormant:
                     raise RuntimeError(
@@ -687,6 +754,14 @@ class SpaceEnumerator:
 
     def _write_checkpoint(self) -> None:
         ckpt.save_checkpoint(self.config.checkpoint_path, self._state())
+        tracer = _obs.ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                "checkpoint_write",
+                path=self.config.checkpoint_path,
+                function=self.input_func.name,
+                level=self.level,
+            )
 
     def _state(self) -> Dict[str, object]:
         config = self.config

@@ -75,6 +75,14 @@ class TransitionMemo:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters, in the shape telemetry events use."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self.entries),
+        }
+
     def lookup(self, parent_key, phase_id: str) -> Optional[MemoEntry]:
         entry = self.entries.get((parent_key, phase_id))
         if entry is None:

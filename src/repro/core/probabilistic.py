@@ -22,6 +22,7 @@ from repro.core.batch import CompilationReport
 from repro.core.interactions import InteractionAnalysis
 from repro.ir.function import Function
 from repro.machine.target import DEFAULT_TARGET, Target
+from repro.observability import tracer as _obs
 from repro.opt import PHASE_IDS, apply_phase, phase_by_id
 from repro.robustness.guard import GuardedPhaseRunner
 
@@ -106,7 +107,7 @@ class ProbabilisticCompiler:
             if self.guard is not None
             else 0
         )
-        return CompilationReport(
+        report = CompilationReport(
             func.name,
             attempted,
             len(active_sequence),
@@ -115,3 +116,16 @@ class ProbabilisticCompiler:
             func.num_instructions(),
             quarantined=quarantined,
         )
+        tr = _obs.ACTIVE
+        if tr is not None:
+            tr.emit(
+                "prob_compile",
+                function=report.function_name,
+                attempted=report.attempted,
+                active=report.active,
+                sequence="".join(report.active_sequence),
+                quarantined=report.quarantined,
+                code_size=report.code_size,
+                wall=round(report.elapsed, 3),
+            )
+        return report

@@ -1,0 +1,62 @@
+"""Unified observability: event journal, run manifest, tracer, report.
+
+One vocabulary serves every run mode.  Producers (serial enumerator,
+parallel coordinator, compilers, guard, caches) emit through the
+module-global tracer in :mod:`repro.observability.tracer`; consumers
+(the live progress reporter, ``repro report``, tests) read the JSONL
+journal back through :mod:`repro.observability.events`.
+"""
+
+from repro.observability.events import (
+    EVENT_SCHEMA,
+    JOURNAL_NAME,
+    SCHEMA_VERSION,
+    EventSchemaError,
+    EventStream,
+    read_journal,
+    validate_event,
+    validate_journal,
+    validate_record,
+)
+from repro.observability.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    build_manifest,
+    config_digest,
+    finalize_manifest,
+    load_manifest,
+    write_manifest,
+)
+from repro.observability.tracer import (
+    OUTCOMES,
+    Tracer,
+    active,
+    install,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "OUTCOMES",
+    "SCHEMA_VERSION",
+    "EventSchemaError",
+    "EventStream",
+    "Tracer",
+    "active",
+    "build_manifest",
+    "config_digest",
+    "finalize_manifest",
+    "install",
+    "load_manifest",
+    "read_journal",
+    "tracing",
+    "uninstall",
+    "validate_event",
+    "validate_journal",
+    "validate_record",
+    "write_manifest",
+]

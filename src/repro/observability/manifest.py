@@ -1,0 +1,132 @@
+"""The per-run-dir ``RunManifest``: what ran, where, and under what.
+
+Every run dir gets a ``manifest.json`` describing the run well enough
+to interpret its telemetry later — or on another machine: the tool and
+argv, a digest of the space-shaping configuration, the seeds, every
+``REPRO_*`` environment toggle in effect, host facts, and (once the
+run finishes) wall and CPU time.
+
+The manifest is written at run *start* — a crashed run still leaves
+one — and finalized in place at the end.  Writes are atomic
+(temp file + ``os.replace``), the same discipline as checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import socket
+import tempfile
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+from repro.observability.events import SCHEMA_VERSION
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def config_digest(signature: Optional[Dict[str, object]]) -> Optional[str]:
+    """Stable short digest of a config-signature dict (None for None)."""
+    if signature is None:
+        return None
+    return hashlib.sha256(
+        json.dumps(signature, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def env_toggles() -> Dict[str, str]:
+    """Every ``REPRO_*`` environment variable currently set."""
+    return {
+        key: value
+        for key, value in sorted(os.environ.items())
+        if key.startswith("REPRO_")
+    }
+
+
+def host_facts() -> Dict[str, object]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+def build_manifest(
+    tool: str,
+    config: Optional[Dict[str, object]] = None,
+    seeds: Optional[Dict[str, object]] = None,
+    argv: Optional[list] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """A fresh manifest dict for a run that is starting now."""
+    manifest: Dict[str, object] = {
+        "manifest_version": MANIFEST_VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "tool": tool,
+        "argv": list(argv) if argv is not None else None,
+        "started_at": datetime.now(timezone.utc).isoformat(),
+        "config": config,
+        "config_digest": config_digest(config),
+        "seeds": dict(seeds) if seeds else {},
+        "env": env_toggles(),
+        "host": host_facts(),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def manifest_path(run_dir: str) -> str:
+    return os.path.join(run_dir, MANIFEST_NAME)
+
+
+def write_manifest(run_dir: str, manifest: Dict[str, object]) -> str:
+    """Atomically write *manifest* into *run_dir*; returns the path."""
+    os.makedirs(run_dir, exist_ok=True)
+    path = manifest_path(run_dir)
+    fd, tmp = tempfile.mkstemp(
+        prefix=MANIFEST_NAME + ".", dir=run_dir, text=True
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_manifest(run_dir: str) -> Optional[Dict[str, object]]:
+    """The run dir's manifest, or None when absent/unreadable."""
+    path = manifest_path(run_dir)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def finalize_manifest(
+    run_dir: str, wall: float, cpu: float, ok: bool = True
+) -> Optional[str]:
+    """Stamp end-of-run facts into an existing manifest (atomic)."""
+    manifest = load_manifest(run_dir)
+    if manifest is None:
+        return None
+    manifest.update(
+        ended_at=datetime.now(timezone.utc).isoformat(),
+        wall_s=round(wall, 3),
+        cpu_s=round(cpu, 3),
+        ok=bool(ok),
+    )
+    return write_manifest(run_dir, manifest)

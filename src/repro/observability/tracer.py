@@ -1,0 +1,206 @@
+"""The run tracer: the one object producers emit observability into.
+
+A :class:`Tracer` bundles the JSONL :class:`~repro.observability.events.EventStream`
+of a run dir, the run's :mod:`~repro.observability.manifest`, and the
+hot-path aggregation counters (per-phase attempted/active/dormant,
+AnalysisCache hits/misses).  Producers find it through the module
+global :data:`ACTIVE`:
+
+    from repro.observability import tracer as obs
+    tr = obs.ACTIVE
+    if tr is not None:
+        tr.phase_outcome(phase.id, active)
+
+which is the whole zero-cost-when-off story: with no tracer installed
+the hot paths pay one global read and one ``is None`` test — no
+allocation, no I/O, no branching on configuration objects.  Install a
+tracer (``install()`` or the ``tracing(...)`` context manager) and the
+same sites start counting and journaling.
+
+Tracing is observational only: it never touches node keys, dormant
+sets, or any enumeration decision, which is what keeps traced and
+untraced runs bit-identical (see ``tests/observability``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+from repro.observability import manifest as manifest_mod
+from repro.observability.events import JOURNAL_NAME, EventStream
+
+#: the installed tracer, or None (tracing off).  Hot paths read this
+#: directly; everything else should go through :func:`active`.
+ACTIVE: Optional["Tracer"] = None
+
+#: per-phase outcome classes the tracer counts
+OUTCOMES = ("active", "dormant", "quarantined")
+
+
+class Tracer:
+    """Event journal + manifest + aggregation counters for one run."""
+
+    def __init__(
+        self,
+        run_dir: Optional[str] = None,
+        jsonl_path: Optional[str] = None,
+        manifest: Optional[Dict[str, object]] = None,
+    ):
+        import os
+
+        self.run_dir = run_dir
+        if run_dir is not None and jsonl_path is None:
+            os.makedirs(run_dir, exist_ok=True)
+            jsonl_path = os.path.join(run_dir, JOURNAL_NAME)
+        self.stream = EventStream(jsonl_path)
+        if run_dir is not None and manifest is not None:
+            manifest_mod.write_manifest(run_dir, manifest)
+        self._subscribers: List[Callable[..., None]] = []
+        #: phase id -> {"active": n, "dormant": n, "quarantined": n}
+        self.phase_counts: Dict[str, Dict[str, int]] = {}
+        self.analysis_hits = 0
+        self.analysis_misses = 0
+        self._wall0 = time.monotonic()
+        self._cpu0 = time.process_time()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Event stream
+    # ------------------------------------------------------------------
+
+    def emit(self, name: str, **fields) -> None:
+        """Append one schema-validated event; fan out to subscribers."""
+        self.stream.emit(name, **fields)
+        for subscriber in self._subscribers:
+            subscriber(name, **fields)
+
+    def subscribe(self, callback: Callable[..., None]) -> None:
+        """Register ``callback(name, **fields)`` for every emitted event."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Hot-path counters (no I/O; flushed as events at span boundaries)
+    # ------------------------------------------------------------------
+
+    def phase_outcome(self, phase_id: str, outcome: str) -> None:
+        """Count one phase attempt's outcome (see :data:`OUTCOMES`)."""
+        counts = self.phase_counts.get(phase_id)
+        if counts is None:
+            counts = dict.fromkeys(OUTCOMES, 0)
+            self.phase_counts[phase_id] = counts
+        counts[outcome] += 1
+
+    def analysis_event(self, hit: bool) -> None:
+        if hit:
+            self.analysis_hits += 1
+        else:
+            self.analysis_misses += 1
+
+    def snapshot_phases(self) -> Dict[str, Dict[str, int]]:
+        """A copy of the per-phase counters, for later diffing."""
+        return {
+            phase_id: dict(counts)
+            for phase_id, counts in self.phase_counts.items()
+        }
+
+    def phases_since(
+        self, snapshot: Dict[str, Dict[str, int]]
+    ) -> Dict[str, Dict[str, int]]:
+        """Per-phase counter deltas since *snapshot* (zero rows omitted)."""
+        delta: Dict[str, Dict[str, int]] = {}
+        for phase_id, counts in self.phase_counts.items():
+            before = snapshot.get(phase_id, {})
+            row = {
+                outcome: counts[outcome] - before.get(outcome, 0)
+                for outcome in OUTCOMES
+            }
+            if any(row.values()):
+                delta[phase_id] = row
+        return delta
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, ok: bool = True) -> None:
+        """Flush run-level counter events, finalize the manifest."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.analysis_hits or self.analysis_misses:
+            self.emit(
+                "analysis_cache_stats",
+                hits=self.analysis_hits,
+                misses=self.analysis_misses,
+            )
+        wall = time.monotonic() - self._wall0
+        self.emit("run_end", wall=round(wall, 3), ok=bool(ok))
+        if self.run_dir is not None:
+            manifest_mod.finalize_manifest(
+                self.run_dir, wall, time.process_time() - self._cpu0, ok=ok
+            )
+        self.stream.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        self.close(ok=exc_type is None)
+
+
+# ----------------------------------------------------------------------
+# Global installation
+# ----------------------------------------------------------------------
+
+
+def install(tracer: Tracer) -> Optional[Tracer]:
+    """Make *tracer* the active tracer; returns the previous one."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = tracer
+    return previous
+
+
+def uninstall() -> Optional[Tracer]:
+    """Deactivate tracing; returns the tracer that was active."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = None
+    return previous
+
+
+def active() -> Optional[Tracer]:
+    return ACTIVE
+
+
+@contextmanager
+def tracing(
+    run_dir: Optional[str] = None,
+    jsonl_path: Optional[str] = None,
+    manifest: Optional[Dict[str, object]] = None,
+    tracer: Optional[Tracer] = None,
+):
+    """Install a tracer for the enclosed block; close it on exit.
+
+    Pass an existing *tracer* to install it without transferring
+    ownership (it is not closed on exit); otherwise one is built from
+    *run_dir*/*jsonl_path* and closed when the block ends.
+    """
+    owned = tracer is None
+    if tracer is None:
+        tracer = Tracer(run_dir=run_dir, jsonl_path=jsonl_path, manifest=manifest)
+    previous = install(tracer)
+    try:
+        yield tracer
+    except BaseException:
+        if owned:
+            tracer.close(ok=False)
+        raise
+    else:
+        if owned:
+            tracer.close(ok=True)
+    finally:
+        global ACTIVE
+        ACTIVE = previous

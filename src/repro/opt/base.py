@@ -51,6 +51,7 @@ from typing import List, Optional
 
 from repro.ir.function import Function
 from repro.machine.target import DEFAULT_TARGET, Target
+from repro.observability import tracer as _obs
 
 
 class Phase:
@@ -139,17 +140,22 @@ def attempt_phase_on_clone(
         target = DEFAULT_TARGET
     if _LEGACY_CLONE:
         candidate = func.clone()
-        return candidate if apply_phase(candidate, phase, target) else None
+        active = apply_phase(candidate, phase, target)
+        _note_outcome(phase, active)
+        return candidate if active else None
     if not phase.applicable(func):
+        _note_outcome(phase, False)
         return None
     candidate = func.clone()
     if phase.requires_assignment and not candidate.reg_assigned:
         assign_registers(candidate, target)
         candidate.reg_assigned = True
     if not phase.run(candidate, target):
+        _note_outcome(phase, False)
         return None
     _cleanup_fixpoint(candidate, phase, target)
     _note_active(candidate, phase)
+    _note_outcome(phase, True)
     return candidate
 
 
@@ -172,6 +178,17 @@ def _cleanup_fixpoint(func: Function, phase: Phase, target: Target) -> None:
     raise RuntimeError(
         f"{func.name}: phase {phase.id} did not reach a fixpoint with cleanup"
     )
+
+
+def _note_outcome(phase: Phase, active: bool) -> None:
+    """Count this attempt's outcome on the active tracer, if any.
+
+    Observational only — never touches the function or the phase, so
+    traced and untraced runs stay bit-identical.
+    """
+    tr = _obs.ACTIVE
+    if tr is not None:
+        tr.phase_outcome(phase.id, "active" if active else "dormant")
 
 
 def _note_active(func: Function, phase: Phase) -> None:

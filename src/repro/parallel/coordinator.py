@@ -63,10 +63,12 @@ from repro.core.enumeration import (
 from repro.core.fingerprint import fingerprint_function
 from repro.ir.function import Function
 from repro.machine.target import DEFAULT_TARGET
+from repro.observability import manifest as manifest_mod
+from repro.observability.tracer import Tracer
 from repro.opt import implicit_cleanup
 from repro.parallel import shards as shards_mod
 from repro.parallel.merge import merge_shard
-from repro.parallel.store import SpaceStore, cacheable
+from repro.parallel.store import SpaceStore, cacheable, store_signature
 from repro.parallel.telemetry import ProgressReporter
 from repro.parallel.worker import worker_main
 from repro.robustness.quarantine import QuarantineLog
@@ -99,6 +101,7 @@ class ParallelConfig:
         progress: Optional[ProgressReporter] = None,
         chaos: Optional[Dict] = None,
         start_method: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ):
         #: worker process count
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -127,6 +130,10 @@ class ParallelConfig:
         #: "exit"|"hang"} — makes one worker fail mid-shard, once
         self.chaos = chaos
         self.start_method = start_method
+        #: observability tracer (journal + manifest); caller-owned.
+        #: When None and a run_dir is set (without a legacy journaling
+        #: reporter), the coordinator builds and owns one.
+        self.tracer = tracer
 
     def resolve_start_method(self) -> str:
         if self.start_method is not None:
@@ -193,6 +200,9 @@ class _FunctionJob:
         self.level = 0
         self.attempted = 0
         self.applied = 0
+        #: phase id -> {"active", "dormant", "quarantined"} counts,
+        #: folded at merge time (see repro.parallel.merge)
+        self.phase_counts: Dict[str, Dict[str, int]] = {}
         self.quarantine = QuarantineLog()
         #: seconds consumed by prior runs (level-checkpoint resume)
         self.consumed = 0.0
@@ -293,14 +303,16 @@ class _FunctionJob:
 
     def write_checkpoint(
         self, outstanding_specs: Dict[int, Dict], interval: float, force: bool = False
-    ) -> None:
+    ) -> bool:
+        """Persist a level checkpoint; True when one was written."""
         if self.checkpoint_path is None or self.state == "done":
-            return
+            return False
         now = time.monotonic()
         if not force and now - self._last_checkpoint < interval:
-            return
+            return False
         self._last_checkpoint = now
         ckpt.save_checkpoint(self.checkpoint_path, self.checkpoint_state(outstanding_specs))
+        return True
 
     def try_restore(self) -> bool:
         """Continue from a level checkpoint in run_dir, if present."""
@@ -405,6 +417,36 @@ class ParallelEnumerator:
         self._memo = None
         if self.parallel.run_dir:
             os.makedirs(self.parallel.run_dir, exist_ok=True)
+        self._tracer = self.parallel.tracer
+        self._owns_tracer = False
+        reporter = self.parallel.progress
+        if (
+            self._tracer is None
+            and self.parallel.run_dir
+            and (reporter is None or reporter.jsonl_path is None)
+        ):
+            # No caller-provided tracer and no legacy journal-owning
+            # reporter: give the run dir its journal + manifest here.
+            self._tracer = self._build_tracer()
+            self._owns_tracer = True
+
+    def _build_tracer(self) -> Tracer:
+        config, parallel = self.config, self.parallel
+        seeds: Dict[str, object] = {}
+        if config.fault_injector is not None:
+            seeds["fault"] = config.fault_injector.seed
+        manifest = manifest_mod.build_manifest(
+            tool="repro.parallel",
+            config=store_signature(config),
+            seeds=seeds,
+            extra={
+                "jobs": parallel.jobs,
+                "start_method": parallel.resolve_start_method(),
+            },
+        )
+        tracer = Tracer(run_dir=parallel.run_dir, manifest=manifest)
+        tracer.emit("run_start", tool="repro.parallel", jobs=parallel.jobs)
+        return tracer
 
     @staticmethod
     def _check_supported(config: EnumerationConfig) -> None:
@@ -436,6 +478,18 @@ class ParallelEnumerator:
         self, requests: Sequence[EnumerationRequest]
     ) -> List[EnumerationResult]:
         """Enumerate every requested function; results in request order."""
+        ok = False
+        try:
+            results = self._enumerate(requests)
+            ok = True
+            return results
+        finally:
+            if self._owns_tracer and self._tracer is not None:
+                self._tracer.close(ok=ok)
+
+    def _enumerate(
+        self, requests: Sequence[EnumerationRequest]
+    ) -> List[EnumerationResult]:
         config, parallel = self.config, self.parallel
         if config.difftest:
             for request in requests:
@@ -563,8 +617,15 @@ class ParallelEnumerator:
             self._drive(jobs)
         except KeyboardInterrupt:
             for job in jobs:
-                if job.state != "done":
-                    job.write_checkpoint(self._specs, 0.0, force=True)
+                if job.state != "done" and job.write_checkpoint(
+                    self._specs, 0.0, force=True
+                ):
+                    self._emit(
+                        "checkpoint_write",
+                        path=job.checkpoint_path,
+                        function=job.label,
+                        level=job.level,
+                    )
             raise
         finally:
             self._shutdown()
@@ -914,7 +975,13 @@ class ParallelEnumerator:
             job.next_frontier = []
             job.frontier_index = 0
             job.level += 1
-            job.write_checkpoint(self._specs, self.parallel.checkpoint_interval)
+            if job.write_checkpoint(self._specs, self.parallel.checkpoint_interval):
+                self._emit(
+                    "checkpoint_write",
+                    path=job.checkpoint_path,
+                    function=job.label,
+                    level=job.level,
+                )
             job.state = "ready"
 
     def _check_budgets(self, jobs: List[_FunctionJob]) -> None:
@@ -984,7 +1051,13 @@ class ParallelEnumerator:
 
     def _abort(self, job: _FunctionJob, reason: str) -> None:
         job.abort_reason = reason
-        job.write_checkpoint(self._specs, 0.0, force=True)
+        if job.write_checkpoint(self._specs, 0.0, force=True):
+            self._emit(
+                "checkpoint_write",
+                path=job.checkpoint_path,
+                function=job.label,
+                level=job.level,
+            )
         self._finish(job, completed=False)
 
     def _finish(self, job: _FunctionJob, completed: bool) -> None:
@@ -997,6 +1070,10 @@ class ParallelEnumerator:
                 self.parallel.store.put(
                     job.function_name, job.root_key, job.config, job.result()
                 )
+        if job.phase_counts:
+            self._emit(
+                "phase_stats", phases=job.phase_counts, function=job.label
+            )
         self._emit(
             "function_done",
             function=job.label,
@@ -1008,6 +1085,8 @@ class ParallelEnumerator:
         )
 
     def _emit(self, name: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(name, **fields)
         if self.parallel.progress is not None:
             self.parallel.progress.event(name, **fields)
 

@@ -48,6 +48,12 @@ def merge_shard(job, result) -> int:
     dag = job.dag
     functions = result["functions"]
     texts = result["texts"]
+    #: per-phase attempted/active/dormant/quarantined telemetry; folded
+    #: here (not in workers) so the counts follow the replay's serial
+    #: semantics — discarded stale-arrival outcomes are not counted,
+    #: exactly as the serial enumerator never attempts them.  getattr:
+    #: merge also replays onto bare job stand-ins in tests.
+    phase_counts = getattr(job, "phase_counts", None)
     added = 0
     for node_id, outcomes in result["expansions"]:
         node = dag.nodes[node_id]
@@ -70,8 +76,16 @@ def merge_shard(job, result) -> int:
                 )
             job.attempted += 1
             job.applied += 1
-            for record in outcome.get("quarantine", ()):
+            records = outcome.get("quarantine", ())
+            for record in records:
                 job.quarantine.add(QuarantineRecord.from_dict(record))
+            if phase_counts is not None:
+                counts = phase_counts.get(phase.id)
+                if counts is None:
+                    counts = {"active": 0, "dormant": 0, "quarantined": 0}
+                    phase_counts[phase.id] = counts
+                counts["active" if outcome["active"] else "dormant"] += 1
+                counts["quarantined"] += len(records)
             if not outcome["active"]:
                 node.dormant.add(phase.id)
                 continue

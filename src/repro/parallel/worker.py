@@ -262,6 +262,13 @@ def worker_main(worker_id: int, job_spec: Dict, task_queue, event_queue) -> None
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # non-main thread (tests)
         pass
+    # A fork-started worker inherits the coordinator's installed tracer
+    # — and with it an open journal file descriptor.  Telemetry has a
+    # single writer (the coordinator, which folds worker outcomes at
+    # merge time), so tracing is always off in workers.
+    from repro.observability import tracer as obs_tracer
+
+    obs_tracer.ACTIVE = None
     program_cache: Dict = {}
     chaos_state: Dict = {}
     while True:

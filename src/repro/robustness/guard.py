@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.ir.function import Function, Program
 from repro.ir.validate import IRValidationError, validate_ir
 from repro.machine.target import DEFAULT_TARGET, Target
+from repro.observability import tracer as _obs
 from repro.opt import Phase, apply_phase
 from repro.robustness.faults import FaultInjector, InjectedFault
 from repro.robustness.quarantine import QuarantineLog, QuarantineRecord
@@ -219,6 +220,15 @@ class GuardedPhaseRunner:
             self.fault_injector is not None
             and self.fault_injector.should_inject()
         )
+        if injected:
+            tr = _obs.ACTIVE
+            if tr is not None:
+                tr.emit(
+                    "fault_injected",
+                    phase=phase.id,
+                    node_key=node_key,
+                    level=level,
+                )
         started = time.monotonic()
         try:
             with _phase_alarm(self.phase_timeout):
@@ -335,6 +345,20 @@ class GuardedPhaseRunner:
                 diff=diff,
             )
         )
+        tr = _obs.ACTIVE
+        if tr is not None:
+            # Quarantined attempts read as dormant to the caller (and
+            # are counted dormant there); this counter and event record
+            # *why* separately, without disturbing that accounting.
+            tr.phase_outcome(phase.id, "quarantined")
+            tr.emit(
+                "quarantine",
+                phase=phase.id,
+                kind=kind,
+                detail=detail[:200],
+                node_key=node_key,
+                level=level,
+            )
 
     @staticmethod
     def _excerpt(before: Function, after: Function, limit: int = 12) -> str:

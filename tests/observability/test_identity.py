@@ -1,0 +1,58 @@
+"""Tracing is observational: traced and untraced runs are bit-identical.
+
+The acceptance bar for the observability layer is that switching it on
+changes *nothing* the paper measures — node keys, levels, edges,
+dormant sets, attempted/applied counters — while its own accounting
+(per-phase active/dormant partition) agrees with the enumeration's.
+"""
+
+from __future__ import annotations
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.observability import tracing
+from repro.observability.events import validate_journal
+from tests.parallel.conftest import bench_function, dag_snapshot
+
+
+def test_traced_serial_run_is_bit_identical(tmp_path):
+    baseline = enumerate_space(bench_function("sha", "rol"), EnumerationConfig())
+    with tracing(run_dir=str(tmp_path / "run")) as tracer:
+        traced = enumerate_space(bench_function("sha", "rol"), EnumerationConfig())
+        counts = tracer.snapshot_phases()
+    assert dag_snapshot(traced.dag) == dag_snapshot(baseline.dag)
+    assert traced.attempted_phases == baseline.attempted_phases
+    assert traced.phases_applied == baseline.phases_applied
+    # active/dormant strictly partition the attempts
+    attempts = sum(c["active"] + c["dormant"] for c in counts.values())
+    assert attempts == baseline.attempted_phases
+    assert sum(c["quarantined"] for c in counts.values()) == 0
+    # per-phase active counts equal the DAG's out-edge counts per phase
+    active_edges = {}
+    for node_id in range(len(traced.dag.nodes)):
+        for phase_id in traced.dag.nodes[node_id].active:
+            active_edges[phase_id] = active_edges.get(phase_id, 0) + 1
+    assert {p: c["active"] for p, c in counts.items() if c["active"]} == active_edges
+
+
+def test_traced_run_journal_is_schema_valid(tmp_path):
+    run_dir = tmp_path / "run"
+    with tracing(run_dir=str(run_dir)) as tracer:
+        tracer.emit("run_start", tool="test")
+        enumerate_space(bench_function("sha", "rol"), EnumerationConfig())
+    records, errors = validate_journal(str(run_dir / "events.jsonl"))
+    assert errors == []
+    names = [record["event"] for record in records]
+    assert names[0] == "run_start"
+    assert names[-1] == "run_end"
+    assert "enum_start" in names
+    assert "enum_done" in names
+    assert "phase_stats" in names
+
+
+def test_tracing_context_restores_previous_state(tmp_path):
+    from repro.observability import tracer as obs
+
+    assert obs.ACTIVE is None
+    with tracing(run_dir=str(tmp_path / "run")):
+        assert obs.ACTIVE is not None
+    assert obs.ACTIVE is None

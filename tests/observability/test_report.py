@@ -1,0 +1,158 @@
+"""``repro report`` end to end, and journal/result accounting closure.
+
+These tests drive the real CLI: a serial ``--run-dir`` run and a
+``--jobs 2`` run over the same function must both leave a
+schema-valid journal + manifest behind, report identical phase-outcome
+accounting, and replay through the live reporter without double
+counting functions across cache_hit/function_done events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.observability.events import validate_journal
+from repro.observability.report import summarize_run
+from repro.parallel.telemetry import replay_journal
+
+ROL = ["enumerate", "bench:sha", "--function", "rol", "--max-nodes", "300"]
+
+
+def _accounting(summary):
+    row = summary["functions"]["rol"]
+    return (
+        row["instances"],
+        row["levels"],
+        row["attempted"],
+        row["active"],
+        row["dormant"],
+        row["quarantined"],
+        row["completed"],
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_run(tmp_path_factory):
+    run_dir = str(tmp_path_factory.mktemp("obs") / "serial")
+    assert main(ROL + ["--run-dir", run_dir]) == 0
+    return run_dir
+
+
+@pytest.fixture(scope="module")
+def parallel_run(tmp_path_factory):
+    run_dir = str(tmp_path_factory.mktemp("obs") / "jobs2")
+    assert main(ROL + ["--jobs", "2", "--run-dir", run_dir]) == 0
+    return run_dir
+
+
+def test_serial_run_dir_artifacts(serial_run):
+    assert os.path.exists(os.path.join(serial_run, "manifest.json"))
+    records, errors = validate_journal(os.path.join(serial_run, "events.jsonl"))
+    assert errors == []
+    names = [record["event"] for record in records]
+    assert names[0] == "run_start"
+    assert names[-1] == "run_end"
+    summary = summarize_run(serial_run)
+    assert summary["manifest"]["tool"] == "repro.enumerate"
+    assert summary["manifest"]["ok"] is True
+    assert summary["totals"]["schema_errors"] == 0
+
+
+def test_parallel_run_dir_artifacts(parallel_run):
+    records, errors = validate_journal(os.path.join(parallel_run, "events.jsonl"))
+    assert errors == []
+    names = {record["event"] for record in records}
+    assert {"run_start", "job_start", "shard_done", "phase_stats",
+            "function_done", "run_end"} <= names
+    summary = summarize_run(parallel_run)
+    assert summary["manifest"]["ok"] is True
+
+
+def test_serial_and_parallel_accounting_agree(serial_run, parallel_run):
+    """The report's attempted/active/dormant partition is identical for
+    --jobs 1 and --jobs 2 runs of the same space (replay semantics)."""
+    serial = summarize_run(serial_run)
+    parallel = summarize_run(parallel_run)
+    assert _accounting(serial) == _accounting(parallel)
+    row = serial["functions"]["rol"]
+    assert row["attempted"] == row["active"] + row["dormant"]
+    assert row["attempted"] > 0
+
+
+def test_report_command_renders_both(serial_run, parallel_run, capsys):
+    for run_dir in (serial_run, parallel_run):
+        assert main(["report", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"Run report — {run_dir}" in out
+        assert "attempted" in out and "active" in out and "dormant" in out
+        assert "analysis cache:" in out or run_dir.endswith("jobs2")
+        assert "quarantine: 0" in out
+        assert "complete" in out
+
+
+def test_report_json_output(serial_run, capsys):
+    assert main(["report", serial_run, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["functions"]["rol"]["completed"] is True
+    assert summary["totals"]["schema_errors"] == 0
+
+
+def test_report_rejects_non_run_dir(tmp_path):
+    with pytest.raises(SystemExit, match="not a run dir"):
+        main(["report", str(tmp_path)])
+
+
+def test_journal_replay_matches_merged_result(parallel_run):
+    """Satellite: replaying the journal through the reporter yields
+    gauges that match the merged result — one function, done exactly
+    once (no double count across cache_hit/function_done/shard_done)."""
+    reporter = replay_journal(os.path.join(parallel_run, "events.jsonl"))
+    assert reporter.functions_total == 1
+    assert reporter.functions_done == 1
+    assert reporter.cached_done == 0
+    assert reporter.total_done == 1
+    summary = summarize_run(parallel_run)
+    # shard_done attempts sum to the function's attempted count
+    assert reporter.attempts == summary["functions"]["rol"]["attempted"]
+
+
+def test_fault_injection_quarantines_reported(tmp_path, capsys):
+    run_dir = str(tmp_path / "faulty")
+    assert main(ROL + [
+        "--run-dir", run_dir, "--validate",
+        "--inject-faults", "0.2", "--fault-seed", "7",
+    ]) == 0
+    capsys.readouterr()
+    summary = summarize_run(run_dir)
+    assert summary["totals"]["faults_injected"] > 0
+    assert summary["totals"]["quarantine_total"] > 0
+    assert summary["manifest"]["seeds"] == {"fault": 7}
+    row = summary["functions"]["rol"]
+    assert row["quarantined"] == summary["totals"]["quarantine_total"]
+    assert main(["report", run_dir]) == 0
+    out = capsys.readouterr().out
+    assert "faults injected:" in out
+
+
+def test_warm_store_run_reports_cache_hit(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    first = str(tmp_path / "first")
+    second = str(tmp_path / "second")
+    argv = ROL + ["--jobs", "2", "--store", store]
+    assert main(argv + ["--run-dir", first]) == 0
+    assert main(argv + ["--run-dir", second]) == 0
+    capsys.readouterr()
+    summary = summarize_run(second)
+    assert summary["totals"]["store_cache_hits"] == 1
+    row = summary["functions"]["rol"]
+    assert row["cached"] is True
+    assert row["completed"] is True
+    # a cached function was never enumerated: no phase outcomes
+    assert row["attempted"] == 0
+    reporter = replay_journal(os.path.join(second, "events.jsonl"))
+    assert reporter.cached_done == 1
+    assert reporter.functions_done == 0
