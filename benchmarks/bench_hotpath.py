@@ -103,7 +103,7 @@ def _restore_toggles(previous) -> None:
     set_legacy_clone_mode(previous[3])
 
 
-def _measure(functions, memo=None, repeats: int = 2):
+def _measure(functions, memo=None, sanitize=None, repeats: int = 2):
     """Best-of-N wall and total edges for one engine configuration."""
     best_wall = None
     edges = 0
@@ -111,7 +111,9 @@ def _measure(functions, memo=None, repeats: int = 2):
         start = time.perf_counter()
         edges = 0
         for _label, func in functions:
-            result = enumerate_space(func, EnumerationConfig(memo=memo))
+            result = enumerate_space(
+                func, EnumerationConfig(memo=memo, sanitize=sanitize)
+            )
             assert result.completed
             edges += result.attempted_phases
         wall = time.perf_counter() - start
@@ -139,6 +141,11 @@ def run_benchmark(quick: bool = False) -> dict:
         enumerate_space(func, EnumerationConfig(memo=memo))
     warm_wall, _ = _measure(functions, memo=memo)
 
+    # the sanitizer's fast mode on the cold engine: every edge gets
+    # the structural/machine/frame/liveness battery (docs/STATIC_ANALYSIS.md)
+    san_wall, san_edges = _measure(functions, sanitize="fast")
+    assert san_edges == edges, "sanitized edge count diverged"
+
     entry = {
         "sweep": "quick" if quick else "full",
         "functions": [label for label, _func in functions],
@@ -158,6 +165,11 @@ def run_benchmark(quick: bool = False) -> dict:
         #: the headline: the memoized engine serving re-reached
         #: transitions from the table, vs the pre-PR slow path
         "speedup": round(legacy_wall / warm_wall, 2),
+        "sanitize_fast_wall_seconds": round(san_wall, 4),
+        "sanitize_fast_edges_per_second": round(edges / san_wall, 1),
+        #: cost of ``--sanitize=fast`` relative to the cold hot path
+        #: (1.0 = free); the full-mode cost is in docs/STATIC_ANALYSIS.md
+        "sanitize_fast_overhead": round(san_wall / hot_wall, 2),
     }
     return entry
 

@@ -3,6 +3,12 @@
 from repro.analysis.dominators import DominatorTree, compute_dominators
 from repro.analysis.loops import Loop, find_natural_loops
 from repro.analysis.liveness import Liveness, compute_liveness, SlotLiveness, compute_slot_liveness
+from repro.analysis.reaching import (
+    Definedness,
+    ENTRY_DEFINED,
+    compute_definedness,
+    uninitialized_uses,
+)
 from repro.analysis.defuse import (
     rewrite_uses,
     defined_reg,
@@ -41,4 +47,8 @@ __all__ = [
     "defined_reg",
     "instruction_registers",
     "single_def_registers",
+    "Definedness",
+    "ENTRY_DEFINED",
+    "compute_definedness",
+    "uninitialized_uses",
 ]

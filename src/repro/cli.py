@@ -106,6 +106,22 @@ def _validate_sequence(sequence: str) -> str:
     return sequence
 
 
+def _format_sanitize_stats(mode: str, stats) -> str:
+    line = (
+        f"sanitizer ({mode}): {stats.get('edges', 0)} edges checked, "
+        f"{stats.get('findings', 0)} findings, "
+        f"{stats.get('contract_violations', 0)} contract violations"
+    )
+    if mode == "full":
+        line += (
+            f" — verdicts: {stats.get('proved', 0)} proved, "
+            f"{stats.get('tested', 0)} tested, "
+            f"{stats.get('unverified', 0)} unverified, "
+            f"{stats.get('refuted', 0)} refuted"
+        )
+    return line
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
@@ -261,11 +277,16 @@ def cmd_enumerate(args) -> int:
         exact=args.exact,
         validate=args.validate,
         difftest=args.difftest,
-        program=program if (args.difftest and not use_parallel) else None,
+        program=(
+            program
+            if ((args.difftest or args.sanitize) and not use_parallel)
+            else None
+        ),
         phase_timeout=args.phase_timeout,
         fault_injector=injector,
         checkpoint_path=None if use_parallel else checkpoint_path,
         resume=False if use_parallel else args.resume,
+        sanitize=args.sanitize,
     )
     tracer = _build_tracer(args, "repro.enumerate") if args.run_dir else None
     profiler = None
@@ -283,7 +304,9 @@ def cmd_enumerate(args) -> int:
                 args, args.store, args.progress, args.run_dir, tracer
             )
             request = EnumerationRequest(
-                args.function, func, source if args.difftest else None
+                args.function,
+                func,
+                source if (args.difftest or args.sanitize) else None,
             )
             try:
                 result = ParallelEnumerator(config, parallel).enumerate(
@@ -340,11 +363,187 @@ def cmd_enumerate(args) -> int:
             )
     if config.guards_enabled() or (use_parallel and args.difftest):
         print(result.quarantine.format_report())
+    if args.sanitize and result.sanitize_stats is not None:
+        print(_format_sanitize_stats(args.sanitize, result.sanitize_stats))
     if args.dot:
         with open(args.dot, "w") as handle:
             handle.write(result.dag.to_dot())
         print(f"space DAG written to {args.dot}")
     return 0
+
+
+
+def cmd_lint(args) -> int:
+    """Run the IR sanitizer over a program, an .ir dump, or a run dir."""
+    from repro.staticanalysis import sanitize_function, sanitize_program
+
+    findings = []
+    checked = 0
+    if os.path.isdir(args.target):
+        findings, checked = _lint_run_dir(args.target, args.mode)
+    elif args.target.endswith(".ir"):
+        from repro.ir.parser import RTLParseError, parse_function
+
+        try:
+            with open(args.target) as handle:
+                text = handle.read()
+        except OSError as error:
+            raise SystemExit(f"cannot read {args.target}: {error}")
+        name = os.path.splitext(os.path.basename(args.target))[0]
+        try:
+            func = parse_function(text, name)
+        except RTLParseError as error:
+            raise SystemExit(f"{args.target}: {error}")
+        _infer_ir_metadata(func)
+        findings = sanitize_function(func, mode=args.mode)
+        checked = 1
+    else:
+        program = _load_program(args.target)
+        for func in program.functions.values():
+            implicit_cleanup(func)
+        if args.function:
+            func = _select_function(program, args.function)
+            findings = sanitize_function(func, program=program, mode=args.mode)
+            checked = 1
+        else:
+            findings = sanitize_program(program, mode=args.mode)
+            checked = len(program.functions)
+    for finding in findings:
+        print(finding)
+    noun = "function" if checked == 1 else "functions"
+    print(
+        f"lint ({args.mode}): {checked} {noun} checked, "
+        f"{len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+def _infer_ir_metadata(func) -> None:
+    """Reconstruct the metadata a bare RTL dump does not carry.
+
+    A printed function records only blocks and instructions; the
+    pseudo-register high-water mark and the frame extent are inferred
+    from what the code actually touches, so the sanitizer's width and
+    bounds checks run against the dump's own footprint instead of the
+    zero defaults (which would flag every pseudo and frame access).
+    """
+    from repro.ir.instructions import Assign, Compare
+    from repro.ir.operands import BinOp, Const, Mem, Reg
+    from repro.machine.target import FP
+
+    max_pseudo = -1
+    frame_top = 0
+
+    def fp_offset(expr, env):
+        """Constant fp-relative offset of *expr*, or None."""
+        if isinstance(expr, Reg):
+            if expr == FP:
+                return 0
+            return env.get(expr)
+        if (
+            isinstance(expr, BinOp)
+            and expr.op == "add"
+            and isinstance(expr.right, Const)
+        ):
+            base = fp_offset(expr.left, env)
+            if base is not None:
+                return base + expr.right.value
+        return None
+
+    for block in func.blocks:
+        # Local propagation of registers holding fp+c; block-scoped is
+        # enough for an inference heuristic (address arithmetic is
+        # emitted next to its memory access).
+        env = {}
+        for inst in block.insts:
+            for reg in inst.defs() | inst.uses():
+                if reg.pseudo:
+                    max_pseudo = max(max_pseudo, reg.index)
+            exprs = []
+            if isinstance(inst, Assign):
+                exprs = [inst.src, inst.dst]
+            elif isinstance(inst, Compare):
+                exprs = [inst.left, inst.right]
+            for expr in exprs:
+                for node in expr.walk():
+                    if isinstance(node, Mem):
+                        offset = fp_offset(node.addr, env)
+                        if offset is not None and offset >= 0:
+                            frame_top = max(frame_top, offset + 4)
+            if isinstance(inst, Assign) and isinstance(inst.dst, Reg):
+                offset = fp_offset(inst.src, env)
+                if offset is not None:
+                    env[inst.dst] = offset
+                else:
+                    env.pop(inst.dst, None)
+    func.next_pseudo = max_pseudo + 1
+    func.frame_size = frame_top
+
+    # Arity: a dump carries no parameter list, so the definedness seed
+    # would treat every argument register as undefined.  Argument
+    # registers live into the entry block *are* the arguments.
+    from repro.analysis.cache import liveness_of
+    from repro.machine.target import ARG_REGS
+
+    live_in = liveness_of(func).live_in.get(func.entry.label, frozenset())
+    arity = max(
+        (index + 1 for index, reg in enumerate(ARG_REGS) if reg in live_in),
+        default=0,
+    )
+    func.params = [f"p{index}" for index in range(arity)]
+    func.invalidate_analyses()
+
+
+def _lint_run_dir(run_dir: str, mode: str):
+    """Lint a run dir: journal schema + every checkpointed instance."""
+    import glob
+    import json as json_mod
+
+    from repro.core import checkpoint as ckpt
+    from repro.observability.events import JOURNAL_NAME, validate_journal
+    from repro.staticanalysis import Finding, sanitize_function
+
+    findings = []
+    checked = 0
+    journal = os.path.join(run_dir, JOURNAL_NAME)
+    if os.path.exists(journal):
+        _records, errors = validate_journal(journal)
+        for error in errors:
+            findings.append(
+                Finding("JRN001", JOURNAL_NAME, "journal", error)
+            )
+    candidates = sorted(glob.glob(os.path.join(run_dir, "*.json")))
+    saw_input = False
+    for path in candidates:
+        try:
+            with open(path) as handle:
+                state = json_mod.load(handle)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(state, dict) or "functions" not in state:
+            continue
+        saw_input = True
+        for entry in state["functions"].values():
+            try:
+                func = ckpt.function_from_dict(entry)
+            except Exception as error:
+                findings.append(
+                    Finding(
+                        "CKP001",
+                        entry.get("name", "?") if isinstance(entry, dict) else "?",
+                        os.path.basename(path),
+                        f"unparseable checkpointed instance: {error}",
+                    )
+                )
+                continue
+            findings.extend(sanitize_function(func, mode=mode))
+            checked += 1
+    if not saw_input and not os.path.exists(journal):
+        raise SystemExit(
+            f"{run_dir}: no {JOURNAL_NAME} or checkpoint files found "
+            "— not a run dir?"
+        )
+    return findings, checked
 
 
 def cmd_interactions(args) -> int:
@@ -525,6 +724,18 @@ def build_parser() -> argparse.ArgumentParser:
         "against the unoptimized function on recorded input vectors",
     )
     p.add_argument(
+        "--sanitize",
+        nargs="?",
+        const="full",
+        choices=["fast", "full"],
+        default=None,
+        help="statically verify every applied edge: 'fast' runs the IR "
+        "sanitizer and phase-contract checker, 'full' (the default "
+        "when the flag is given bare) adds per-edge translation "
+        "validation with VM co-execution fallback — see "
+        "docs/STATIC_ANALYSIS.md",
+    )
+    p.add_argument(
         "--phase-timeout",
         type=float,
         metavar="SECONDS",
@@ -570,6 +781,24 @@ def build_parser() -> argparse.ArgumentParser:
         "(or the working directory)",
     )
     p.set_defaults(handler=cmd_enumerate)
+
+    p = sub.add_parser(
+        "lint", help="statically check IR (sanitizer + dataflow checks)"
+    )
+    p.add_argument(
+        "target",
+        help="mini-C file, bench:NAME, a printed-RTL .ir file, or a "
+        "run dir with checkpointed instances",
+    )
+    p.add_argument("--function", help="only this function (source targets)")
+    p.add_argument(
+        "--mode",
+        choices=["fast", "full"],
+        default="full",
+        help="fast: structural/machine/frame/call checks; full adds "
+        "the dataflow definedness and frame-bounds analyses",
+    )
+    p.set_defaults(handler=cmd_lint)
 
     p = sub.add_parser("interactions", help="print Tables 4/5/6")
     p.add_argument("file", help="mini-C file or bench:NAME")

@@ -97,6 +97,7 @@ class EnumerationConfig:
         resume: bool = False,
         canonical_input: bool = False,
         memo: Optional[TransitionMemo] = None,
+        sanitize: Optional[str] = None,
     ):
         self.max_level_sequences = max_level_sequences
         self.max_nodes = max_nodes
@@ -153,6 +154,17 @@ class EnumerationConfig:
         #: Deliberately excluded from ``signature()``: the memo changes
         #: how results are computed, not what they are.
         self.memo = memo
+        #: static-analysis mode applied to every active phase output:
+        #: None (off), "fast" (structural/machine/frame/call checks +
+        #: phase contracts) or "full" (adds dataflow definedness and
+        #: per-edge translation validation).  Like the guards above it
+        #: changes how edges are vetted, not which space is explored,
+        #: so it stays out of ``signature()``.
+        if sanitize not in (None, "fast", "full"):
+            raise ValueError(
+                f"bad sanitize mode {sanitize!r}; expected 'fast' or 'full'"
+            )
+        self.sanitize = sanitize
 
     def guards_enabled(self) -> bool:
         """Whether phase applications must run through the guard."""
@@ -161,6 +173,7 @@ class EnumerationConfig:
             or self.phase_timeout is not None
             or self.fault_injector is not None
             or (self.difftest and self.program is not None)
+            or self.sanitize is not None
         )
 
     def signature(self) -> Dict[str, object]:
@@ -191,6 +204,7 @@ class EnumerationResult:
         quarantine: Optional[QuarantineLog] = None,
         levels_completed: int = 0,
         resumed_from: Optional[str] = None,
+        sanitize_stats: Optional[Dict[str, int]] = None,
     ):
         self.dag = dag
         #: True when the space was fully enumerated (no budget hit)
@@ -208,6 +222,9 @@ class EnumerationResult:
         self.levels_completed = levels_completed
         #: checkpoint path this run continued from, or None
         self.resumed_from = resumed_from
+        #: static-analysis counters (edges checked, findings, transval
+        #: verdicts); None when the run had no --sanitize
+        self.sanitize_stats = sanitize_stats
 
     def __repr__(self):
         status = "complete" if self.completed else f"aborted({self.abort_reason})"
@@ -370,6 +387,13 @@ class SpaceEnumerator:
                     entries=len(self.memo),
                     function=self.input_func.name,
                 )
+            if self.guard is not None and self.guard.sanitizer is not None:
+                tracer.emit(
+                    "sanitize_stats",
+                    function=self.input_func.name,
+                    mode=config.sanitize,
+                    **self.guard.sanitizer.stats(),
+                )
             tracer.emit(
                 "enum_done",
                 function=self.input_func.name,
@@ -390,6 +414,11 @@ class SpaceEnumerator:
             quarantine=self.quarantine,
             levels_completed=self.level,
             resumed_from=self.resumed_from,
+            sanitize_stats=(
+                self.guard.sanitizer.stats()
+                if self.guard is not None and self.guard.sanitizer is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -408,12 +437,23 @@ class SpaceEnumerator:
             difftester = DifferentialTester(
                 config.program, self.input_func.name, vectors
             )
+        sanitizer = None
+        if config.sanitize is not None:
+            from repro.staticanalysis.checker import EdgeChecker
+
+            sanitizer = EdgeChecker(
+                mode=config.sanitize,
+                target=config.target,
+                program=config.program,
+                entry=self.input_func.name,
+            )
         return GuardedPhaseRunner(
             target=config.target,
             validate=config.validate,
             difftest=difftester,
             phase_timeout=config.phase_timeout,
             fault_injector=config.fault_injector,
+            sanitizer=sanitizer,
         )
 
     def _initialize(self) -> None:

@@ -1,47 +1,41 @@
 """Deep IR well-formedness validation.
 
-:func:`repro.ir.cfg.validate_function` checks the structural invariants
-(transfers at block ends, branch targets exist).  This module layers the
-semantic invariants the optimizer must preserve on top, so a buggy or
-sabotaged phase application can be caught at runtime before its output
-poisons the enumerated space:
+Historically this module implemented its own checks; they are now
+delegated to the IR sanitizer (:mod:`repro.staticanalysis.sanitize`),
+which subsumes them with a per-check diagnostic catalogue
+(docs/STATIC_ANALYSIS.md).  The surface here is unchanged — the guard
+and a large body of tests call :func:`check_ir`/:func:`validate_ir` —
+and the checks cover:
 
-- **CFG consistency** — every branch target is a block label, blocks are
-  uniquely labeled, the last block does not fall off the function.
+- **CFG consistency** — every branch target is a block label, blocks
+  are uniquely labeled, the last block does not fall off the function
+  (CFG001–CFG008; with a *program*, a branch into another function's
+  label namespace is also rejected).
 - **Machine legality** — the VPO invariant: every RTL is a legal
-  instruction of the target at all times.
+  instruction of the target at all times (MACH001/MACH002).
 - **Register discipline under the legality flags** — after the
-  compulsory register assignment (``reg_assigned``) no pseudo register
-  may remain, and every hardware register index must be within the
-  target's register file.
+  compulsory register assignment no pseudo register may remain, and
+  every hardware register index must be within the target's register
+  file (MACH003–MACH005).
 - **No dangling registers** — a register that can be read before any
-  definition reaches it (computed as liveness into the entry block,
-  minus the frame/stack pointers and the argument registers).
+  definition reaches it (CC001).
 - **Frame consistency** — stack slots must not overlap and must lie
-  inside ``frame_size``.
+  inside ``frame_size`` (FRAME001/FRAME002).
 
 The guarded phase runner (:mod:`repro.robustness.guard`) calls
 :func:`validate_ir` after every phase application when validation is
-enabled; tests and debugging sessions can call it directly.
+enabled; tests and debugging sessions can call it directly.  The
+deeper dataflow checks (use-before-def, frame-reference bounds) run
+only in the sanitizer's ``full`` mode — see
+:func:`repro.staticanalysis.sanitize.sanitize_function`.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.analysis.liveness import compute_liveness
-from repro.ir.cfg import validate_function
-from repro.ir.function import Function
-from repro.ir.operands import Reg
-from repro.machine.target import NUM_HW_REGS, Target
-
-#: hardware registers that may legitimately be live into the entry
-#: block: the four argument registers, the frame pointer, and the
-#: stack pointer.
-_ENTRY_LIVE_OK = frozenset(
-    [Reg(i, pseudo=False) for i in range(4)]
-    + [Reg(13, pseudo=False), Reg(14, pseudo=False)]
-)
+from repro.ir.function import Function, Program
+from repro.machine.target import Target
 
 
 class IRValidationError(ValueError):
@@ -55,99 +49,44 @@ class IRValidationError(ValueError):
         )
 
 
-def check_ir(func: Function, target: Optional[Target] = None) -> List[str]:
-    """Collect every invariant violation in *func* (empty = valid)."""
-    problems: List[str] = []
+def check_ir(
+    func: Function,
+    target: Optional[Target] = None,
+    program: Optional[Program] = None,
+) -> List[str]:
+    """Collect every invariant violation in *func* (empty = valid).
 
-    try:
-        validate_function(func)
-    except ValueError as error:
+    With a *target*, machine legality is checked too; with a
+    *program*, branches are checked against the whole program's label
+    namespace (a branch resolving into another function is an error).
+    """
+    # Imported lazily: the sanitizer builds on repro.ir and
+    # repro.analysis, so a module-level import would be circular.
+    from repro.staticanalysis import sanitize as sanitize_mod
+
+    structural = sanitize_mod.structural_findings(func, program)
+    if structural:
         # Structural breakage makes the later passes meaningless.
-        return [str(error)]
+        return [f"{structural[0].where}: {structural[0].detail}"]
 
+    findings = []
     if target is not None:
-        for block in func.blocks:
-            for inst in block.insts:
-                if not target.is_legal(inst):
-                    problems.append(
-                        f"{block.label}: illegal machine instruction {inst!r}"
-                    )
-
-    problems.extend(_check_registers(func))
-    problems.extend(_check_frame(func))
-    problems.extend(_check_dangling(func))
-    return problems
+        findings.extend(sanitize_mod.machine_findings(func, target))
+    else:
+        findings.extend(sanitize_mod.register_discipline_findings(func))
+    findings.extend(sanitize_mod.frame_layout_findings(func))
+    findings.extend(sanitize_mod.dangling_entry_findings(func))
+    if program is not None:
+        findings.extend(sanitize_mod.call_findings(func, program))
+    return [f"{finding.where}: {finding.detail}" for finding in findings]
 
 
-def validate_ir(func: Function, target: Optional[Target] = None) -> None:
+def validate_ir(
+    func: Function,
+    target: Optional[Target] = None,
+    program: Optional[Program] = None,
+) -> None:
     """Raise :class:`IRValidationError` when *func* is malformed."""
-    problems = check_ir(func, target)
+    problems = check_ir(func, target, program)
     if problems:
         raise IRValidationError(func.name, problems)
-
-
-# ----------------------------------------------------------------------
-# Individual invariant checks
-# ----------------------------------------------------------------------
-
-
-def _check_registers(func: Function) -> List[str]:
-    problems: List[str] = []
-    for block in func.blocks:
-        for inst in block.insts:
-            for reg in set(inst.defs()) | set(inst.uses()):
-                if reg.pseudo:
-                    if func.reg_assigned:
-                        problems.append(
-                            f"{block.label}: pseudo register {reg!r} after "
-                            "register assignment"
-                        )
-                    elif reg.index >= func.next_pseudo:
-                        problems.append(
-                            f"{block.label}: pseudo register {reg!r} was "
-                            f"never allocated (next_pseudo={func.next_pseudo})"
-                        )
-                elif not 0 <= reg.index < NUM_HW_REGS:
-                    problems.append(
-                        f"{block.label}: hardware register {reg!r} outside "
-                        f"the register file (0..{NUM_HW_REGS - 1})"
-                    )
-    return problems
-
-
-def _check_frame(func: Function) -> List[str]:
-    problems: List[str] = []
-    extents = sorted(
-        (slot.offset, slot.offset + slot.words * 4, slot.name)
-        for slot in func.frame.values()
-    )
-    previous_end = 0
-    previous_name = None
-    for start, end, name in extents:
-        if start < 0 or end > func.frame_size:
-            problems.append(
-                f"frame slot {name!r} [{start}, {end}) outside the frame "
-                f"(size {func.frame_size})"
-            )
-        if start < previous_end:
-            problems.append(
-                f"frame slots {previous_name!r} and {name!r} overlap"
-            )
-        previous_end = end
-        previous_name = name
-    return problems
-
-
-def _check_dangling(func: Function) -> List[str]:
-    """Registers that may be read before any definition reaches them."""
-    liveness = compute_liveness(func)
-    entry_live = liveness.live_in.get(func.entry.label, frozenset())
-    dangling = [
-        reg
-        for reg in entry_live
-        if reg.pseudo or reg not in _ENTRY_LIVE_OK
-    ]
-    if not dangling:
-        return []
-    names = ", ".join(repr(reg) for reg in sorted(dangling, key=lambda r: (r.pseudo, r.index)))
-    return [f"dangling registers live into the entry block: {names}"]

@@ -65,6 +65,8 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     "analysis_cache_stats": frozenset({"hits", "misses"}),
     # robustness
     "quarantine": frozenset({"phase", "kind"}),
+    # static analysis (per-function sanitizer/contract/transval counters)
+    "sanitize_stats": frozenset({"function", "edges"}),
     "fault_injected": frozenset({"phase"}),
     "checkpoint_write": frozenset({"path"}),
     "checkpoint_resume": frozenset({"path"}),

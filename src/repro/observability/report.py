@@ -76,6 +76,17 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
     }
     memo = {"hits": 0, "misses": 0, "entries": None, "seen": False}
     analysis = {"hits": 0, "misses": 0, "seen": False}
+    sanitize = {
+        "edges": 0,
+        "findings": 0,
+        "contract_violations": 0,
+        "proved": 0,
+        "tested": 0,
+        "unverified": 0,
+        "refuted": 0,
+        "mode": None,
+        "seen": False,
+    }
     compiles: List[Dict] = []
 
     for record in records:
@@ -123,6 +134,20 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         elif name == "memo_loaded":
             memo["entries"] = record.get("entries")
             memo["seen"] = True
+        elif name == "sanitize_stats":
+            for key in (
+                "edges",
+                "findings",
+                "contract_violations",
+                "proved",
+                "tested",
+                "unverified",
+                "refuted",
+            ):
+                sanitize[key] += record.get(key, 0)
+            if record.get("mode") is not None:
+                sanitize["mode"] = record["mode"]
+            sanitize["seen"] = True
         elif name == "analysis_cache_stats":
             analysis["hits"] += record.get("hits", 0)
             analysis["misses"] += record.get("misses", 0)
@@ -149,6 +174,7 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         "totals": totals,
         "memo": memo if memo["seen"] else None,
         "analysis_cache": analysis if analysis["seen"] else None,
+        "sanitize": sanitize if sanitize["seen"] else None,
         "compiles": compiles,
         "errors": errors[:20],
     }
@@ -261,6 +287,23 @@ def render_report(summary: Dict[str, object]) -> str:
             f"  analysis cache: {analysis['hits']} hits / "
             f"{analysis['misses']} misses "
             f"({_rate(analysis['hits'], analysis['misses'])} hit rate)"
+        )
+    sanitize = summary.get("sanitize")
+    if sanitize:
+        verdicts = ""
+        if sanitize["mode"] == "full":
+            verdicts = (
+                f" — verdicts: {sanitize['proved']} proved, "
+                f"{sanitize['tested']} tested, "
+                f"{sanitize['unverified']} unverified, "
+                f"{sanitize['refuted']} refuted"
+            )
+        lines.append(
+            f"  sanitizer ({sanitize['mode'] or '?'}): "
+            f"{sanitize['edges']} edges checked, "
+            f"{sanitize['findings']} findings, "
+            f"{sanitize['contract_violations']} contract violations"
+            + verdicts
         )
     quarantine: Dict[str, int] = totals["quarantine"]
     if totals["quarantine_total"] or totals["faults_injected"]:

@@ -62,6 +62,14 @@ class Phase:
     name: str = "?"
     #: phase needs the compulsory register assignment to have run
     requires_assignment: bool = False
+    #: phase-contract declarations (plain invariant-name tuples; the
+    #: vocabulary and checker live in repro/staticanalysis/contracts.py):
+    #: invariants that must hold before the phase runs,
+    contract_requires: tuple = ()
+    #: invariants any active application establishes,
+    contract_establishes: tuple = ()
+    #: and monotone invariants the phase is allowed to destroy.
+    contract_breaks: tuple = ()
 
     def applicable(self, func: Function) -> bool:
         """Legality of attempting this phase in the current state."""

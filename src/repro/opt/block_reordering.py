@@ -27,6 +27,11 @@ from repro.opt.base import Phase
 class BlockReordering(Phase):
     id = "i"
     name = "block reordering"
+    #: contract: requires nothing, establishes nothing, preserves
+    #: every monotone invariant (see staticanalysis/contracts.py)
+    contract_requires = ()
+    contract_establishes = ()
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         changed = False

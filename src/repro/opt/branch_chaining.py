@@ -36,6 +36,11 @@ def _final_target(start: str, trivial: Dict[str, str]) -> str:
 class BranchChaining(Phase):
     id = "b"
     name = "branch chaining"
+    #: contract: requires nothing, establishes nothing, preserves
+    #: every monotone invariant (see staticanalysis/contracts.py)
+    contract_requires = ()
+    contract_establishes = ()
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         # Blocks consisting solely of an unconditional jump.

@@ -15,6 +15,15 @@ from repro.analysis.cache import cfg_of
 from repro.ir.function import Function
 from repro.ir.instructions import CondBranch, Jump
 
+#: phase contract (one of the two implicit phases): cleanup requires
+#: nothing, establishes nothing, and must preserve every monotone
+#: invariant — it only canonicalizes the block structure
+CONTRACT = {
+    "requires": (),
+    "establishes": (),
+    "breaks": (),
+}
+
 
 def _retarget(func: Function, mapping: Dict[str, str]) -> None:
     """Rewrite all branch targets through *mapping* (applied once)."""

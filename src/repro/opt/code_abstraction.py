@@ -29,6 +29,11 @@ from repro.opt.base import Phase
 class CodeAbstraction(Phase):
     id = "n"
     name = "code abstraction"
+    #: contract: requires nothing, establishes nothing, preserves
+    #: every monotone invariant (see staticanalysis/contracts.py)
+    contract_requires = ()
+    contract_establishes = ()
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         changed = False

@@ -151,6 +151,10 @@ class _ValueTable:
 class CommonSubexpressionElimination(Phase):
     id = "c"
     name = "common subexpression elimination"
+    #: contract: triggers compulsory register assignment when needed
+    contract_requires = ()
+    contract_establishes = ('registers-assigned', 'no-pseudo-registers')
+    contract_breaks = ()
     requires_assignment = True
 
     def run(self, func: Function, target: Target) -> bool:

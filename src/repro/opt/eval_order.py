@@ -67,6 +67,10 @@ def _build_dependencies(insts: List[Instruction]) -> List[Set[int]]:
 class EvaluationOrderDetermination(Phase):
     id = "o"
     name = "evaluation order determination"
+    #: contract: illegal once registers are assigned (mirrors applicable)
+    contract_requires = ('pre-assignment',)
+    contract_establishes = ()
+    contract_breaks = ()
 
     def applicable(self, func: Function) -> bool:
         return not func.reg_assigned

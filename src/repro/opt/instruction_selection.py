@@ -101,6 +101,10 @@ def _fold_instruction(inst: Instruction) -> Instruction:
 class InstructionSelection(Phase):
     id = "s"
     name = "instruction selection"
+    #: contract: an active application flips the sel_applied legality flag
+    contract_requires = ()
+    contract_establishes = ('selection-done',)
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         changed = False

@@ -27,6 +27,11 @@ MAX_DUPLICATED_INSTS = 12
 class MinimizeLoopJumps(Phase):
     id = "j"
     name = "minimize loop jumps"
+    #: contract: requires nothing, establishes nothing, preserves
+    #: every monotone invariant (see staticanalysis/contracts.py)
+    contract_requires = ()
+    contract_establishes = ()
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         changed = False

@@ -115,6 +115,10 @@ class _LoopInfo:
 class LoopTransformations(Phase):
     id = "l"
     name = "loop transformations"
+    #: contract: legal only after register allocation (mirrors applicable)
+    contract_requires = ('allocation-done',)
+    contract_establishes = ('registers-assigned', 'no-pseudo-registers')
+    contract_breaks = ()
     requires_assignment = True
 
     def applicable(self, func: Function) -> bool:

@@ -34,6 +34,10 @@ MAX_UNROLL_INSTS = 40
 class LoopUnrolling(Phase):
     id = "g"
     name = "loop unrolling"
+    #: contract: legal only after register allocation (mirrors applicable)
+    contract_requires = ('allocation-done',)
+    contract_establishes = ()
+    contract_breaks = ()
     UNROLL_FACTOR = 2
 
     def applicable(self, func: Function) -> bool:

@@ -33,6 +33,10 @@ from repro.opt.base import Phase
 class RegisterAllocation(Phase):
     id = "k"
     name = "register allocation"
+    #: contract: legal only after instruction selection (mirrors applicable)
+    contract_requires = ('selection-done',)
+    contract_establishes = ('registers-assigned', 'no-pseudo-registers', 'allocation-done')
+    contract_breaks = ()
     requires_assignment = True
 
     def applicable(self, func: Function) -> bool:

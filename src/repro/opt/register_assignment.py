@@ -24,6 +24,15 @@ from repro.machine.target import ALLOCATABLE, FP, Target
 
 _MAX_SPILL_ROUNDS = 25
 
+#: phase contract (one of the two implicit phases; candidate phases
+#: declare these as Phase class attributes instead — see
+#: repro/staticanalysis/contracts.py for the vocabulary and checker)
+CONTRACT = {
+    "requires": ("pre-assignment",),
+    "establishes": ("registers-assigned", "no-pseudo-registers"),
+    "breaks": (),
+}
+
 
 def assign_registers(func: Function, target: Target) -> None:
     """Replace every pseudo register in *func* with a hardware register."""

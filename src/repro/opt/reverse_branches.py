@@ -27,6 +27,11 @@ from repro.opt.base import Phase
 class ReverseBranches(Phase):
     id = "r"
     name = "reverse branches"
+    #: contract: requires nothing, establishes nothing, preserves
+    #: every monotone invariant (see staticanalysis/contracts.py)
+    contract_requires = ()
+    contract_establishes = ()
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         changed = False

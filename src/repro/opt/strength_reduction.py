@@ -70,6 +70,11 @@ def expand_multiply(dst: Reg, src: Reg, constant: int, target: Target) -> Option
 class StrengthReduction(Phase):
     id = "q"
     name = "strength reduction"
+    #: contract: requires nothing, establishes nothing, preserves
+    #: every monotone invariant (see staticanalysis/contracts.py)
+    contract_requires = ()
+    contract_establishes = ()
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         changed = False

@@ -15,6 +15,11 @@ from repro.opt.base import Phase
 class RemoveUnreachableCode(Phase):
     id = "d"
     name = "remove unreachable code"
+    #: contract: requires nothing, establishes nothing, preserves
+    #: every monotone invariant (see staticanalysis/contracts.py)
+    contract_requires = ()
+    contract_establishes = ()
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         cfg = cfg_of(func)

@@ -15,6 +15,11 @@ from repro.opt.base import Phase
 class RemoveUselessJumps(Phase):
     id = "u"
     name = "remove useless jumps"
+    #: contract: requires nothing, establishes nothing, preserves
+    #: every monotone invariant (see staticanalysis/contracts.py)
+    contract_requires = ()
+    contract_establishes = ()
+    contract_breaks = ()
 
     def run(self, func: Function, target: Target) -> bool:
         changed = False

@@ -203,6 +203,9 @@ class _FunctionJob:
         #: phase id -> {"active", "dormant", "quarantined"} counts,
         #: folded at merge time (see repro.parallel.merge)
         self.phase_counts: Dict[str, Dict[str, int]] = {}
+        #: sanitizer counters (edges, findings, verdicts), folded from
+        #: worker outcomes at merge time; empty without --sanitize
+        self.sanitize_counts: Dict[str, int] = {}
         self.quarantine = QuarantineLog()
         #: seconds consumed by prior runs (level-checkpoint resume)
         self.consumed = 0.0
@@ -259,6 +262,7 @@ class _FunctionJob:
             quarantine=self.quarantine,
             levels_completed=self.level,
             resumed_from=self.resumed_from,
+            sanitize_stats=self.sanitize_counts or None,
         )
 
     # ------------------------------------------------------------------
@@ -491,11 +495,12 @@ class ParallelEnumerator:
         self, requests: Sequence[EnumerationRequest]
     ) -> List[EnumerationResult]:
         config, parallel = self.config, self.parallel
-        if config.difftest:
+        if config.difftest or config.sanitize == "full":
+            need = "difftest" if config.difftest else "sanitize=full"
             for request in requests:
                 if request.source is None:
                     raise ValueError(
-                        f"difftest requires program source for {request.label!r}"
+                        f"{need} requires program source for {request.label!r}"
                     )
         labels = set()
         for request in requests:
@@ -580,6 +585,7 @@ class ParallelEnumerator:
                 "validate": config.validate,
                 "difftest": bool(config.difftest),
                 "phase_timeout": config.phase_timeout,
+                "sanitize": config.sanitize,
                 "fault": fault,
             },
             "run_dir": parallel.run_dir,
@@ -746,7 +752,9 @@ class ParallelEnumerator:
                     for node_id in chunk
                 ],
             }
-            if self.config.difftest and job.source is not None:
+            if (
+                self.config.difftest or self.config.sanitize == "full"
+            ) and job.source is not None:
                 spec["source"] = job.source
             self._specs[shard_id] = spec
             self._spec_job[shard_id] = job
@@ -1073,6 +1081,13 @@ class ParallelEnumerator:
         if job.phase_counts:
             self._emit(
                 "phase_stats", phases=job.phase_counts, function=job.label
+            )
+        if job.sanitize_counts:
+            self._emit(
+                "sanitize_stats",
+                function=job.label,
+                mode=self.config.sanitize,
+                **job.sanitize_counts,
             )
         self._emit(
             "function_done",

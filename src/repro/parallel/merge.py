@@ -37,6 +37,45 @@ class MergeError(RuntimeError):
     """A shard result cannot be replayed into the space DAG."""
 
 
+def _fold_sanitize(counts, outcome, records) -> None:
+    """Fold one replayed outcome into the job's sanitizer counters.
+
+    Mirrors :class:`~repro.staticanalysis.checker.EdgeChecker`'s own
+    accounting as closely as the shard wire format allows: every
+    checked edge counts once, and a quarantined edge contributes one
+    finding/violation/refutation (the checker's per-finding counts are
+    not shipped across the process boundary).
+    """
+    if not counts:
+        counts.update(
+            edges=0,
+            findings=0,
+            contract_violations=0,
+            proved=0,
+            tested=0,
+            unverified=0,
+            refuted=0,
+        )
+    verdict = outcome.get("verdict")
+    checked = outcome["active"]
+    for record in records:
+        kind = record.get("kind")
+        detail = record.get("detail", "")
+        if kind == "sanitizer":
+            counts["findings"] += 1
+            checked = True
+        elif kind == "contract":
+            counts["contract_violations"] += 1
+            checked = True
+        elif kind == "semantics" and detail.startswith("translation validator"):
+            counts["refuted"] += 1
+            checked = True
+    if checked:
+        counts["edges"] += 1
+    if verdict is not None:
+        counts[verdict] += 1
+
+
 def merge_shard(job, result) -> int:
     """Replay one shard's expansions into *job*'s DAG.
 
@@ -54,6 +93,11 @@ def merge_shard(job, result) -> int:
     #: exactly as the serial enumerator never attempts them.  getattr:
     #: merge also replays onto bare job stand-ins in tests.
     phase_counts = getattr(job, "phase_counts", None)
+    #: sanitizer/transval counters, folded under the same replay
+    #: discipline — a discarded stale-arrival outcome contributes
+    #: neither an edge nor a verdict
+    sanitize_counts = getattr(job, "sanitize_counts", None)
+    sanitize_on = getattr(config, "sanitize", None) is not None
     added = 0
     for node_id, outcomes in result["expansions"]:
         node = dag.nodes[node_id]
@@ -86,6 +130,8 @@ def merge_shard(job, result) -> int:
                     phase_counts[phase.id] = counts
                 counts["active" if outcome["active"] else "dormant"] += 1
                 counts["quarantined"] += len(records)
+            if sanitize_on and sanitize_counts is not None:
+                _fold_sanitize(sanitize_counts, outcome, records)
             if not outcome["active"]:
                 node.dormant.add(phase.id)
                 continue

@@ -58,6 +58,7 @@ def store_signature(config: EnumerationConfig) -> Dict[str, object]:
         validate=config.validate,
         difftest=bool(config.difftest),
         phase_timeout=config.phase_timeout,
+        sanitize=config.sanitize,
     )
     return signature
 

@@ -56,21 +56,39 @@ def _build_guard(
     :meth:`EnumerationConfig.guards_enabled`; None when no guard is
     needed."""
     injector = shards.shard_fault_injector(cfg.get("fault"), spec["shard_id"])
-    difftester = None
-    if cfg.get("difftest") and spec.get("source"):
+
+    def _program():
         job_id = spec["job_id"]
         if job_id not in program_cache:
             program_cache[job_id] = compile_source(spec["source"])
-        program = program_cache[job_id]
+        return program_cache[job_id]
+
+    difftester = None
+    if cfg.get("difftest") and spec.get("source"):
+        program = _program()
         pristine = program.functions[spec["function_name"]]
         difftester = DifferentialTester(
             program, spec["function_name"], default_vectors(pristine)
+        )
+    checker = None
+    if cfg.get("sanitize"):
+        from repro.staticanalysis.checker import EdgeChecker
+
+        # full mode co-executes through the program; fast mode only
+        # needs the function (program context stays None off-source)
+        program = _program() if spec.get("source") else None
+        checker = EdgeChecker(
+            mode=cfg["sanitize"],
+            target=DEFAULT_TARGET,
+            program=program,
+            entry=spec["function_name"],
         )
     if not (
         cfg.get("validate")
         or cfg.get("phase_timeout") is not None
         or injector is not None
         or difftester is not None
+        or checker is not None
     ):
         return None
     return GuardedPhaseRunner(
@@ -79,6 +97,7 @@ def _build_guard(
         difftest=difftester,
         phase_timeout=cfg.get("phase_timeout"),
         fault_injector=injector,
+        sanitizer=checker,
     ), injector
 
 
@@ -192,6 +211,16 @@ class _ShardRunner:
             outcome = {"phase": phase.id, "active": bool(active)}
             if quarantine:
                 outcome["quarantine"] = quarantine
+            if (
+                active
+                and guard is not None
+                and guard.sanitizer is not None
+                and guard.sanitizer.last_verdict is not None
+            ):
+                # the coordinator folds these into per-function
+                # sanitize_stats at merge time
+                outcome["verdict"] = guard.sanitizer.last_verdict
+            
             if active:
                 fingerprint = fingerprint_function(
                     candidate, keep_text=cfg["exact"], remap=cfg["remap"]

@@ -192,12 +192,16 @@ class GuardedPhaseRunner:
         phase_timeout: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
         quarantine: Optional[QuarantineLog] = None,
+        sanitizer=None,
     ):
         self.target = target or DEFAULT_TARGET
         self.validate = validate
         self.difftest = difftest
         self.phase_timeout = phase_timeout
         self.fault_injector = fault_injector
+        #: optional :class:`repro.staticanalysis.checker.EdgeChecker`;
+        #: runs after validation on every active application
+        self.sanitizer = sanitizer
         self.quarantine = quarantine if quarantine is not None else QuarantineLog()
         #: applications that went through the guard (Table-3 "Attempt"
         #: still counts them; this is the guard's own telemetry)
@@ -303,6 +307,22 @@ class GuardedPhaseRunner:
                 self._record(
                     phase, "validation", str(error), node_key, level, diff
                 )
+                return False
+
+        if self.sanitizer is not None:
+            failure = None
+            try:
+                failure = self.sanitizer.check_edge(snapshot, func, phase)
+            except (KeyboardInterrupt, SystemExit, MemoryError):
+                restore_function(func, snapshot)
+                raise
+            except Exception as error:  # checker bug — still contain
+                failure = ("sanitizer", f"static checker crashed: {error}")
+            if failure is not None:
+                kind, detail = failure
+                diff = self._excerpt(snapshot, func)
+                restore_function(func, snapshot)
+                self._record(phase, kind, detail, node_key, level, diff)
                 return False
 
         if self.difftest is not None and func.name == self.difftest.entry:

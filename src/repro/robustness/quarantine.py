@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
-#: the guard failure classes a record can carry
-KINDS = ("exception", "validation", "semantics", "timeout")
+#: the guard failure classes a record can carry; ``sanitizer`` and
+#: ``contract`` come from the static-analysis layer (a transval
+#: refutation reuses ``semantics``, the same bucket as the difftester)
+KINDS = ("exception", "validation", "semantics", "timeout", "sanitizer", "contract")
 
 
 class QuarantineRecord:

@@ -1,0 +1,54 @@
+"""Static verification of enumerated IR: sanitizer, contracts, transval.
+
+Three layers, each usable on its own:
+
+- :mod:`repro.staticanalysis.sanitize` — dataflow-powered IR checks
+  with stable diagnostic codes (``CFG*``, ``DFA*``, ``MACH*``,
+  ``FRAME*``, ``CC*``);
+- :mod:`repro.staticanalysis.contracts` — per-phase invariant
+  declarations (requires / establishes / may-break) checked across
+  every applied phase edge;
+- :mod:`repro.staticanalysis.transval` — per-edge translation
+  validation classifying each DAG edge ``proved`` / ``tested`` /
+  ``unverified`` (or ``refuted``).
+
+:class:`repro.staticanalysis.checker.EdgeChecker` bundles all three
+behind the ``--sanitize[=fast|full]`` guard hook; ``repro lint`` runs
+the battery standalone.  See docs/STATIC_ANALYSIS.md for the check
+catalogue and the contract table.
+"""
+
+from repro.staticanalysis.sanitize import (
+    FAST,
+    FULL,
+    Finding,
+    sanitize_function,
+    sanitize_program,
+    structural_findings,
+)
+from repro.staticanalysis.contracts import (
+    PhaseContract,
+    check_contract,
+    contract_for,
+    contract_registry,
+    validate_contracts,
+)
+from repro.staticanalysis.transval import EdgeVerdict, TranslationValidator
+from repro.staticanalysis.checker import EdgeChecker
+
+__all__ = [
+    "FAST",
+    "FULL",
+    "Finding",
+    "sanitize_function",
+    "sanitize_program",
+    "structural_findings",
+    "PhaseContract",
+    "check_contract",
+    "contract_for",
+    "contract_registry",
+    "validate_contracts",
+    "EdgeVerdict",
+    "TranslationValidator",
+    "EdgeChecker",
+]

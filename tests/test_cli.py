@@ -304,3 +304,71 @@ class TestParallelFlags:
         second = capsys.readouterr()
         assert "cached" in second.err
         assert second.out == first.out
+
+
+class TestSanitizeAndLint:
+    def test_sanitize_prints_summary_and_preserves_row(self, capsys):
+        assert main(["enumerate", "bench:jpeg", "--function", "descale"]) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main([
+                "enumerate", "bench:jpeg", "--function", "descale",
+                "--sanitize",
+            ])
+            == 0
+        )
+        sanitized = capsys.readouterr().out
+        assert "sanitizer (full):" in sanitized
+        assert "0 findings, 0 contract violations" in sanitized
+        assert "0 unverified, 0 refuted" in sanitized
+        # the Table-3 row itself is untouched by sanitizing
+        assert sanitized.splitlines()[:2] == plain.splitlines()[:2]
+
+    def test_sanitize_parallel_matches_serial(self, capsys):
+        base = ["enumerate", "bench:jpeg", "--function", "descale",
+                "--sanitize=fast"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_lint_benchmark_clean(self, capsys):
+        assert main(["lint", "bench:sha"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_lint_ir_dump_infers_metadata(self, tmp_path, capsys):
+        from repro.core.batch import BatchCompiler
+        from repro.ir.printer import format_function
+        from repro.programs import compile_benchmark
+        from repro.opt import implicit_cleanup
+
+        program = compile_benchmark("jpeg")
+        func = program.functions["descale"]
+        implicit_cleanup(func)
+        BatchCompiler().compile(func)
+        path = tmp_path / "descale.ir"
+        path.write_text(format_function(func))
+        # a clean dump lints clean: pseudo/frame/arity metadata is
+        # inferred from the code, not taken from the zero defaults
+        assert main(["lint", str(path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+        # a corrupted dump is caught with the right code
+        bad = tmp_path / "bad.ir"
+        bad.write_text(path.read_text().replace("r[4]", "r[99]", 1))
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "MACH003" in out
+
+    def test_lint_run_dir(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert (
+            main([
+                "enumerate", "bench:jpeg", "--function", "descale",
+                "--run-dir", run_dir, "--max-nodes", "10",
+            ])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["lint", run_dir]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
