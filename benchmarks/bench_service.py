@@ -1,0 +1,156 @@
+"""Service overhead benchmark: what does the resilience layer cost?
+
+Starts a real ``repro serve`` subprocess and measures, for one small
+complete space (``sha/rol``):
+
+``direct``
+    In-process ``enumerate_space`` — the floor.
+``cold``
+    First service request: HTTP + admission + executor subprocess +
+    enumeration + store write. The delta over ``direct`` is the
+    per-request service overhead (dominated by executor startup).
+``warm``
+    The same request again: HTTP + admission + executor + store *hit*.
+``status``
+    ``GET /status`` round-trips per second — the pure transport +
+    event-loop cost, no executor.
+
+Each run appends one entry to ``benchmarks/results/service.json``
+(a trajectory, like the other benches). The point is honesty about
+the overhead, not a target: the service exists for resilience and
+sharing, and the store makes repeat requests cheap regardless.
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--repeat N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.frontend import compile_source
+from repro.opt import implicit_cleanup
+from repro.programs import PROGRAMS
+from repro.service.client import ServiceClient
+
+try:  # pytest collection vs `python benchmarks/bench_service.py`
+    from .conftest import RESULTS_DIR
+except ImportError:  # pragma: no cover - CLI entry
+    from pathlib import Path
+
+    RESULTS_DIR = Path(__file__).parent / "results"
+
+RESULTS_PATH = RESULTS_DIR / "service.json"
+
+BENCH, FUNCTION = "sha", "rol"
+CONFIG = {"max_nodes": 10_000}
+
+
+def _direct_seconds() -> float:
+    func = compile_source(PROGRAMS[BENCH].source).functions[FUNCTION].clone()
+    implicit_cleanup(func)
+    start = time.perf_counter()
+    enumerate_space(func, EnumerationConfig(**CONFIG))
+    return time.perf_counter() - start
+
+
+def _start_server(run_dir: str):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--run-dir", run_dir, "--port", "0", "--workers", "2",
+        ],
+        env={**os.environ, "PYTHONPATH": "src"},
+        stdout=subprocess.DEVNULL,
+    )
+    announce = os.path.join(run_dir, "service.json")
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError("server died at startup")
+        try:
+            with open(announce, encoding="utf-8") as handle:
+                facts = json.load(handle)
+            if facts.get("pid") == proc.pid:
+                return proc, facts["port"]
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    raise RuntimeError("server did not announce")
+
+
+def run(repeat: int) -> dict:
+    direct = min(_direct_seconds() for _ in range(repeat))
+
+    run_dir = tempfile.mkdtemp(prefix="bench-service-")
+    proc, port = _start_server(run_dir)
+    client = ServiceClient("127.0.0.1", port)
+    try:
+        start = time.perf_counter()
+        cold_body = client.enumerate(
+            benchmark=BENCH, function=FUNCTION, config=CONFIG
+        )
+        cold = time.perf_counter() - start
+        assert not cold_body["store_hit"]
+
+        warm = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            body = client.enumerate(
+                benchmark=BENCH, function=FUNCTION, config=CONFIG
+            )
+            warm.append(time.perf_counter() - start)
+            assert body["store_hit"]
+
+        start = time.perf_counter()
+        pings = 50
+        for _ in range(pings):
+            client.status()
+        status_rps = pings / (time.perf_counter() - start)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        shutil.rmtree(run_dir, ignore_errors=True)
+
+    return {
+        "workload": f"{BENCH}/{FUNCTION} max_nodes={CONFIG['max_nodes']}",
+        "direct_s": round(direct, 4),
+        "cold_s": round(cold, 4),
+        "warm_s": round(min(warm), 4),
+        "cold_overhead_s": round(cold - direct, 4),
+        "status_rps": round(status_rps, 1),
+        "python": sys.version.split()[0],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args()
+
+    entry = run(args.repeat)
+    print(json.dumps(entry, indent=2))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = {"trajectory": []}
+    if RESULTS_PATH.exists():
+        with open(RESULTS_PATH, encoding="utf-8") as handle:
+            history = json.load(handle)
+    history["trajectory"].append(entry)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,10 @@ report
     Render a human summary of a ``--run-dir``'s telemetry (manifest,
     event journal, phase outcomes, cache hit rates, quarantines) — see
     docs/OBSERVABILITY.md.
+serve
+    Long-lived enumeration service: a JSON-over-HTTP server with
+    admission control, per-tenant quotas, request coalescing, circuit
+    breaking, and graceful drain — see docs/SERVICE.md.
 search
     Genetic-algorithm search for a good phase ordering.
 list-benchmarks
@@ -620,6 +624,30 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service.server import ServiceConfig, serve_main
+
+    config = ServiceConfig(
+        run_dir=args.run_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_concurrency=args.tenant_concurrency,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        executor_retries=args.executor_retries,
+        drain_grace=args.drain_grace,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        store_root=args.store,
+        memory_watermark_mb=args.memory_watermark,
+    )
+    return serve_main(config)
+
+
 def cmd_search(args) -> int:
     program = _load_program(args.file)
     func = _select_function(program, args.function)
@@ -824,6 +852,113 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable summary"
     )
     p.set_defaults(handler=cmd_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the enumeration service (JSON over HTTP); "
+        "see docs/SERVICE.md",
+    )
+    p.add_argument(
+        "--run-dir",
+        required=True,
+        metavar="DIR",
+        help="service state root: journal, manifest, per-work-key "
+        "checkpoints, the shared space store, and service.json (the "
+        "bound port); a restarted server on the same DIR resumes "
+        "drained work bit-identically",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; the bound port is announced on "
+        "stdout and in DIR/service.json)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent executor subprocesses",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admitted requests allowed to wait for a worker; beyond "
+        "this the server sheds with 429 + Retry-After",
+    )
+    p.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=10.0,
+        metavar="R",
+        help="sustained requests/second per tenant (token bucket)",
+    )
+    p.add_argument(
+        "--tenant-burst", type=float, default=20.0, metavar="B",
+        help="token-bucket burst capacity per tenant",
+    )
+    p.add_argument(
+        "--tenant-concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="in-flight request quota per tenant",
+    )
+    p.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline applied to requests that name none",
+    )
+    p.add_argument(
+        "--max-deadline", type=float, default=600.0, metavar="SECONDS",
+        help="ceiling on any requested deadline",
+    )
+    p.add_argument(
+        "--executor-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="crash retries per request (resume makes them cheap)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="how long a SIGTERM'd server waits for in-flight work to "
+        "checkpoint before exiting",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive executor failures before a work key is "
+        "circuit-broken",
+    )
+    p.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="how long an open circuit rejects before a half-open probe",
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        help="space store shared across requests (default: RUN_DIR/store)",
+    )
+    p.add_argument(
+        "--memory-watermark",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="shed with 503 while resident memory exceeds this",
+    )
+    p.set_defaults(handler=cmd_serve)
 
     p = sub.add_parser("search", help="genetic search for a phase ordering")
     p.add_argument("file", help="mini-C file or bench:NAME")

@@ -11,7 +11,8 @@ always internally consistent no matter when the process died.
 File layout (all keys always present)::
 
     {
-      "version":        1,
+      "version":        2,
+      "digest":         "sha256...",   // integrity hash of the payload
       "function_name":  "...",
       "config":         {"phases": "bcdg...", "remap": true, "exact": false},
       "completed":      false,
@@ -45,21 +46,61 @@ bit-identical.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.dag import SpaceDAG, SpaceNode
 from repro.ir.function import Function, LocalSlot
-from repro.ir.parser import parse_function
+from repro.ir.parser import RTLParseError, parse_function
 from repro.ir.printer import format_function
 
-CHECKPOINT_VERSION = 1
+#: version 2 added the payload digest
+CHECKPOINT_VERSION = 2
+
+#: the diagnostic code every checkpoint/store load failure carries, so
+#: operators (and the service's error responses) can grep one token
+#: across logs, journals, and exception text
+DIAGNOSTIC = "CKP001"
+
+#: keys an enumeration checkpoint must contain (see the layout above);
+#: ``version`` and ``digest`` are checked separately by the loader
+ENUMERATION_KEYS = (
+    "function_name",
+    "config",
+    "completed",
+    "level",
+    "frontier",
+    "frontier_index",
+    "next_frontier",
+    "attempted",
+    "applied",
+    "elapsed",
+    "dag",
+    "root_function",
+    "functions",
+    "recipes",
+    "texts",
+    "quarantine",
+)
 
 
 class CheckpointError(RuntimeError):
-    """A checkpoint file is missing, malformed, or incompatible."""
+    """A checkpoint file is missing, malformed, or incompatible.
+
+    Every instance carries the ``CKP001`` diagnostic in its message
+    (and as ``.code``): persisted-state corruption is one failure
+    class no matter which loader tripped over it.
+    """
+
+    code = DIAGNOSTIC
+
+    def __init__(self, message: str):
+        if not message.startswith(DIAGNOSTIC):
+            message = f"{DIAGNOSTIC}: {message}"
+        super().__init__(message)
 
 
 # ----------------------------------------------------------------------
@@ -96,8 +137,19 @@ def function_to_dict(func: Function) -> Dict[str, object]:
 
 
 def function_from_dict(data: Dict[str, object]) -> Function:
-    """Rebuild a function serialized by :func:`function_to_dict`."""
-    func = parse_function(data["rtl"], data["name"])
+    """Rebuild a function serialized by :func:`function_to_dict`.
+
+    Raises :class:`CheckpointError` when the serialized RTL does not
+    parse — damaged function text is persisted-state corruption, the
+    same failure class as a bad digest.
+    """
+    try:
+        func = parse_function(data["rtl"], data["name"])
+    except RTLParseError as error:
+        raise CheckpointError(
+            f"serialized function {data.get('name')!r} does not parse: "
+            f"{error}"
+        ) from error
     func.returns_value = data["returns_value"]
     func.params = list(data["params"])
     # Frame slot insertion order is semantic (register allocation walks
@@ -274,10 +326,25 @@ class CheckpointLock:
         self.release()
 
 
+def _payload_digest(state: Dict[str, object]) -> str:
+    """Integrity hash of a checkpoint payload (digest key excluded).
+
+    Canonical JSON (sorted keys) so the digest is independent of dict
+    insertion order; sha256 because corruption detection, not crypto,
+    is the goal — a truncated write, a flipped bit, or a hand-edited
+    file must not resume into a silently wrong enumeration.
+    """
+    return hashlib.sha256(
+        json.dumps(state, sort_keys=True).encode()
+    ).hexdigest()
+
+
 def save_checkpoint(path: str, state: Dict[str, object]) -> None:
-    """Atomically write *state* as JSON to *path*."""
+    """Atomically write *state* as JSON to *path* (version + digest
+    stamped)."""
     state = dict(state)
     state["version"] = CHECKPOINT_VERSION
+    state["digest"] = _payload_digest(state)
     directory = os.path.dirname(os.path.abspath(path))
     fd, temp_path = tempfile.mkstemp(
         prefix=".checkpoint-", suffix=".tmp", dir=directory
@@ -294,8 +361,16 @@ def save_checkpoint(path: str, state: Dict[str, object]) -> None:
         raise
 
 
-def load_checkpoint(path: str) -> Dict[str, object]:
-    """Read and sanity-check a checkpoint written by save_checkpoint."""
+def load_checkpoint(
+    path: str, require: Sequence[str] = ()
+) -> Dict[str, object]:
+    """Read and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Verification order: readable JSON, then version (an incompatible
+    layout gets the version message, not a digest complaint), then the
+    payload digest, then any *require*\\ d keys.  Every failure raises
+    :class:`CheckpointError` with the ``CKP001`` diagnostic.
+    """
     try:
         with open(path) as handle:
             state = json.load(handle)
@@ -303,10 +378,28 @@ def load_checkpoint(path: str) -> Dict[str, object]:
         raise CheckpointError(f"cannot read checkpoint {path}: {error}")
     except ValueError as error:
         raise CheckpointError(f"malformed checkpoint {path}: {error}")
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"malformed checkpoint {path}: expected a JSON object, "
+            f"got {type(state).__name__}"
+        )
     version = state.get("version")
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"checkpoint {path} has version {version!r}; "
             f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    digest = state.pop("digest", None)
+    expected = _payload_digest(state)
+    if digest != expected:
+        raise CheckpointError(
+            f"checkpoint {path} failed its integrity check "
+            f"(digest {digest!r}, expected {expected!r}) — the file is "
+            "corrupt or was modified"
+        )
+    missing = [key for key in require if key not in state]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path} is missing required keys: {missing}"
         )
     return state

@@ -36,8 +36,9 @@ to survive failure (see ``docs/ROBUSTNESS.md``):
   ``time_limit``;
 - with ``checkpoint_path`` set, the full enumeration state is
   periodically persisted at instance boundaries and a later run with
-  ``resume=True`` continues to a bit-identical DAG; SIGINT requests a
-  graceful stop through the same checkpoint (a second SIGINT kills).
+  ``resume=True`` continues to a bit-identical DAG; SIGINT and SIGTERM
+  both request a graceful stop through the same checkpoint (a second
+  signal kills), so ^C and an orchestrator shutdown behave identically.
 """
 
 from __future__ import annotations
@@ -348,12 +349,12 @@ class SpaceEnumerator:
         self.budget = _Budget(config, consumed=consumed)
         self._last_checkpoint = time.monotonic()
 
-        previous_sigint = self._install_sigint()
+        previous_handlers = self._install_signals()
         try:
             self._loop()
         finally:
-            if previous_sigint is not None:
-                signal.signal(signal.SIGINT, previous_sigint)
+            for signum, previous in previous_handlers:
+                signal.signal(signum, previous)
 
         elapsed = self.budget.elapsed()
         if config.checkpoint_path is not None:
@@ -485,9 +486,27 @@ class SpaceEnumerator:
         self.abort_reason: Optional[str] = None
 
     def _restore(self, path: str) -> float:
-        """Load a checkpoint; returns the seconds already consumed."""
+        """Load a checkpoint; returns the seconds already consumed.
+
+        Every failure mode — unreadable file, integrity/version
+        mismatch, or a payload that will not rebuild — surfaces as a
+        :class:`~repro.core.checkpoint.CheckpointError` (CKP001), never
+        a raw KeyError/ValueError from half-restored state.
+        """
         config = self.config
-        state = ckpt.load_checkpoint(path)
+        state = ckpt.load_checkpoint(path, require=ckpt.ENUMERATION_KEYS)
+        try:
+            return self._restore_state(path, state)
+        except ckpt.CheckpointError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError, AttributeError) as error:
+            raise ckpt.CheckpointError(
+                f"checkpoint {path} is structurally invalid: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+
+    def _restore_state(self, path: str, state: Dict[str, object]) -> float:
+        config = self.config
         if state["function_name"] != self.input_func.name:
             raise ckpt.CheckpointError(
                 f"checkpoint {path} is for function "
@@ -842,26 +861,35 @@ class SpaceEnumerator:
     # Signals
     # ------------------------------------------------------------------
 
-    def _install_sigint(self):
-        """Trade SIGINT for a graceful stop when checkpointing is on.
+    #: signals traded for a graceful stop; SIGTERM is what container
+    #: orchestrators send on shutdown, and it must checkpoint exactly
+    #: like ^C does (the service's drain path depends on this)
+    GRACEFUL_SIGNALS = (signal.SIGINT, signal.SIGTERM)
 
-        The first ^C sets a flag the loop observes at the next phase
-        attempt (writing a final checkpoint on the way out); a second
-        ^C raises KeyboardInterrupt as usual.  Only possible on the
-        main thread.
+    def _install_signals(self):
+        """Trade SIGINT/SIGTERM for a graceful stop when checkpointing
+        is on.
+
+        The first signal sets a flag the loop observes at the next
+        phase attempt (writing a final checkpoint on the way out); a
+        second one raises KeyboardInterrupt as usual.  Handlers can
+        only be installed on the main thread.
         """
         if (
             self.config.checkpoint_path is None
             or threading.current_thread() is not threading.main_thread()
         ):
-            return None
+            return []
 
         def _handler(signum, frame):
             if self._interrupted:
                 raise KeyboardInterrupt
             self._interrupted = True
 
-        return signal.signal(signal.SIGINT, _handler)
+        previous = []
+        for signum in self.GRACEFUL_SIGNALS:
+            previous.append((signum, signal.signal(signum, _handler)))
+        return previous
 
 
 def enumerate_space(

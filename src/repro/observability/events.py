@@ -73,6 +73,21 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     # compilers (Table 7 accounting)
     "batch_compile": frozenset({"function", "attempted", "active"}),
     "prob_compile": frozenset({"function", "attempted", "active"}),
+    # enumeration service (``repro serve``; see docs/SERVICE.md).  Every
+    # request-scoped event carries the request id, which is also the
+    # X-Request-Id response header — one grep joins a client-visible
+    # response to its full server-side history.
+    "server_start": frozenset({"port"}),
+    "server_drain": frozenset({"in_flight"}),
+    "server_stop": frozenset({"served"}),
+    "request_admitted": frozenset({"request", "kind"}),
+    "request_shed": frozenset({"request", "reason"}),
+    "request_coalesced": frozenset({"request", "into"}),
+    "request_retry": frozenset({"request", "attempt"}),
+    "request_done": frozenset({"request", "status"}),
+    "breaker_open": frozenset({"key", "failures"}),
+    "breaker_probe": frozenset({"key"}),
+    "breaker_close": frozenset({"key"}),
 }
 
 #: journal filename inside a run dir

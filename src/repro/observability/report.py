@@ -88,6 +88,17 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         "seen": False,
     }
     compiles: List[Dict] = []
+    service = {
+        "admitted": 0,
+        "coalesced": 0,
+        "shed": {},
+        "shed_total": 0,
+        "retries": 0,
+        "done": {},
+        "breaker_opens": 0,
+        "drains": 0,
+        "seen": False,
+    }
 
     for record in records:
         name = record.get("event")
@@ -162,6 +173,32 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
             totals["shards_done"] += 1
         elif name in ("batch_compile", "prob_compile"):
             compiles.append(record)
+        elif name in ("server_start", "server_stop"):
+            service["seen"] = True
+        elif name == "server_drain":
+            service["seen"] = True
+            service["drains"] += 1
+        elif name == "request_admitted":
+            service["seen"] = True
+            service["admitted"] += 1
+        elif name == "request_coalesced":
+            service["seen"] = True
+            service["coalesced"] += 1
+        elif name == "request_shed":
+            service["seen"] = True
+            reason = record.get("reason", "?")
+            service["shed"][reason] = service["shed"].get(reason, 0) + 1
+            service["shed_total"] += 1
+        elif name == "request_retry":
+            service["seen"] = True
+            service["retries"] += 1
+        elif name == "request_done":
+            service["seen"] = True
+            status = str(record.get("status", "?"))
+            service["done"][status] = service["done"].get(status, 0) + 1
+        elif name == "breaker_open":
+            service["seen"] = True
+            service["breaker_opens"] += 1
 
     for row in functions.values():
         row["attempted"] = row["active"] + row["dormant"]
@@ -176,6 +213,7 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         "analysis_cache": analysis if analysis["seen"] else None,
         "sanitize": sanitize if sanitize["seen"] else None,
         "compiles": compiles,
+        "service": service if service["seen"] else None,
         "errors": errors[:20],
     }
 
@@ -334,6 +372,28 @@ def render_report(summary: Dict[str, object]) -> str:
             f"workers died: {totals['worker_deaths']}   "
             f"lease timeouts: {totals['lease_timeouts']}"
         )
+    service = summary.get("service")
+    if service:
+        done = ", ".join(
+            f"{status}: {count}"
+            for status, count in sorted(service["done"].items())
+        )
+        lines.append(
+            f"  service: {service['admitted']} admitted "
+            f"({service['coalesced']} coalesced), "
+            f"{service['shed_total']} shed, "
+            f"{service['retries']} executor retries, "
+            f"{service['breaker_opens']} breaker opens, "
+            f"{service['drains']} drain(s)"
+        )
+        if done:
+            lines.append(f"  service responses: {done}")
+        if service["shed"]:
+            shed = ", ".join(
+                f"{reason} {count}"
+                for reason, count in sorted(service["shed"].items())
+            )
+            lines.append(f"  service shed by reason: {shed}")
     errors: List[str] = summary.get("errors") or []
     if errors:
         lines.append("")

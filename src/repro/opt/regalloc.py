@@ -78,6 +78,7 @@ class RegisterAllocation(Phase):
         forbidden: Dict[int, Set[int]] = {offset: set() for offset in candidates}
         slot_edges: Dict[int, Set[int]] = {offset: set() for offset in candidates}
 
+        frame_refs = slot_liveness.frame_refs
         for block in func.blocks:
             # Block-boundary interference (covers live-through ranges in
             # blocks that never touch the slot).
@@ -93,8 +94,15 @@ class RegisterAllocation(Phase):
                             slot_edges[offset].add(other)
             regs_after = liveness.live_after_each(block.label)
             slots_after = slot_liveness.live_after_each(block.label)
+            refs = frame_refs.refs[block.label]
             for i, inst in enumerate(block.insts):
-                live_slots = slots_after[i] & candidate_set
+                # A write to a slot interferes even when the stored value
+                # is dead (overwritten before any read): the rewrite still
+                # materializes the store, and once slots share a register
+                # a dead store physically clobbers the other slot's live
+                # value — so a defined slot conflicts with everything live
+                # across this instruction, exactly like a defined register.
+                live_slots = (slots_after[i] | refs[i].writes) & candidate_set
                 if not live_slots:
                     continue
                 live_regs = {reg.index for reg in regs_after[i] if not reg.pseudo}

@@ -47,6 +47,8 @@ import json
 import multiprocessing
 import os
 import re
+import signal
+import threading
 import time
 from multiprocessing.connection import wait as connection_wait
 from collections import deque
@@ -72,6 +74,7 @@ from repro.parallel.store import SpaceStore, cacheable, store_signature
 from repro.parallel.telemetry import ProgressReporter
 from repro.parallel.worker import worker_main
 from repro.robustness.quarantine import QuarantineLog
+from repro.robustness.retry import RetryBudget
 
 
 class EnumerationRequest(NamedTuple):
@@ -319,11 +322,27 @@ class _FunctionJob:
         return True
 
     def try_restore(self) -> bool:
-        """Continue from a level checkpoint in run_dir, if present."""
+        """Continue from a level checkpoint in run_dir, if present.
+
+        A checkpoint that is unreadable, fails its integrity check, or
+        will not rebuild raises CheckpointError (CKP001) — resuming is
+        an explicit request, so silently starting over would be wrong.
+        """
         path = self.checkpoint_path
         if path is None or not os.path.exists(path):
             return False
-        state = ckpt.load_checkpoint(path)
+        state = ckpt.load_checkpoint(path, require=ckpt.ENUMERATION_KEYS)
+        try:
+            return self._restore_state(path, state)
+        except ckpt.CheckpointError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError, AttributeError) as error:
+            raise ckpt.CheckpointError(
+                f"checkpoint {path} is structurally invalid: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+
+    def _restore_state(self, path: str, state: Dict) -> bool:
         if state["function_name"] != self.function_name:
             raise ckpt.CheckpointError(
                 f"checkpoint {path} is for function "
@@ -389,7 +408,6 @@ class _WorkerSlot:
         self.event_queue = None
         self.busy: Optional[int] = None  # leased shard id
         self.last_heartbeat = 0.0
-        self.deaths = 0
 
 
 class ParallelEnumerator:
@@ -412,7 +430,12 @@ class ParallelEnumerator:
         self._specs: Dict[int, Dict] = {}
         self._spec_job: Dict[int, _FunctionJob] = {}
         self._pending = deque()
-        self._retries: Dict[int, int] = {}
+        #: shard re-lease budget: a shard failing more than
+        #: MAX_SHARD_RETRIES times aborts its function job
+        self._shard_retries = RetryBudget(self.MAX_SHARD_RETRIES)
+        #: worker respawn budget: one slot dying more than
+        #: MAX_SLOT_DEATHS times is systemic, not transient
+        self._respawns = RetryBudget(self.MAX_SLOT_DEATHS)
         self._next_shard_id = 0
         self._instances = 0
         self._ctx = None
@@ -619,6 +642,7 @@ class ParallelEnumerator:
         self._slots = [_WorkerSlot(i) for i in range(self.parallel.jobs)]
         for slot in self._slots:
             self._spawn(slot, with_chaos=True)
+        previous_sigterm = self._install_sigterm()
         try:
             self._drive(jobs)
         except KeyboardInterrupt:
@@ -634,7 +658,22 @@ class ParallelEnumerator:
                     )
             raise
         finally:
+            if previous_sigterm is not None:
+                signal.signal(signal.SIGTERM, previous_sigterm)
             self._shutdown()
+
+    def _install_sigterm(self):
+        """SIGTERM parity with ^C: an orchestrator shutdown must take
+        the same graceful path (checkpoint every job, drain the pool)
+        as KeyboardInterrupt, not kill the coordinator mid-merge.
+        Handlers can only be installed on the main thread."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def _handler(signum, frame):
+            raise KeyboardInterrupt
+
+        return signal.signal(signal.SIGTERM, _handler)
 
     def _shutdown(self) -> None:
         for slot in self._slots:
@@ -960,6 +999,7 @@ class ParallelEnumerator:
             job.frontier_index += len(merged_result["expansions"])
             job.merged += 1
             job.done_shards.add(next_id)
+            self._shard_retries.reset(next_id)
             self._specs.pop(next_id, None)
             self._spec_job.pop(next_id, None)
             self._instances += added
@@ -1025,10 +1065,10 @@ class ParallelEnumerator:
                 if slot.process.is_alive():
                     slot.process.kill()
                     slot.process.join(1.0)
-            slot.deaths += 1
-            if slot.deaths > self.MAX_SLOT_DEATHS:
+            if not self._respawns.record_failure(slot.worker_id):
                 raise RuntimeError(
-                    f"worker slot {slot.worker_id} died {slot.deaths} times; "
+                    f"worker slot {slot.worker_id} died "
+                    f"{self._respawns.failures(slot.worker_id)} times; "
                     "aborting the run (systemic failure)"
                 )
             # The replacement never inherits the chaos hook: the fault
@@ -1041,15 +1081,14 @@ class ParallelEnumerator:
         job = self._spec_job.get(shard_id)
         if job is None or job.state == "done" or shard_id in job.done_shards:
             return
-        self._retries[shard_id] = self._retries.get(shard_id, 0) + 1
-        if self._retries[shard_id] > self.MAX_SHARD_RETRIES:
+        if not self._shard_retries.record_failure(shard_id):
             self._abort(job, f"shard_failed: {why}")
             return
         self._pending.appendleft(shard_id)
         self._emit(
             "lease_reclaim",
             shard=shard_id,
-            retries=self._retries[shard_id],
+            retries=self._shard_retries.failures(shard_id),
             why=why,
         )
 

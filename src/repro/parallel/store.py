@@ -40,6 +40,18 @@ from repro.robustness.quarantine import QuarantineLog
 STORE_VERSION = 1
 
 
+class StoreError(ckpt.CheckpointError):
+    """A store entry is unreadable, corrupt, or incompatible.
+
+    Subclasses :class:`~repro.core.checkpoint.CheckpointError`, so it
+    carries the same ``CKP001`` diagnostic — persisted-state corruption
+    is one failure class whether the file is a checkpoint or a cache
+    entry.  The cache-consulting path (:meth:`SpaceStore.get`) catches
+    it and degrades to a miss; :meth:`SpaceStore.load_entry` is the
+    strict loader for callers that asked for this entry specifically.
+    """
+
+
 def store_signature(config: EnumerationConfig) -> Dict[str, object]:
     """The config fields a cached space must agree on.
 
@@ -77,6 +89,9 @@ class SpaceStore:
         #: store telemetry for the session
         self.hits = 0
         self.misses = 0
+        #: entries that existed but failed to load (counted as misses
+        #: too); a nonzero value means the store directory is damaged
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
 
@@ -94,37 +109,68 @@ class SpaceStore:
         safe_name = re.sub(r"[^A-Za-z0-9_.-]", "_", function_name)
         return os.path.join(self.root, f"{safe_name}-{digest}.json")
 
+    def load_entry(self, path: str, function_name: str) -> EnumerationResult:
+        """Strictly load one store entry; raises :class:`StoreError`.
+
+        Covers every way the file can be bad: unreadable/truncated
+        JSON, failed integrity digest, wrong checkpoint or store
+        version, an entry for a different function, and payloads that
+        will not rebuild into a DAG.
+        """
+        try:
+            state = ckpt.load_checkpoint(path)
+        except ckpt.CheckpointError as error:
+            raise StoreError(str(error)) from error
+        if state.get("store_version") != STORE_VERSION:
+            raise StoreError(
+                f"store entry {path} has store_version "
+                f"{state.get('store_version')!r}; this build reads "
+                f"version {STORE_VERSION}"
+            )
+        if state.get("function_name") != function_name:
+            raise StoreError(
+                f"store entry {path} is for function "
+                f"{state.get('function_name')!r}, not {function_name!r}"
+            )
+        try:
+            dag = ckpt.dag_from_dict(function_name, state["dag"])
+            return EnumerationResult(
+                dag,
+                completed=True,
+                attempted_phases=state["attempted"],
+                phases_applied=state["applied"],
+                elapsed=state["elapsed"],
+                quarantine=QuarantineLog.from_dicts(state["quarantine"]),
+                levels_completed=state["levels_completed"],
+                resumed_from=f"store:{path}",
+            )
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            raise StoreError(
+                f"store entry {path} is structurally invalid: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+
     def get(
         self, function_name: str, root_key, config: EnumerationConfig
     ) -> Optional[EnumerationResult]:
-        """The cached result for this exact space, or None."""
+        """The cached result for this exact space, or None.
+
+        A damaged entry is a miss (and counts on ``self.corrupt``) —
+        the caller asked "do you have this space", and a file we cannot
+        trust means no.
+        """
         path = self.entry_path(function_name, root_key, config)
         if not os.path.exists(path):
             self.misses += 1
             return None
         try:
-            state = ckpt.load_checkpoint(path)
-        except ckpt.CheckpointError:
+            result = self.load_entry(path, function_name)
+        except StoreError:
+            self.corrupt += 1
             self.misses += 1
             return None
-        if (
-            state.get("store_version") != STORE_VERSION
-            or state.get("function_name") != function_name
-        ):
-            self.misses += 1
-            return None
-        dag = ckpt.dag_from_dict(function_name, state["dag"])
         self.hits += 1
-        return EnumerationResult(
-            dag,
-            completed=True,
-            attempted_phases=state["attempted"],
-            phases_applied=state["applied"],
-            elapsed=state["elapsed"],
-            quarantine=QuarantineLog.from_dicts(state["quarantine"]),
-            levels_completed=state["levels_completed"],
-            resumed_from=f"store:{path}",
-        )
+        return result
 
     def put(
         self,

@@ -12,6 +12,10 @@ hours per function).  This package keeps them alive:
   context of every rejected application;
 - :class:`FaultInjector` deterministically sabotages applications
   (raise / corrupt IR / hang) so every guard path is testable;
+- :mod:`repro.robustness.retry` is the shared retry vocabulary —
+  :func:`retry_call` (exponential backoff, full jitter, deadlines) for
+  blocking callers and :class:`RetryBudget` for event-driven ones (the
+  coordinator's re-lease/respawn caps, the service client);
 - :mod:`repro.core.checkpoint` (a sibling, re-exported by the
   enumerator) persists the space DAG so interrupted runs resume.
 """
@@ -30,6 +34,12 @@ from repro.robustness.guard import (
     restore_function,
 )
 from repro.robustness.quarantine import KINDS, QuarantineLog, QuarantineRecord
+from repro.robustness.retry import (
+    RetryBudget,
+    RetryError,
+    RetryPolicy,
+    retry_call,
+)
 
 __all__ = [
     "GuardedPhaseRunner",
@@ -44,4 +54,8 @@ __all__ = [
     "QuarantineLog",
     "QuarantineRecord",
     "KINDS",
+    "RetryBudget",
+    "RetryError",
+    "RetryPolicy",
+    "retry_call",
 ]

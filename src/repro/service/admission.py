@@ -1,0 +1,158 @@
+"""Admission-control primitives: token buckets, quotas, circuit breaker.
+
+Pure policy objects — no I/O, no asyncio, clocks injected — so every
+load-shedding decision the server makes is unit-testable with a fake
+clock, and the same classes can guard any future entry point.
+
+The server composes them in admission order (cheapest first):
+
+1. drain flag — a draining server sheds everything;
+2. memory watermark — global backpressure;
+3. per-tenant :class:`TokenBucket` — sustained request-rate limit;
+4. per-tenant concurrency quota — in-flight cap;
+5. queue-depth watermark — bounded admission queue;
+6. per-work-key :class:`CircuitBreaker` — repeatedly failing work is
+   quarantined so it cannot monopolize the worker slots.
+
+Every rejection carries a ``retry_after`` hint that the server turns
+into a ``Retry-After`` header and the bundled client obeys.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class TokenBucket:
+    """Classic token bucket: *rate* tokens/second, burst capacity *burst*.
+
+    ``take()`` answers ``(admitted, retry_after)`` — when the bucket is
+    empty, ``retry_after`` is the exact time until one token exists, so
+    a well-behaved client that honors it is admitted on its next try.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = float(burst)
+        self._stamp = clock()
+
+    def take(self, amount: float = 1.0) -> Tuple[bool, float]:
+        now = self.clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True, 0.0
+        return False, (amount - self.tokens) / self.rate
+
+
+class Tenant:
+    """Per-tenant admission state: a bucket, a quota, and counters."""
+
+    def __init__(self, rate: float, burst: float, concurrency: int, clock):
+        self.bucket = TokenBucket(rate, burst, clock)
+        self.concurrency = concurrency
+        self.in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "in_flight": self.in_flight,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "tokens": round(self.bucket.tokens, 2),
+        }
+
+
+class CircuitBreaker:
+    """Per-key breaker: open after *threshold* consecutive failures.
+
+    States per key: **closed** (normal), **open** (rejecting for
+    *cooldown* seconds), **half-open** (one probe admitted after the
+    cooldown; success closes, failure re-opens).  Keys with no failures
+    carry no state at all.
+
+    *on_transition*, when given, is called as ``("open", key,
+    failures)``, ``("probe", key, failures)``, or ``("close", key,
+    failures)`` — the server wires it to the event journal.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, int], None]] = None,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.on_transition = on_transition
+        #: key -> {"failures", "opened_at" (None = closed), "probing"}
+        self._state: Dict[str, Dict] = {}
+
+    def _notify(self, what: str, key: str, failures: int) -> None:
+        if self.on_transition is not None:
+            self.on_transition(what, key, failures)
+
+    def allow(self, key: str) -> Tuple[bool, float]:
+        """Whether work under *key* may run; ``(False, retry_after)``
+        while the breaker is open."""
+        state = self._state.get(key)
+        if state is None or state["opened_at"] is None:
+            return True, 0.0
+        remaining = self.cooldown - (self.clock() - state["opened_at"])
+        if remaining > 0:
+            return False, remaining
+        if state["probing"]:
+            # One probe at a time; concurrent identical requests keep
+            # being shed until the probe resolves.
+            return False, self.cooldown
+        state["probing"] = True
+        self._notify("probe", key, state["failures"])
+        return True, 0.0
+
+    def record_success(self, key: str) -> None:
+        state = self._state.pop(key, None)
+        if state is not None and state["opened_at"] is not None:
+            self._notify("close", key, state["failures"])
+
+    def record_failure(self, key: str) -> None:
+        state = self._state.setdefault(
+            key, {"failures": 0, "opened_at": None, "probing": False}
+        )
+        state["failures"] += 1
+        was_open = state["opened_at"] is not None
+        if state["failures"] >= self.threshold:
+            # (Re)start the cooldown — a failed half-open probe extends
+            # the quarantine rather than resetting the failure count.
+            state["opened_at"] = self.clock()
+            state["probing"] = False
+            if not was_open:
+                self._notify("open", key, state["failures"])
+
+    def open_keys(self) -> List[str]:
+        return sorted(
+            key
+            for key, state in self._state.items()
+            if state["opened_at"] is not None
+        )
+
+    def failures(self, key: str) -> int:
+        state = self._state.get(key)
+        return 0 if state is None else state["failures"]

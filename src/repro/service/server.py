@@ -1,0 +1,853 @@
+"""The resilient enumeration server behind ``repro serve``.
+
+A single-process asyncio front end speaking a minimal JSON-over-HTTP/1.1
+protocol (hand-rolled on :func:`asyncio.start_server`; the toolchain is
+stdlib-only by design).  Every admitted request runs in a fresh
+:mod:`~repro.service.executor` subprocess; the server itself never
+enumerates, so no request can wedge or crash it.
+
+Resilience layers, in admission order (see docs/SERVICE.md):
+
+- **load shedding** — a bounded admission queue; past the depth or the
+  memory watermark, requests are shed with ``429``/``503`` and a
+  ``Retry-After`` the bundled client honors;
+- **tenant fairness** — per-tenant token buckets and concurrency
+  quotas, so one noisy client degrades itself, not the service;
+- **circuit breaker** — work that repeatedly crashes its executor is
+  quarantined per work key (open → cooldown → half-open probe);
+- **request coalescing** — identical concurrent requests share one
+  execution and one store write;
+- **deadlines** — a request deadline propagates into the enumeration's
+  cooperative time budget; overruns get a structured ``504`` and leave
+  a resumable checkpoint;
+- **graceful drain** — SIGTERM/SIGINT stops admitting, SIGTERMs the
+  in-flight executors (which checkpoint under their stable work keys),
+  and a restarted server resumes the same work bit-identically.
+
+Responses always carry ``X-Request-Id``; the same id threads through
+the run dir's ``events.jsonl``, so ``repro report`` and one grep give
+any response its full server-side history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import checkpoint as ckpt
+from repro.observability.events import JOURNAL_NAME
+from repro.observability.manifest import build_manifest
+from repro.observability.tracer import Tracer
+from repro.service import protocol
+from repro.service.admission import CircuitBreaker, Tenant
+
+#: marker file a started server writes into its run dir, so clients and
+#: tests can discover the bound port (``port=0`` binds an ephemeral one)
+SERVICE_FILE = "service.json"
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: largest accepted request body
+MAX_BODY = 2 * 1024 * 1024
+
+
+class ServiceConfig:
+    """Tunables of one server instance (see docs/SERVICE.md)."""
+
+    def __init__(
+        self,
+        run_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_depth: int = 8,
+        tenant_rate: float = 10.0,
+        tenant_burst: float = 20.0,
+        tenant_concurrency: int = 4,
+        default_deadline: Optional[float] = None,
+        max_deadline: float = 600.0,
+        read_timeout: float = 10.0,
+        executor_retries: int = 2,
+        exec_grace: float = 5.0,
+        drain_grace: float = 20.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        store_root: Optional[str] = None,
+        memory_watermark_mb: Optional[float] = None,
+        memory_gauge: Optional[Callable[[], float]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.run_dir = run_dir
+        self.host = host
+        self.port = port
+        #: concurrent executor subprocesses
+        self.workers = workers
+        #: admitted requests allowed to wait for a worker slot; beyond
+        #: this the server sheds with 429 queue_full
+        self.queue_depth = queue_depth
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.tenant_concurrency = tenant_concurrency
+        #: deadline applied when the request names none (None = no limit)
+        self.default_deadline = default_deadline
+        #: hard ceiling on any requested deadline
+        self.max_deadline = max_deadline
+        #: seconds a client has to deliver its request bytes
+        self.read_timeout = read_timeout
+        #: executor crash retries per request (resume picks up the
+        #: checkpoint, so retries never recompute finished levels)
+        self.executor_retries = executor_retries
+        #: seconds between SIGTERM and SIGKILL for an overrun executor
+        self.exec_grace = exec_grace
+        #: seconds a draining server waits for in-flight work
+        self.drain_grace = drain_grace
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        #: SpaceStore directory shared by all requests (the
+        #: cross-request cache); defaults to ``<run_dir>/store``
+        self.store_root = (
+            store_root
+            if store_root is not None
+            else os.path.join(run_dir, "store")
+        )
+        #: shed with 503 when resident memory exceeds this (None = off)
+        self.memory_watermark_mb = memory_watermark_mb
+        #: injectable for tests; defaults to the process RSS in MB
+        self.memory_gauge = memory_gauge
+        self.clock = clock
+
+
+def _process_rss_mb() -> float:
+    """Resident set size of this process in MB (Linux; 0.0 elsewhere)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0.0
+
+
+class _BadRequest(Exception):
+    def __init__(self, status: int, detail: str):
+        self.status = status
+        self.detail = detail
+
+
+async def _read_http(
+    reader: asyncio.StreamReader, timeout: float
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request; the timeout covers every read, so a
+    slow (or stalled) client cannot hold a connection open."""
+    line = await asyncio.wait_for(reader.readline(), timeout)
+    if not line:
+        raise ConnectionResetError("client closed before sending a request")
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise _BadRequest(400, "malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, _, value = text.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _BadRequest(400, "bad Content-Length")
+    if length < 0 or length > MAX_BODY:
+        raise _BadRequest(413, f"body exceeds {MAX_BODY} bytes")
+    body = b""
+    if length:
+        body = await asyncio.wait_for(reader.readexactly(length), timeout)
+    return method, path, headers, body
+
+
+def _encode_response(
+    status: int,
+    body: Dict[str, object],
+    request_id: Optional[str] = None,
+    retry_after: Optional[float] = None,
+) -> bytes:
+    payload = json.dumps(body, sort_keys=True).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    if request_id is not None:
+        lines.append(f"X-Request-Id: {request_id}")
+    if retry_after is not None:
+        # Ceil to a whole second; zero would mean "retry immediately",
+        # defeating the backpressure the header exists to apply.
+        lines.append(f"Retry-After: {max(1, int(retry_after + 0.999))}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + payload
+
+
+class EnumerationServer:
+    """One long-lived service instance bound to one run dir."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        os.makedirs(config.run_dir, exist_ok=True)
+        self.tracer = Tracer(
+            run_dir=config.run_dir,
+            manifest=build_manifest(
+                tool="repro.serve",
+                config={
+                    "workers": config.workers,
+                    "queue_depth": config.queue_depth,
+                    "tenant_rate": config.tenant_rate,
+                    "tenant_concurrency": config.tenant_concurrency,
+                    "breaker_threshold": config.breaker_threshold,
+                },
+                argv=sys.argv[1:],
+            ),
+        )
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            cooldown=config.breaker_cooldown,
+            clock=config.clock,
+            on_transition=self._breaker_event,
+        )
+        self.tenants: Dict[str, Tenant] = {}
+        #: work key -> future resolving to (status, body, retry_after);
+        #: concurrent identical requests await the leader's future
+        self._inflight: Dict[str, asyncio.Future] = {}
+        #: request id -> running executor process (drain SIGTERMs these)
+        self._procs: Dict[str, asyncio.subprocess.Process] = {}
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.port: Optional[int] = None
+        self.draining = False
+        self._handlers = 0
+        self._waiting = 0
+        self._next_id = 0
+        self._started = config.clock()
+        self.counters = {
+            "admitted": 0,
+            "coalesced": 0,
+            "done": 0,
+            "failed": 0,
+            "interrupted": 0,
+            "retried": 0,
+            "shed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Bind, announce, and run until drained."""
+        loop = asyncio.get_running_loop()
+        self._slots = asyncio.Semaphore(self.config.workers)
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_drain)
+            except (NotImplementedError, RuntimeError):
+                signal.signal(
+                    signum, lambda *_: loop.call_soon_threadsafe(self.request_drain)
+                )
+        self.tracer.emit("run_start", tool="repro.serve")
+        self.tracer.emit("server_start", port=self.port)
+        self._announce()
+        try:
+            await self._stopped.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            # retract the announce file: a drained run dir must not
+            # advertise a dead endpoint to clients or a restarted server
+            try:
+                os.unlink(os.path.join(self.config.run_dir, SERVICE_FILE))
+            except OSError:
+                pass
+            self.tracer.emit("server_stop", served=self.counters["done"])
+            self.tracer.close(ok=True)
+
+    def _announce(self) -> None:
+        facts = {"host": self.config.host, "port": self.port, "pid": os.getpid()}
+        path = os.path.join(self.config.run_dir, SERVICE_FILE)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(facts, handle)
+        print(json.dumps({"repro_serve": facts}), flush=True)
+
+    def request_drain(self) -> None:
+        """First signal: stop admitting, checkpoint in-flight work.
+        Second signal: hard stop."""
+        if self.draining:
+            for proc in list(self._procs.values()):
+                try:
+                    proc.kill()
+                except ProcessLookupError:
+                    pass
+            if self._stopped is not None:
+                self._stopped.set()
+            return
+        self.draining = True
+        self.tracer.emit("server_drain", in_flight=len(self._procs))
+        for proc in list(self._procs.values()):
+            try:
+                proc.terminate()
+            except ProcessLookupError:
+                pass
+        asyncio.ensure_future(self._finish_drain())
+
+    async def _finish_drain(self) -> None:
+        deadline = self.config.clock() + self.config.drain_grace
+        while self._handlers > 0 and self.config.clock() < deadline:
+            await asyncio.sleep(0.05)
+        for proc in list(self._procs.values()):
+            try:
+                proc.kill()
+            except ProcessLookupError:
+                pass
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request_id = self._new_request_id()
+        try:
+            try:
+                method, path, _headers, body = await _read_http(
+                    reader, self.config.read_timeout
+                )
+            except asyncio.TimeoutError:
+                await self._respond(
+                    writer,
+                    408,
+                    {"error": "request_timeout", "detail": "slow client"},
+                    request_id,
+                )
+                return
+            except _BadRequest as error:
+                await self._respond(
+                    writer,
+                    error.status,
+                    {"error": "bad_request", "detail": error.detail},
+                    request_id,
+                )
+                return
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                UnicodeDecodeError,
+            ):
+                return
+            status, response, retry_after = await self._dispatch(
+                request_id, method, path, body
+            )
+            await self._respond(writer, status, response, request_id, retry_after)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            except asyncio.CancelledError:
+                # loop teardown cancelled the handler while the socket
+                # was flushing; the response (if any) is already out and
+                # swallowing here keeps shutdown logs clean
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Dict[str, object],
+        request_id: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        try:
+            writer.write(_encode_response(status, body, request_id, retry_after))
+            await asyncio.wait_for(writer.drain(), self.config.read_timeout)
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            pass  # the client is gone; its work (if any) is checkpointed
+
+    def _new_request_id(self) -> str:
+        self._next_id += 1
+        return f"r{self._next_id:06d}"
+
+    # ------------------------------------------------------------------
+    # Dispatch + admission
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, request_id: str, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
+        if method == "GET" and path in ("/status", "/healthz"):
+            return 200, self._status_body(), None
+        if method != "POST":
+            return 404, {"error": "not_found", "detail": f"{method} {path}"}, None
+        kind = path.lstrip("/")
+        if kind not in protocol.KINDS:
+            return (
+                404,
+                {
+                    "error": "not_found",
+                    "detail": f"POST path must be one of "
+                    f"{', '.join('/' + k for k in protocol.KINDS)}",
+                },
+                None,
+            )
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "bad_request", "detail": "body is not JSON"}, None
+        try:
+            tenant_name = protocol.tenant_of(payload)
+            deadline = protocol.deadline_of(payload)
+            normalized = protocol.validate_request(kind, payload)
+        except protocol.RequestError as error:
+            return 400, {"error": "bad_request", "detail": str(error)}, None
+        return await self._admit(request_id, tenant_name, deadline, normalized)
+
+    def _shed(
+        self,
+        request_id: str,
+        tenant: Optional[Tenant],
+        reason: str,
+        status: int,
+        retry_after: Optional[float],
+        detail: str,
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
+        self.counters["shed"] += 1
+        if tenant is not None:
+            tenant.shed += 1
+        self.tracer.emit("request_shed", request=request_id, reason=reason)
+        body: Dict[str, object] = {"error": reason, "detail": detail}
+        if retry_after is not None:
+            body["retry_after"] = round(retry_after, 3)
+        return status, body, retry_after
+
+    async def _admit(
+        self,
+        request_id: str,
+        tenant_name: str,
+        deadline: Optional[float],
+        normalized: Dict[str, object],
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
+        config = self.config
+        tenant = self.tenants.get(tenant_name)
+        if tenant is None:
+            tenant = self.tenants[tenant_name] = Tenant(
+                config.tenant_rate,
+                config.tenant_burst,
+                config.tenant_concurrency,
+                config.clock,
+            )
+        if self.draining:
+            return self._shed(
+                request_id, tenant, "draining", 503, config.drain_grace,
+                "server is draining; in-flight work is being checkpointed",
+            )
+        if config.memory_watermark_mb is not None:
+            gauge = config.memory_gauge or _process_rss_mb
+            rss = gauge()
+            if rss >= config.memory_watermark_mb:
+                return self._shed(
+                    request_id, tenant, "memory_pressure", 503, 2.0,
+                    f"resident memory {rss:.0f} MB is over the "
+                    f"{config.memory_watermark_mb:.0f} MB watermark",
+                )
+        admitted, retry_after = tenant.bucket.take()
+        if not admitted:
+            return self._shed(
+                request_id, tenant, "rate_limited", 429, retry_after,
+                f"tenant {tenant_name!r} is over its request rate",
+            )
+        if tenant.in_flight >= tenant.concurrency:
+            return self._shed(
+                request_id, tenant, "tenant_quota", 429, 1.0,
+                f"tenant {tenant_name!r} already has {tenant.in_flight} "
+                "requests in flight",
+            )
+        if self._waiting >= config.queue_depth:
+            return self._shed(
+                request_id, tenant, "queue_full", 429,
+                1.0 + self._waiting * 0.5,
+                f"admission queue is full ({self._waiting} waiting)",
+            )
+        key = protocol.work_key(normalized)
+        allowed, retry_after = self.breaker.allow(key)
+        if not allowed:
+            return self._shed(
+                request_id, tenant, "quarantined", 503, retry_after,
+                f"work key {key} is circuit-broken "
+                f"({self.breaker.failures(key)} recent failures)",
+            )
+
+        deadline_abs = None
+        if deadline is not None or config.default_deadline is not None:
+            limit = min(
+                deadline if deadline is not None else config.max_deadline,
+                config.max_deadline,
+            )
+            if config.default_deadline is not None and deadline is None:
+                limit = config.default_deadline
+            deadline_abs = config.clock() + limit
+
+        tenant.in_flight += 1
+        tenant.admitted += 1
+        self._handlers += 1
+        try:
+            leader_future = self._inflight.get(key)
+            if leader_future is not None:
+                self.counters["coalesced"] += 1
+                self.tracer.emit(
+                    "request_coalesced",
+                    request=request_id,
+                    into=key,
+                )
+                status, body, retry_after = await asyncio.shield(leader_future)
+                body = dict(body)
+                body["request_id"] = request_id
+                body["coalesced"] = True
+                return status, body, retry_after
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            self.counters["admitted"] += 1
+            self.tracer.emit(
+                "request_admitted", request=request_id, kind=normalized["kind"]
+            )
+            try:
+                outcome = await self._execute(
+                    request_id, key, normalized, deadline_abs
+                )
+            except BaseException:
+                outcome = (
+                    500,
+                    {"error": "internal", "detail": "unexpected server error"},
+                    None,
+                )
+                raise
+            finally:
+                self._inflight.pop(key, None)
+                if not future.done():
+                    future.set_result(outcome)
+            status, body, retry_after = outcome
+            body = dict(body)
+            body["request_id"] = request_id
+            return status, body, retry_after
+        finally:
+            self._handlers -= 1
+            tenant.in_flight -= 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _spec_for(
+        self, request_id: str, key: str, normalized: Dict[str, object]
+    ) -> Dict[str, object]:
+        run_dir = self.config.run_dir
+        request_dir = os.path.join(run_dir, "requests", request_id)
+        os.makedirs(request_dir, exist_ok=True)
+        spec = dict(normalized)
+        spec["request_id"] = request_id
+        spec["config"] = dict(normalized["config"])
+        # State lives under the *work key*, not the request id: a
+        # retried, coalesced, or post-restart successor request finds
+        # and resumes the same checkpoints.
+        spec["state_dir"] = os.path.join(run_dir, "state", key)
+        spec["store_root"] = self.config.store_root
+        spec["result_path"] = os.path.join(request_dir, "result.json")
+        spec["spec_path"] = os.path.join(request_dir, "spec.json")
+        return spec
+
+    async def _execute(
+        self,
+        request_id: str,
+        key: str,
+        normalized: Dict[str, object],
+        deadline_abs: Optional[float],
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
+        config = self.config
+        self._waiting += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self._waiting -= 1
+        try:
+            if self.draining:
+                return (
+                    503,
+                    {
+                        "error": "draining",
+                        "detail": "server began draining before execution",
+                    },
+                    config.drain_grace,
+                )
+            attempts = 0
+            max_attempts = 1 + config.executor_retries
+            while True:
+                attempts += 1
+                if deadline_abs is not None:
+                    remaining = deadline_abs - config.clock()
+                    if remaining <= 0:
+                        return self._deadline_response(key)
+                else:
+                    remaining = None
+                spec = self._spec_for(request_id, key, normalized)
+                user_limit = spec["config"].get("time_limit")
+                if remaining is not None and (
+                    user_limit is None or remaining < user_limit
+                ):
+                    spec["config"]["time_limit"] = remaining
+                deadline_limited = (
+                    remaining is not None
+                    and (user_limit is None or remaining < user_limit)
+                )
+                rc, result = await self._run_executor(request_id, spec, remaining)
+                response = self._interpret(
+                    request_id, key, rc, result, deadline_limited
+                )
+                if response is not None:
+                    return response
+                # Crash: retry against the same state dir (the
+                # checkpoint survives, so finished levels are free).
+                self.counters["retried"] += 1
+                self.tracer.emit(
+                    "request_retry", request=request_id, attempt=attempts
+                )
+                self.breaker.record_failure(key)
+                if self.draining:
+                    return (
+                        503,
+                        {"error": "draining", "detail": "drain during retry"},
+                        config.drain_grace,
+                    )
+                if attempts >= max_attempts:
+                    self.counters["failed"] += 1
+                    self.tracer.emit(
+                        "request_done", request=request_id, status=500
+                    )
+                    return (
+                        500,
+                        {
+                            "error": "executor_failed",
+                            "detail": f"executor crashed {attempts} time(s) "
+                            f"(last exit {rc}); work key {key} counts "
+                            "toward its circuit breaker",
+                            "attempts": attempts,
+                        },
+                        None,
+                    )
+        finally:
+            self._slots.release()
+
+    def _deadline_response(
+        self, key: str
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
+        state_dir = os.path.join(self.config.run_dir, "state", key)
+        return (
+            504,
+            {
+                "error": "deadline_exceeded",
+                "detail": "request deadline expired; partial enumeration "
+                "state is checkpointed and a repeated request resumes it",
+                "checkpointed": os.path.isdir(state_dir),
+            },
+            None,
+        )
+
+    async def _run_executor(
+        self,
+        request_id: str,
+        spec: Dict[str, object],
+        remaining: Optional[float],
+    ) -> Tuple[int, Optional[Dict[str, object]]]:
+        """One executor attempt: returns (exit_status, result | None)."""
+        spec_path = spec["spec_path"]
+        result_path = spec["result_path"]
+        try:
+            os.unlink(result_path)
+        except OSError:
+            pass
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump(spec, handle, sort_keys=True)
+        log_path = os.path.join(os.path.dirname(spec_path), "executor.log")
+        with open(log_path, "ab") as log:
+            proc = await asyncio.create_subprocess_exec(
+                sys.executable,
+                "-m",
+                "repro.service.executor",
+                spec_path,
+                stdout=asyncio.subprocess.DEVNULL,
+                stderr=log,
+                # Own session: terminal SIGINT aimed at the server must
+                # not also hit the executors — drain signals them
+                # explicitly, exactly once.
+                start_new_session=True,
+            )
+        self._procs[request_id] = proc
+        try:
+            if remaining is None:
+                rc = await proc.wait()
+            else:
+                try:
+                    rc = await asyncio.wait_for(
+                        proc.wait(), remaining + self.config.exec_grace
+                    )
+                except asyncio.TimeoutError:
+                    # The cooperative budget should have stopped it;
+                    # escalate SIGTERM (checkpoint) then SIGKILL.
+                    proc.terminate()
+                    try:
+                        rc = await asyncio.wait_for(
+                            proc.wait(), self.config.exec_grace
+                        )
+                    except asyncio.TimeoutError:
+                        proc.kill()
+                        rc = await proc.wait()
+        finally:
+            self._procs.pop(request_id, None)
+        try:
+            result = ckpt.load_checkpoint(result_path)
+        except ckpt.CheckpointError:
+            result = None
+        return rc, result
+
+    def _interpret(
+        self,
+        request_id: str,
+        key: str,
+        rc: int,
+        result: Optional[Dict[str, object]],
+        deadline_limited: bool,
+    ) -> Optional[Tuple[int, Dict[str, object], Optional[float]]]:
+        """Map one executor attempt to a response, or None to retry."""
+        if rc == 3 or (rc < 0 and self.draining):
+            # Graceful interruption — only meaningful during drain (or
+            # an operator signaling the executor directly).
+            self.counters["interrupted"] += 1
+            self.tracer.emit("request_done", request=request_id, status=503)
+            body: Dict[str, object] = {
+                "error": "draining",
+                "detail": "enumeration checkpointed mid-request; retry "
+                "against the restarted server to resume bit-identically",
+                "checkpointed": True,
+            }
+            if result is not None:
+                body["partial"] = result
+            return 503, body, self.config.drain_grace
+        if rc == 0 and result is not None:
+            if "error" in result:
+                status = 500 if result["error"] == "bad_spec" else 400
+                self.tracer.emit(
+                    "request_done", request=request_id, status=status
+                )
+                return status, result, None
+            if deadline_limited and result.get("abort_reason") == "time_limit":
+                self.counters["failed"] += 1
+                self.tracer.emit(
+                    "request_done", request=request_id, status=504
+                )
+                return (
+                    504,
+                    {
+                        "error": "deadline_exceeded",
+                        "detail": "enumeration stopped at the deadline; "
+                        "state is checkpointed and a repeated request "
+                        "resumes it",
+                        "checkpointed": True,
+                        "partial": result,
+                    },
+                    None,
+                )
+            self.breaker.record_success(key)
+            self.counters["done"] += 1
+            self.tracer.emit("request_done", request=request_id, status=200)
+            return 200, result, None
+        return None  # crash → retry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _breaker_event(self, what: str, key: str, failures: int) -> None:
+        if what == "open":
+            self.tracer.emit("breaker_open", key=key, failures=failures)
+        elif what == "probe":
+            self.tracer.emit("breaker_probe", key=key)
+        else:
+            self.tracer.emit("breaker_close", key=key, failures=failures)
+
+    def _status_body(self) -> Dict[str, object]:
+        return {
+            "status": "draining" if self.draining else "serving",
+            "uptime": round(self.config.clock() - self._started, 3),
+            "port": self.port,
+            "run_dir": self.config.run_dir,
+            "in_flight": len(self._procs),
+            "queued": self._waiting,
+            "handlers": self._handlers,
+            "counters": dict(self.counters),
+            "tenants": {
+                name: tenant.snapshot()
+                for name, tenant in sorted(self.tenants.items())
+            },
+            "breaker": {"open": self.breaker.open_keys()},
+            "executors": [proc.pid for proc in self._procs.values()],
+        }
+
+
+def serve_main(config: ServiceConfig) -> int:
+    """Blocking entry point for ``repro serve``."""
+    server = EnumerationServer(config)
+    asyncio.run(server.serve())
+    return 0
+
+
+def read_service_file(run_dir: str) -> Optional[Dict[str, object]]:
+    """The host/port/pid a server in *run_dir* announced, or None."""
+    try:
+        with open(
+            os.path.join(run_dir, SERVICE_FILE), encoding="utf-8"
+        ) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+#: re-export for consumers that discover a run dir's journal
+__all__ = [
+    "EnumerationServer",
+    "ServiceConfig",
+    "serve_main",
+    "read_service_file",
+    "JOURNAL_NAME",
+]

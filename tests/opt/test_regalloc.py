@@ -102,3 +102,59 @@ class TestAllocation:
         for i in range(100):
             vm2.store_global("a", 3 * i, i)
         assert vm2.run("sum_array").value == expected
+
+
+class TestDeadStoreInterference:
+    """Regression: a dead store into a colored slot still physically
+    writes the slot's register, so a written slot must interfere with
+    everything live across the store — even when the stored value is
+    never read (it is overwritten first)."""
+
+    SRC = """
+int f(int x, int y) {
+    int a = x;
+    int b = y;
+    int c = 1;
+    b = x;
+    return a + b * 3 + c * 7;
+}
+"""
+
+    def test_dead_store_does_not_clobber_live_slot(self):
+        program = compile_prog(self.SRC)
+        func = program.function("f")
+        reference = [
+            Interpreter(compile_prog(self.SRC)).run("f", vector).value
+            for vector in [(2, 3), (0, 0), (1, 1), (-5, 7)]
+        ]
+        apply_phase(func, S)
+        assert apply_phase(func, K)
+        values = [
+            Interpreter(program).run("f", vector).value
+            for vector in [(2, 3), (0, 0), (1, 1), (-5, 7)]
+        ]
+        assert values == reference
+
+    def test_written_slots_interfere_with_live_slots(self):
+        # The dead store to b and the still-live a must not share a
+        # register: walk the coloring and assert the rewritten moves
+        # never write a register that carries another slot's live value.
+        program = compile_prog(self.SRC)
+        func = program.function("f")
+        apply_phase(func, S)
+        from repro.analysis.cache import slot_liveness_of
+        from repro.opt.regalloc import RegisterAllocation
+        from repro.analysis.cache import liveness_of
+
+        slot_liveness = slot_liveness_of(func)
+        candidates = RegisterAllocation._referenced_slots(
+            func, slot_liveness.frame_refs
+        )
+        forbidden, slot_edges = RegisterAllocation._interference(
+            func, candidates, liveness_of(func), slot_liveness
+        )
+        coloring = RegisterAllocation._color(candidates, forbidden, slot_edges)
+        for offset, reg in coloring.items():
+            for other in slot_edges[offset]:
+                other_reg = coloring.get(other)
+                assert other_reg is None or other_reg.index != reg.index

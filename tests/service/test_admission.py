@@ -1,0 +1,252 @@
+"""Unit tests for the admission-control primitives and the protocol.
+
+Pure-logic tests: fake clocks, no sockets, no subprocesses.
+"""
+
+import pytest
+
+from repro.service.admission import CircuitBreaker, Tenant, TokenBucket
+from repro.service.protocol import (
+    RequestError,
+    deadline_of,
+    tenant_of,
+    validate_request,
+    work_key,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.take()[0] for _ in range(3)] == [True, True, True]
+        admitted, retry_after = bucket.take()
+        assert not admitted
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.take()
+        bucket.take()
+        assert bucket.take()[0] is False
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.take()[0] is True
+        assert bucket.take()[0] is False
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(1000.0)
+        bucket.take()
+        bucket.take()
+        assert bucket.take()[0] is False
+
+    def test_retry_after_is_honest(self):
+        # A client that waits exactly retry_after is admitted.
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1.0, clock=clock)
+        bucket.take()
+        admitted, retry_after = bucket.take()
+        assert not admitted
+        clock.advance(retry_after)
+        assert bucket.take()[0] is True
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = FakeClock()
+        events = []
+        breaker = CircuitBreaker(
+            clock=clock,
+            on_transition=lambda what, key, failures: events.append(
+                (what, key, failures)
+            ),
+            **kwargs,
+        )
+        return breaker, clock, events
+
+    def test_opens_at_threshold(self):
+        breaker, _clock, events = self._breaker(threshold=3, cooldown=10.0)
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        assert breaker.allow("k") == (True, 0.0)
+        breaker.record_failure("k")
+        allowed, retry_after = breaker.allow("k")
+        assert not allowed
+        assert retry_after == pytest.approx(10.0)
+        assert events == [("open", "k", 3)]
+        assert breaker.open_keys() == ["k"]
+
+    def test_half_open_probe_then_close(self):
+        breaker, clock, events = self._breaker(threshold=1, cooldown=5.0)
+        breaker.record_failure("k")
+        assert breaker.allow("k")[0] is False
+        clock.advance(5.1)
+        # exactly one probe is admitted; concurrent requests stay shed
+        assert breaker.allow("k")[0] is True
+        assert breaker.allow("k")[0] is False
+        breaker.record_success("k")
+        assert breaker.allow("k") == (True, 0.0)
+        assert ("probe", "k", 1) in events
+        assert ("close", "k", 1) in events
+        assert breaker.open_keys() == []
+
+    def test_failed_probe_reopens(self):
+        breaker, clock, _events = self._breaker(threshold=1, cooldown=5.0)
+        breaker.record_failure("k")
+        clock.advance(5.1)
+        assert breaker.allow("k")[0] is True  # the probe
+        breaker.record_failure("k")
+        allowed, retry_after = breaker.allow("k")
+        assert not allowed
+        assert retry_after == pytest.approx(5.0)
+
+    def test_keys_are_independent(self):
+        breaker, _clock, _events = self._breaker(threshold=1, cooldown=5.0)
+        breaker.record_failure("bad")
+        assert breaker.allow("bad")[0] is False
+        assert breaker.allow("good") == (True, 0.0)
+
+    def test_success_clears_partial_failures(self):
+        breaker, _clock, _events = self._breaker(threshold=2, cooldown=5.0)
+        breaker.record_failure("k")
+        breaker.record_success("k")
+        breaker.record_failure("k")
+        assert breaker.allow("k")[0] is True  # count restarted at 1
+
+
+class TestTenant:
+    def test_snapshot(self):
+        tenant = Tenant(rate=1.0, burst=2.0, concurrency=4, clock=FakeClock())
+        tenant.in_flight = 2
+        tenant.admitted = 7
+        snap = tenant.snapshot()
+        assert snap["in_flight"] == 2
+        assert snap["admitted"] == 7
+        assert snap["tokens"] == pytest.approx(2.0)
+
+
+SOURCE = "int f(int x) { return x + 1; }"
+
+
+class TestProtocol:
+    def test_enumerate_roundtrip(self):
+        normalized = validate_request(
+            "enumerate",
+            {"source": SOURCE, "function": "f", "config": {"max_nodes": 10}},
+        )
+        assert normalized["function"] == "f"
+        assert normalized["config"] == {"max_nodes": 10}
+
+    def test_benchmark_resolution(self):
+        normalized = validate_request(
+            "enumerate", {"benchmark": "sha", "function": "rol"}
+        )
+        assert "sha_transform" in normalized["source"]
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ({"function": "f"}, "source"),
+            ({"source": SOURCE}, "'function' is required"),
+            ({"source": SOURCE, "benchmark": "sha", "function": "f"}, "not both"),
+            ({"benchmark": "nope", "function": "f"}, "unknown benchmark"),
+            (
+                {"source": SOURCE, "function": "f", "config": {"bogus": 1}},
+                "unknown config field",
+            ),
+            (
+                {"source": SOURCE, "function": "f", "config": {"max_nodes": "x"}},
+                "must be int",
+            ),
+            (
+                {"source": SOURCE, "function": "f", "config": {"exact": 1}},
+                "must be bool",
+            ),
+            (
+                {"source": SOURCE, "function": "f", "config": {"max_nodes": -1}},
+                "must be positive",
+            ),
+            (
+                {
+                    "source": SOURCE,
+                    "function": "f",
+                    "config": {"fault_rate": 2.0},
+                },
+                "fault_rate",
+            ),
+            (
+                {"source": SOURCE, "function": "f", "config": {"sanitize": "x"}},
+                "sanitize",
+            ),
+        ],
+    )
+    def test_enumerate_rejections(self, payload, match):
+        with pytest.raises(RequestError, match=match):
+            validate_request("enumerate", payload)
+
+    def test_compile_sequence_validated(self):
+        with pytest.raises(RequestError, match="unknown phase"):
+            validate_request(
+                "compile", {"source": SOURCE, "sequence": "zz"}
+            )
+
+    def test_unknown_kind(self):
+        with pytest.raises(RequestError, match="unknown request kind"):
+            validate_request("destroy", {"source": SOURCE})
+
+    def test_tenant_validation(self):
+        assert tenant_of({}) == "default"
+        assert tenant_of({"tenant": "team-a"}) == "team-a"
+        with pytest.raises(RequestError):
+            tenant_of({"tenant": "bad tenant!"})
+        with pytest.raises(RequestError):
+            tenant_of({"tenant": "x" * 65})
+
+    def test_deadline_validation(self):
+        assert deadline_of({}) is None
+        assert deadline_of({"deadline": 2}) == 2.0
+        with pytest.raises(RequestError):
+            deadline_of({"deadline": -1})
+        with pytest.raises(RequestError):
+            deadline_of({"deadline": True})
+
+    def test_work_key_identity(self):
+        a = validate_request(
+            "enumerate", {"source": SOURCE, "function": "f"}
+        )
+        b = validate_request(
+            "enumerate",
+            {
+                "source": SOURCE,
+                "function": "f",
+                "tenant": "other",
+                "deadline": 5,
+            },
+        )
+        # tenant and deadline shape delivery, not the computation
+        assert work_key(a) == work_key(b)
+        c = validate_request(
+            "enumerate",
+            {"source": SOURCE, "function": "f", "config": {"exact": True}},
+        )
+        assert work_key(a) != work_key(c)
+        assert work_key(a).startswith("enumerate-")

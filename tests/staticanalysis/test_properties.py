@@ -10,7 +10,7 @@ Two invariants the static-analysis layer stakes its soundness on:
   never classified ``proved``.
 """
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.frontend import compile_source
 from repro.ir.function import Program
@@ -66,6 +66,19 @@ def test_sanitizer_clean_across_legal_phase_applications(source, sequence):
 
 @settings(max_examples=15, **_SETTINGS)
 @given(programs(), phase_sequences, st.integers(-20, 20), st.integers(-20, 20))
+@example(
+    # Regression: register allocation used to let two frame slots share
+    # a register across a *dead* store (the interference analysis only
+    # saw live-after slots), so the materialized dead store clobbered
+    # the other slot's live value — a miscompilation the validator
+    # correctly refuted.  See RegisterAllocation._interference.
+    source="int f(int x, int y) {\n    int a = x;\n    int b = y;\n"
+    "    int c = 1;\n    int i0;\n    int i1;\n    int i2;\n    b = x;\n"
+    "    return a + b * 3 + c * 7;\n}\n",
+    sequence=["s", "k"],
+    x=2,
+    y=3,
+).via("discovered failure")
 def test_proved_edges_agree_with_vm(source, sequence, x, y):
     """A ``proved`` verdict is a promise: VM co-execution must agree.
 
