@@ -1,0 +1,118 @@
+"""Search lab benchmark: the strategy zoo vs the exhaustive oracle.
+
+Runs ``repro search-bench`` programmatically: enumerates the full
+phase-order space of the six seed functions (one per MiBench program),
+prices every instance with the multi-objective cost model, then scores
+every registered strategy against the known exhaustive optimum —
+distance-to-optimal, probability-of-optimal, and attempted-phase
+budget (the paper's Table 3 ``Attempt`` currency).
+
+The leaderboard is written to ``benchmarks/results/search.json``
+(overwritten, not appended: the file is the current standings, and the
+run is deterministic under the committed seed).  ``--check`` enforces
+the oracle invariants on the fresh run:
+
+- no strategy ever reports a fitness below the exhaustive optimum
+  (``beats_oracle`` stays ``False`` everywhere — a violation means the
+  strategy escaped the enumerated space, which is a correctness bug);
+- at least one seed function has a leaf Pareto frontier with >=2
+  mutually non-dominated points (the size/count/energy/registers
+  trade-off is real, not degenerate).
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_search.py [--quick] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.search.harness import (
+    HarnessConfig,
+    format_leaderboard,
+    quick_config,
+    run_search_bench,
+    write_leaderboard,
+)
+
+try:  # pytest collection vs `python benchmarks/bench_search.py`
+    from .conftest import RESULTS_DIR
+except ImportError:  # pragma: no cover - CLI entry
+    from pathlib import Path
+
+    RESULTS_DIR = Path(__file__).parent / "results"
+
+RESULTS_PATH = RESULTS_DIR / "search.json"
+
+
+def check_invariants(leaderboard: dict) -> None:
+    """Fail (SystemExit) when an oracle invariant is violated."""
+    cheaters = [
+        (label, name)
+        for label, entry in leaderboard["functions"].items()
+        for name, scores in entry["strategies"].items()
+        if scores["beats_oracle"]
+    ]
+    if cheaters:
+        raise SystemExit(
+            f"strategies beat the exhaustive optimum: {cheaters}; "
+            "a heuristic escaped the enumerated space"
+        )
+    frontier_sizes = {
+        label: len(entry["pareto"]["points"])
+        for label, entry in leaderboard["functions"].items()
+    }
+    if not leaderboard["quick"] and max(frontier_sizes.values()) < 2:
+        raise SystemExit(
+            f"every Pareto frontier is a single point ({frontier_sizes}); "
+            "the multi-objective trade-off has degenerated"
+        )
+    print(
+        "oracle invariants hold: no strategy beats the optimum; "
+        f"frontier sizes {frontier_sizes}"
+    )
+
+
+def test_search_leaderboard():
+    """Full-sweep gate: score the whole zoo, enforce the invariants."""
+    leaderboard = run_search_bench(HarnessConfig())
+    check_invariants(leaderboard)
+    path = write_leaderboard(leaderboard, str(RESULTS_PATH))
+    print(f"\n{format_leaderboard(leaderboard)}\n[written to {path}]")
+    assert len(leaderboard["functions"]) == 6
+    assert len(leaderboard["ranking"]) >= 5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="two functions, two trials (the CI search-smoke configuration)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when an oracle invariant is violated",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(RESULTS_PATH),
+        help="leaderboard destination (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    config = quick_config() if args.quick else HarnessConfig()
+    leaderboard = run_search_bench(config)
+    print(format_leaderboard(leaderboard))
+    if args.check:
+        check_invariants(leaderboard)
+    path = write_leaderboard(leaderboard, args.out)
+    print(f"[written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,13 +24,13 @@ from repro.core.enumeration import (
     EnumerationResult,
     enumerate_space,
 )
-from repro.core.dag import SpaceDAG
+from repro.core.dag import SpaceDAG, materialize_instances
 from repro.core.fingerprint import fingerprint_function
 from repro.core.interactions import InteractionAnalysis, analyze_interactions
 from repro.core.batch import BatchCompiler, BATCH_ORDER
 from repro.core.probabilistic import ProbabilisticCompiler
 from repro.core.stats import FunctionSpaceStats, collect_function_stats
-from repro.core.dynamic import DynamicCountOracle
+from repro.core.dynamic import DynamicCountOracle, MissingFunctionError
 from repro.opt import PHASES, PHASE_IDS, phase_by_id
 from repro.robustness import (
     FaultInjector,
@@ -39,7 +39,20 @@ from repro.robustness import (
     QuarantineRecord,
 )
 from repro.ir.validate import IRValidationError, check_ir, validate_ir
-from repro.search import GeneticSearcher
+from repro.search import (
+    BanditSearcher,
+    CostModel,
+    CostVector,
+    GeneticSearcher,
+    HillClimber,
+    RandomSampler,
+    SearchResult,
+    SearchStrategy,
+    SimulatedAnnealer,
+    TableDrivenPolicy,
+    pareto_frontier,
+    run_search_bench,
+)
 from repro.vm import Interpreter, ExecutionResult
 
 __all__ = [
@@ -49,6 +62,7 @@ __all__ = [
     "EnumerationResult",
     "enumerate_space",
     "SpaceDAG",
+    "materialize_instances",
     "fingerprint_function",
     "InteractionAnalysis",
     "analyze_interactions",
@@ -58,7 +72,19 @@ __all__ = [
     "FunctionSpaceStats",
     "collect_function_stats",
     "DynamicCountOracle",
+    "MissingFunctionError",
+    "BanditSearcher",
+    "CostModel",
+    "CostVector",
     "GeneticSearcher",
+    "HillClimber",
+    "RandomSampler",
+    "SearchResult",
+    "SearchStrategy",
+    "SimulatedAnnealer",
+    "TableDrivenPolicy",
+    "pareto_frontier",
+    "run_search_bench",
     "PHASES",
     "PHASE_IDS",
     "phase_by_id",

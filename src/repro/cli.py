@@ -26,7 +26,14 @@ serve
     admission control, per-tenant quotas, request coalescing, circuit
     breaking, and graceful drain — see docs/SERVICE.md.
 search
-    Genetic-algorithm search for a good phase ordering.
+    Heuristic search for a good phase ordering — genetic algorithm,
+    hill climbing, simulated annealing, bandits, random sampling, or
+    the table-driven probabilistic policy (``--strategy``).
+search-bench
+    Score every search strategy against the *known* optimum of each
+    seed function's exhaustively enumerated space, and emit a JSON
+    leaderboard with per-function Pareto frontiers — see
+    docs/SEARCH.md.
 list-benchmarks
     Show the bundled MiBench-like benchmark programs.
 
@@ -52,7 +59,7 @@ from repro.ir.printer import format_function
 from repro.opt import PHASE_IDS, apply_phase, implicit_cleanup, phase_by_id
 from repro.programs import PROGRAMS
 from repro.robustness import FaultInjector
-from repro.search import GeneticSearcher
+from repro.search import GeneticSearcher, STRATEGY_BUILDERS, codesize_objective
 from repro.vm import Interpreter, VMError
 
 
@@ -652,20 +659,99 @@ def cmd_search(args) -> int:
     program = _load_program(args.file)
     func = _select_function(program, args.function)
     implicit_cleanup(func)
-    searcher = GeneticSearcher(
-        func,
-        sequence_length=args.length,
-        generations=args.generations,
-        seed=args.seed,
-    )
-    result = searcher.run()
+    if args.strategy == "ga":
+        # the historical direct path, so --length/--generations work
+        strategy = GeneticSearcher(
+            func,
+            sequence_length=args.length,
+            generations=args.generations,
+            seed=args.seed,
+        )
+    else:
+        interactions = None
+        if args.strategy == "policy":
+            # the policy is table-driven; measure this function's own
+            # interaction tables from its (budgeted) enumerated space
+            space = enumerate_space(
+                func, EnumerationConfig(max_nodes=args.max_nodes)
+            )
+            interactions = analyze_interactions([space])
+        strategy = STRATEGY_BUILDERS[args.strategy](
+            func, codesize_objective, args.seed, interactions
+        )
+    result = strategy.run()
+    print(f"strategy      : {strategy.name}")
     print(f"best sequence : {''.join(result.best_sequence)}")
     print(f"code size     : {result.best_fitness:.0f} instructions")
     print(
         f"evaluations   : {result.evaluations} "
-        f"({result.cache_hits} avoided by the fingerprint cache)"
+        f"({result.cache_hits} avoided by the fingerprint cache), "
+        f"{result.attempted_phases} phases attempted"
     )
     print(format_function(result.best_function))
+    return 0
+
+
+def cmd_search_bench(args) -> int:
+    from repro.search.harness import (
+        HarnessConfig,
+        QUICK_FUNCTIONS,
+        SEED_FUNCTIONS,
+        SeedFunction,
+        format_leaderboard,
+        run_search_bench,
+        write_leaderboard,
+    )
+
+    if args.functions:
+        functions = []
+        for spec in args.functions.split(","):
+            benchmark, _, function = spec.strip().partition(".")
+            if not function:
+                raise SystemExit(
+                    f"bad --functions entry {spec!r}; expected BENCH.FUNCTION"
+                )
+            if benchmark not in PROGRAMS:
+                raise SystemExit(
+                    f"unknown benchmark {benchmark!r}; "
+                    f"try: {', '.join(sorted(PROGRAMS))}"
+                )
+            functions.append(SeedFunction(benchmark, function))
+        functions = tuple(functions)
+    else:
+        functions = QUICK_FUNCTIONS if args.quick else SEED_FUNCTIONS
+    strategies = (
+        tuple(s.strip() for s in args.strategies.split(","))
+        if args.strategies
+        else tuple(STRATEGY_BUILDERS)
+    )
+    trials = args.trials
+    if trials is None:
+        trials = 2 if args.quick else 3
+    config = HarnessConfig(
+        functions=functions,
+        strategies=strategies,
+        trials=trials,
+        seed=args.seed,
+        objective=args.objective,
+        max_nodes=args.max_nodes,
+        time_limit=args.time_limit,
+        store=args.store,
+        quick=args.quick,
+    )
+    tracer = _build_tracer(args, "repro.search-bench") if args.run_dir else None
+    ok = False
+    try:
+        try:
+            leaderboard = run_search_bench(config)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        print(format_leaderboard(leaderboard))
+        path = write_leaderboard(leaderboard, args.out)
+        print(f"\nleaderboard written to {path}")
+        ok = True
+    finally:
+        _close_tracer(tracer, ok)
     return 0
 
 
@@ -960,13 +1046,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=cmd_serve)
 
-    p = sub.add_parser("search", help="genetic search for a phase ordering")
+    p = sub.add_parser("search", help="heuristic search for a phase ordering")
     p.add_argument("file", help="mini-C file or bench:NAME")
     p.add_argument("--function", required=True)
+    p.add_argument(
+        "--strategy",
+        choices=sorted(STRATEGY_BUILDERS),
+        default="ga",
+        help="which searcher to run (default: ga)",
+    )
     p.add_argument("--length", type=int, default=12)
     p.add_argument("--generations", type=int, default=15)
     p.add_argument("--seed", type=int, default=2006)
+    p.add_argument(
+        "--max-nodes",
+        type=int,
+        default=20_000,
+        help="space budget when --strategy policy measures its "
+        "interaction tables",
+    )
     p.set_defaults(handler=cmd_search)
+
+    p = sub.add_parser(
+        "search-bench",
+        help="score search strategies against the exhaustive optimum",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI subset: two seed functions, two trials",
+    )
+    p.add_argument(
+        "--functions",
+        metavar="BENCH.FUNC,...",
+        help="comma-separated seed functions (default: the six-benchmark set)",
+    )
+    p.add_argument(
+        "--strategies",
+        metavar="NAME,...",
+        help="comma-separated strategies "
+        f"(default: all of {', '.join(STRATEGY_BUILDERS)})",
+    )
+    p.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="independent seeded trials per strategy "
+        "(default: 3, or 2 with --quick)",
+    )
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument(
+        "--objective",
+        choices=("code_size", "dynamic_count", "cycles", "energy"),
+        default="dynamic_count",
+        help="the single objective strategies are scored on",
+    )
+    p.add_argument(
+        "--max-nodes",
+        type=int,
+        default=20_000,
+        help="refuse seed functions whose space exceeds this",
+    )
+    p.add_argument("--time-limit", type=float, default=None)
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        help="space store: enumerations are cached here and warm runs "
+        "rebuild instances from the cached DAG",
+    )
+    p.add_argument(
+        "--out",
+        default=os.path.join("benchmarks", "results", "search.json"),
+        help="leaderboard JSON path (default: benchmarks/results/search.json)",
+    )
+    p.add_argument(
+        "--run-dir",
+        help="write a run manifest and search_* event journal here",
+    )
+    p.set_defaults(handler=cmd_search_bench)
 
     p = sub.add_parser("list-benchmarks", help="show bundled benchmarks")
     p.set_defaults(handler=cmd_list_benchmarks)

@@ -238,3 +238,76 @@ class SpaceDAG:
         if len(order) != len(self.nodes):
             raise RuntimeError("space DAG contains a cycle")
         return order
+
+
+def materialize_instances(dag: SpaceDAG, root_func, target=None) -> int:
+    """Re-attach a :class:`Function` instance to every node of *dag*.
+
+    The DAG records *which* instances exist and which phase transforms
+    one into the next, but a space enumerated without
+    ``keep_functions=True`` (or loaded back from a checkpoint or a
+    :class:`~repro.parallel.store.SpaceStore` entry) carries no
+    function objects.  This walk rebuilds them by replaying every
+    active edge exactly once in topological order — the same
+    one-phase-per-edge discipline as prefix-sharing enumeration — so
+    leaf evaluation (dynamic counts, the multi-objective cost model,
+    the search-lab oracle) works on cold-loaded spaces.
+
+    *root_func* must be the canonical root instance (after
+    ``implicit_cleanup``); each rebuilt instance is verified against
+    the node's stored fingerprint key, so a wrong or stale root fails
+    loudly instead of silently pricing the wrong code.
+
+    Returns the number of phase applications performed (== active
+    edges replayed).  Nodes that already carry a function are kept
+    as-is and their outgoing edges are still used for children.
+    """
+    from repro.core.enumeration import _node_key
+    from repro.core.fingerprint import fingerprint_function
+    from repro.machine.target import DEFAULT_TARGET
+    from repro.opt import attempt_phase_on_clone, phase_by_id
+
+    target = target or DEFAULT_TARGET
+    if dag.root_id is None:
+        return 0
+    root = dag.root
+    if root.function is None:
+        candidate = root_func.clone()
+        key = _node_key(fingerprint_function(candidate), candidate)
+        if key != root.key:
+            raise ValueError(
+                f"{dag.function_name}: root_func does not fingerprint to the "
+                "DAG's root key — wrong function or non-canonical instance "
+                "(run implicit_cleanup first)"
+            )
+        root.function = candidate
+    applied = 0
+    for node_id in dag._topological_order():
+        node = dag.nodes[node_id]
+        if node.function is None:
+            # Unreachable from the root through materialized parents;
+            # can only happen on a DAG truncated mid-construction.
+            continue
+        for phase_id in sorted(node.active):
+            child = dag.nodes[node.active[phase_id]]
+            if child.function is not None:
+                continue
+            candidate = attempt_phase_on_clone(
+                node.function, phase_by_id(phase_id), target
+            )
+            applied += 1
+            if candidate is None:
+                raise ValueError(
+                    f"{dag.function_name}: phase {phase_id!r} recorded as "
+                    f"active on node #{node.node_id} was dormant on replay "
+                    "— the DAG does not belong to root_func"
+                )
+            key = _node_key(fingerprint_function(candidate), candidate)
+            if key != child.key:
+                raise ValueError(
+                    f"{dag.function_name}: replaying phase {phase_id!r} on "
+                    f"node #{node.node_id} produced a different instance "
+                    f"than recorded child #{child.node_id}"
+                )
+            child.function = candidate
+    return applied

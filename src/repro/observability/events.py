@@ -88,6 +88,16 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     "breaker_open": frozenset({"key", "failures"}),
     "breaker_probe": frozenset({"key"}),
     "breaker_close": frozenset({"key"}),
+    # search lab (``repro search-bench``; see docs/SEARCH.md): one
+    # search_space per scored seed function, one search_strategy per
+    # (function, strategy) pair with its distance to the exhaustive
+    # optimum and attempted-phase budget
+    "search_start": frozenset({"functions", "strategies"}),
+    "search_space": frozenset({"function", "nodes", "leaves", "pareto"}),
+    "search_strategy": frozenset(
+        {"function", "strategy", "fitness", "distance", "attempted"}
+    ),
+    "search_done": frozenset({"functions", "strategies"}),
 }
 
 #: journal filename inside a run dir

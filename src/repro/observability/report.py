@@ -88,6 +88,13 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         "seen": False,
     }
     compiles: List[Dict] = []
+    search = {
+        "functions": 0,
+        "strategies": 0,
+        "spaces": [],
+        "results": [],
+        "seen": False,
+    }
     service = {
         "admitted": 0,
         "coalesced": 0,
@@ -199,6 +206,20 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         elif name == "breaker_open":
             service["seen"] = True
             service["breaker_opens"] += 1
+        elif name in ("search_start", "search_done"):
+            search["seen"] = True
+            search["functions"] = max(
+                search["functions"], record.get("functions", 0)
+            )
+            search["strategies"] = max(
+                search["strategies"], record.get("strategies", 0)
+            )
+        elif name == "search_space":
+            search["seen"] = True
+            search["spaces"].append(record)
+        elif name == "search_strategy":
+            search["seen"] = True
+            search["results"].append(record)
 
     for row in functions.values():
         row["attempted"] = row["active"] + row["dormant"]
@@ -213,6 +234,7 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         "analysis_cache": analysis if analysis["seen"] else None,
         "sanitize": sanitize if sanitize["seen"] else None,
         "compiles": compiles,
+        "search": search if search["seen"] else None,
         "service": service if service["seen"] else None,
         "errors": errors[:20],
     }
@@ -310,6 +332,30 @@ def render_report(summary: Dict[str, object]) -> str:
                 f"{record.get('quarantined', 0)} quarantined, "
                 f"size {record.get('code_size', '?')}"
             )
+    search = summary.get("search")
+    if search:
+        lines.append("")
+        lines.append(
+            f"  search lab: {search['functions']} function(s) x "
+            f"{search['strategies']} strategies"
+        )
+        by_function: Dict[str, List[Dict]] = {}
+        for record in search["results"]:
+            by_function.setdefault(record.get("function", "?"), []).append(record)
+        for record in search["spaces"]:
+            label = record.get("function", "?")
+            lines.append(
+                f"    {label}: {record.get('nodes')} instances, "
+                f"{record.get('leaves')} leaves, "
+                f"{record.get('pareto')} pareto point(s)"
+            )
+            for result in by_function.get(label, []):
+                lines.append(
+                    f"      {result.get('strategy', '?'):<12} "
+                    f"fitness {result.get('fitness')} "
+                    f"(distance {result.get('distance')}, "
+                    f"{_fmt(result.get('attempted'))} attempted)"
+                )
     lines.append("")
     memo = summary.get("memo")
     if memo:

@@ -15,72 +15,41 @@ proposes two improvements that this module implements:
 
 With the space enumerated exhaustively (this repository's main
 result), the GA's answer can be *checked against the true optimum* —
-see ``tests/search/test_genetic.py`` and the ablation bench.
+see ``tests/search/test_genetic.py`` and ``repro search-bench``
+(docs/SEARCH.md).
+
+The shared result type and objectives live in
+:mod:`repro.search.common`; ``GeneticSearchResult``,
+``codesize_objective`` and ``dynamic_count_objective`` are re-exported
+here for backward compatibility.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from repro.core.fingerprint import fingerprint_function
 from repro.core.interactions import InteractionAnalysis
 from repro.ir.function import Function
-from repro.machine.target import DEFAULT_TARGET, Target
-from repro.opt import PHASE_IDS, apply_phase, phase_by_id
+from repro.machine.target import Target
+from repro.opt import PHASE_IDS
+from repro.search.common import (  # noqa: F401  (re-exports)
+    GeneticSearchResult,
+    SearchResult,
+    SearchStrategy,
+    codesize_objective,
+    dynamic_count_objective,
+)
 
 
-def codesize_objective(func: Function) -> float:
-    """Static instruction count (the paper's code-size criterion)."""
-    return float(func.num_instructions())
-
-
-def dynamic_count_objective(run: Callable[[Function], int]):
-    """Wrap a measurement callback into an objective."""
-
-    def objective(func: Function) -> float:
-        return float(run(func))
-
-    return objective
-
-
-class GeneticSearchResult:
-    """Outcome of one GA search."""
-
-    __slots__ = (
-        "best_sequence",
-        "best_fitness",
-        "best_function",
-        "evaluations",
-        "cache_hits",
-        "history",
-    )
-
-    def __init__(self, best_sequence, best_fitness, best_function, evaluations, cache_hits, history):
-        self.best_sequence = best_sequence
-        self.best_fitness = best_fitness
-        self.best_function = best_function
-        #: objective evaluations actually performed
-        self.evaluations = evaluations
-        #: evaluations avoided by the fingerprint cache
-        self.cache_hits = cache_hits
-        #: best fitness after each generation
-        self.history = history
-
-    def __repr__(self):
-        return (
-            f"<GeneticSearchResult fitness={self.best_fitness} "
-            f"seq={''.join(self.best_sequence)} evals={self.evaluations}>"
-        )
-
-
-class GeneticSearcher:
+class GeneticSearcher(SearchStrategy):
     """Search phase sequences with a generational GA.
 
     Chromosomes are fixed-length phase-id strings; applying one means
     attempting each phase in order (dormant attempts are no-ops, as in
     the paper's GA experiments).
     """
+
+    name = "ga"
 
     def __init__(
         self,
@@ -95,19 +64,18 @@ class GeneticSearcher:
         interactions: Optional[InteractionAnalysis] = None,
         target: Optional[Target] = None,
     ):
-        self.base = func.clone()
-        self.objective = objective
-        self.sequence_length = sequence_length
+        super().__init__(
+            func,
+            objective,
+            sequence_length=sequence_length,
+            seed=seed,
+            target=target,
+        )
         self.population_size = population_size
         self.generations = generations
         self.mutation_rate = mutation_rate
         self.elite = elite
-        self.rng = random.Random(seed)
         self.interactions = interactions
-        self.target = target or DEFAULT_TARGET
-        self._fitness_by_instance: Dict[object, float] = {}
-        self.evaluations = 0
-        self.cache_hits = 0
 
     # ------------------------------------------------------------------
     # Chromosome construction
@@ -142,28 +110,6 @@ class GeneticSearcher:
         return tuple(sequence)
 
     # ------------------------------------------------------------------
-    # Evaluation (fingerprint-cached)
-    # ------------------------------------------------------------------
-
-    def _apply(self, sequence: Sequence[str]) -> Function:
-        func = self.base.clone()
-        for phase_id in sequence:
-            apply_phase(func, phase_by_id(phase_id), self.target)
-        return func
-
-    def _evaluate(self, sequence: Sequence[str]) -> Tuple[float, Function]:
-        func = self._apply(sequence)
-        key = fingerprint_function(func).key
-        cached = self._fitness_by_instance.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached, func
-        fitness = self.objective(func)
-        self._fitness_by_instance[key] = fitness
-        self.evaluations += 1
-        return fitness, func
-
-    # ------------------------------------------------------------------
     # GA operators
     # ------------------------------------------------------------------
 
@@ -185,7 +131,7 @@ class GeneticSearcher:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> GeneticSearchResult:
+    def run(self) -> SearchResult:
         population = [self._random_sequence() for _ in range(self.population_size)]
         best_fitness = float("inf")
         best_sequence: Tuple[str, ...] = population[0]
@@ -211,11 +157,4 @@ class GeneticSearcher:
                 next_population.append(self._mutate(child))
             population = next_population
 
-        return GeneticSearchResult(
-            best_sequence,
-            best_fitness,
-            best_function,
-            self.evaluations,
-            self.cache_hits,
-            history,
-        )
+        return self._result(best_sequence, best_fitness, best_function, history)

@@ -10,18 +10,23 @@ fingerprint-cached like the GA's, and restarts escape local minima.
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from repro.core.fingerprint import fingerprint_function
 from repro.ir.function import Function
-from repro.machine.target import DEFAULT_TARGET, Target
-from repro.opt import PHASE_IDS, apply_phase, phase_by_id
-from repro.search.genetic import GeneticSearchResult, codesize_objective
+from repro.machine.target import Target
+from repro.opt import PHASE_IDS
+from repro.search.common import (  # noqa: F401  (GeneticSearchResult kept importable here)
+    GeneticSearchResult,
+    SearchResult,
+    SearchStrategy,
+    codesize_objective,
+)
 
 
-class HillClimber:
+class HillClimber(SearchStrategy):
     """Steepest-descent search with random restarts."""
+
+    name = "hillclimb"
 
     def __init__(
         self,
@@ -33,30 +38,15 @@ class HillClimber:
         seed: int = 2006,
         target: Optional[Target] = None,
     ):
-        self.base = func.clone()
-        self.objective = objective
-        self.sequence_length = sequence_length
+        super().__init__(
+            func,
+            objective,
+            sequence_length=sequence_length,
+            seed=seed,
+            target=target,
+        )
         self.restarts = restarts
         self.max_steps = max_steps
-        self.rng = random.Random(seed)
-        self.target = target or DEFAULT_TARGET
-        self._fitness_by_instance: Dict[object, float] = {}
-        self.evaluations = 0
-        self.cache_hits = 0
-
-    def _evaluate(self, sequence: Tuple[str, ...]) -> Tuple[float, Function]:
-        func = self.base.clone()
-        for phase_id in sequence:
-            apply_phase(func, phase_by_id(phase_id), self.target)
-        key = fingerprint_function(func).key
-        cached = self._fitness_by_instance.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached, func
-        fitness = self.objective(func)
-        self._fitness_by_instance[key] = fitness
-        self.evaluations += 1
-        return fitness, func
 
     def _neighbors(self, sequence: Tuple[str, ...]):
         for position in range(len(sequence)):
@@ -66,15 +56,13 @@ class HillClimber:
                         sequence[:position] + (phase_id,) + sequence[position + 1 :]
                     )
 
-    def run(self) -> GeneticSearchResult:
+    def run(self) -> SearchResult:
         best_fitness = float("inf")
         best_sequence: Tuple[str, ...] = ()
         best_function = self.base.clone()
         history: List[float] = []
         for _restart in range(self.restarts):
-            current = tuple(
-                self.rng.choice(PHASE_IDS) for _ in range(self.sequence_length)
-            )
+            current = self._random_sequence()
             current_fitness, current_function = self._evaluate(current)
             for _step in range(self.max_steps):
                 candidates = [
@@ -92,11 +80,4 @@ class HillClimber:
                 best_sequence = current
                 best_function = self._evaluate(current)[1]
             history.append(best_fitness)
-        return GeneticSearchResult(
-            best_sequence,
-            best_fitness,
-            best_function,
-            self.evaluations,
-            self.cache_hits,
-            history,
-        )
+        return self._result(best_sequence, best_fitness, best_function, history)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.dynamic import DynamicCountOracle
+from repro.core.dynamic import DynamicCountOracle, MissingFunctionError
 from repro.core.enumeration import EnumerationConfig, enumerate_space
 from repro.frontend import compile_source
 from repro.opt import implicit_cleanup
@@ -100,6 +100,32 @@ class TestInference:
                 oracle.dynamic_count(bare)
         finally:
             bare.function = function
+
+    def test_missing_function_error_is_typed(self, space):
+        program, result = space
+        oracle = DynamicCountOracle(program, "count_above", seed_and_run)
+        bare = result.dag.root
+        function = bare.function
+        try:
+            bare.function = None
+            with pytest.raises(MissingFunctionError) as excinfo:
+                oracle.dynamic_count(bare)
+        finally:
+            bare.function = function
+        # a ValueError subclass, so pre-existing handlers keep working,
+        # and the message points at both escape hatches
+        assert issubclass(MissingFunctionError, ValueError)
+        assert "keep_functions" in str(excinfo.value)
+        assert "materialize_instances" in str(excinfo.value)
+
+    def test_count_for_matches_node_pricing(self, space):
+        program, result = space
+        oracle = DynamicCountOracle(program, "count_above", seed_and_run)
+        node = result.dag.root
+        assert (
+            oracle.count_for(node.function, node.cf_crc)
+            == oracle.dynamic_count(node)
+        )
 
 
 class TestBlockProfiling:

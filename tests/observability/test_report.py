@@ -156,3 +156,52 @@ def test_warm_store_run_reports_cache_hit(tmp_path, capsys):
     reporter = replay_journal(os.path.join(second, "events.jsonl"))
     assert reporter.cached_done == 1
     assert reporter.functions_done == 0
+
+
+def test_search_bench_run_reports_search_section(tmp_path, capsys):
+    run_dir = str(tmp_path / "bench")
+    assert (
+        main(
+            [
+                "search-bench",
+                "--functions",
+                "jpeg.descale",
+                "--strategies",
+                "random",
+                "--trials",
+                "1",
+                "--out",
+                str(tmp_path / "search.json"),
+                "--run-dir",
+                run_dir,
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    records, errors = validate_journal(os.path.join(run_dir, "events.jsonl"))
+    assert errors == []
+    names = [record["event"] for record in records]
+    for expected in (
+        "search_start",
+        "search_space",
+        "search_strategy",
+        "search_done",
+    ):
+        assert expected in names
+    summary = summarize_run(run_dir)
+    search = summary["search"]
+    assert search is not None
+    assert search["functions"] == 1
+    assert [space["function"] for space in search["spaces"]] == ["jpeg.descale"]
+    assert main(["report", run_dir]) == 0
+    out = capsys.readouterr().out
+    assert "search lab" in out
+    assert "jpeg.descale" in out
+
+
+def test_report_without_search_events_omits_section(serial_run, capsys):
+    summary = summarize_run(serial_run)
+    assert summary["search"] is None
+    assert main(["report", serial_run]) == 0
+    assert "search lab" not in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Tests for the search-bench oracle harness and its leaderboard."""
+
+import json
+import os
+
+import pytest
+
+from repro.observability.tracer import Tracer, install, uninstall
+from repro.search.harness import (
+    DEFAULT_OUT,
+    QUICK_FUNCTIONS,
+    SCHEMA_VERSION,
+    SEED_FUNCTIONS,
+    STRATEGY_BUILDERS,
+    HarnessConfig,
+    SeedFunction,
+    format_leaderboard,
+    quick_config,
+    run_search_bench,
+    write_leaderboard,
+)
+
+DESCALE = (SeedFunction("jpeg", "descale"),)
+
+
+@pytest.fixture(scope="module")
+def leaderboard():
+    config = HarnessConfig(
+        functions=DESCALE,
+        strategies=("random", "policy"),
+        trials=2,
+        seed=5,
+    )
+    return run_search_bench(config)
+
+
+class TestLeaderboardSchema:
+    def test_top_level_keys(self, leaderboard):
+        assert leaderboard["schema_version"] == SCHEMA_VERSION
+        assert leaderboard["tool"] == "repro search-bench"
+        assert leaderboard["objective"] == "dynamic_count"
+        assert leaderboard["trials"] == 2
+        assert leaderboard["seed"] == 5
+        assert leaderboard["elapsed"] >= 0
+        assert set(leaderboard["functions"]) == {"jpeg.descale"}
+        assert leaderboard["ranking"]
+
+    def test_function_entry_shape(self, leaderboard):
+        entry = leaderboard["functions"]["jpeg.descale"]
+        assert entry["benchmark"] == "jpeg"
+        assert entry["function"] == "descale"
+        assert entry["space"]["nodes"] > 0
+        assert entry["space"]["leaves"] > 0
+        assert set(entry["strategies"]) == {"random", "policy"}
+        assert set(entry["optimal"]) >= {"dynamic_count", "code_size"}
+
+    def test_strategy_entry_shape(self, leaderboard):
+        entry = leaderboard["functions"]["jpeg.descale"]
+        for scores in entry["strategies"].values():
+            assert len(scores["trials"]) == 2
+            assert scores["best_fitness"] >= 0
+            assert scores["mean_ratio"] >= 1.0
+            assert 0.0 <= scores["p_optimal"] <= 1.0
+            assert scores["mean_attempted"] > 0
+
+    def test_serializes_to_json(self, leaderboard, tmp_path):
+        path = write_leaderboard(leaderboard, str(tmp_path / "search.json"))
+        with open(path) as handle:
+            assert json.load(handle) == leaderboard
+
+    def test_format_is_human_readable(self, leaderboard):
+        text = format_leaderboard(leaderboard)
+        assert "jpeg.descale" in text
+        assert "random" in text
+        assert "policy" in text
+
+
+class TestOracleInvariants:
+    def test_no_strategy_beats_the_exhaustive_optimum(self, leaderboard):
+        entry = leaderboard["functions"]["jpeg.descale"]
+        optimum = entry["optimal"]["dynamic_count"]["value"]
+        for scores in entry["strategies"].values():
+            assert scores["beats_oracle"] is False
+            assert scores["best_fitness"] >= optimum
+            for trial in scores["trials"]:
+                assert trial["fitness"] >= optimum
+
+    def test_pareto_points_are_mutually_non_dominated(self, leaderboard):
+        entry = leaderboard["functions"]["jpeg.descale"]
+        points = [tuple(p["values"]) for p in entry["pareto"]["points"]]
+        assert points
+        for mine in points:
+            for other in points:
+                if other is mine:
+                    continue
+                assert not (
+                    all(o <= m for o, m in zip(other, mine))
+                    and any(o < m for o, m in zip(other, mine))
+                )
+
+    def test_ranking_is_sorted_by_mean_ratio(self, leaderboard):
+        ratios = [row["mean_ratio"] for row in leaderboard["ranking"]]
+        assert ratios == sorted(ratios)
+
+
+class TestDeterminismAndStore:
+    def test_warm_store_reproduces_the_cold_run(self, tmp_path):
+        config = HarnessConfig(
+            functions=DESCALE,
+            strategies=("random",),
+            trials=1,
+            seed=11,
+            store=str(tmp_path / "store"),
+        )
+        cold = run_search_bench(config)
+        warm = run_search_bench(config)
+        assert cold["functions"]["jpeg.descale"]["space"]["from_store"] is False
+        assert warm["functions"]["jpeg.descale"]["space"]["from_store"] is True
+        cold["elapsed"] = warm["elapsed"] = 0
+        cold["functions"]["jpeg.descale"]["space"]["from_store"] = None
+        warm["functions"]["jpeg.descale"]["space"]["from_store"] = None
+        assert cold == warm
+
+    def test_same_seed_is_bit_identical(self):
+        config = HarnessConfig(
+            functions=DESCALE, strategies=("random",), trials=1, seed=23
+        )
+        first = run_search_bench(config)
+        second = run_search_bench(config)
+        first["elapsed"] = second["elapsed"] = 0
+        assert first == second
+
+
+class TestConfigValidation:
+    def test_unknown_strategy_is_rejected(self):
+        config = HarnessConfig(functions=DESCALE, strategies=("alchemy",))
+        with pytest.raises(ValueError, match="unknown strategies"):
+            run_search_bench(config)
+
+    def test_unknown_objective_is_rejected(self):
+        config = HarnessConfig(functions=DESCALE, objective="beauty")
+        with pytest.raises(ValueError, match="bad objective"):
+            run_search_bench(config)
+
+    def test_unknown_function_is_rejected(self):
+        config = HarnessConfig(
+            functions=(SeedFunction("jpeg", "no_such_func"),),
+            strategies=("random",),
+        )
+        with pytest.raises(ValueError, match="no_such_func"):
+            run_search_bench(config)
+
+    def test_quick_config_narrows_the_run(self):
+        config = quick_config()
+        assert config.quick is True
+        assert config.functions == QUICK_FUNCTIONS
+        assert config.trials == 2
+        assert set(QUICK_FUNCTIONS) < set(SEED_FUNCTIONS)
+
+    def test_registry_and_defaults_are_consistent(self):
+        config = HarnessConfig()
+        assert set(config.strategies) == set(STRATEGY_BUILDERS)
+        assert len(SEED_FUNCTIONS) == 6
+        assert os.path.basename(DEFAULT_OUT) == "search.json"
+
+
+class TestJournalEvents:
+    def test_bench_emits_search_events(self, tmp_path):
+        tracer = Tracer(run_dir=str(tmp_path), manifest={"tool": "test"})
+        install(tracer)
+        try:
+            run_search_bench(
+                HarnessConfig(
+                    functions=DESCALE, strategies=("random",), trials=1
+                )
+            )
+        finally:
+            uninstall()
+            tracer.close()
+        journal = os.path.join(str(tmp_path), "events.jsonl")
+        events = [
+            json.loads(line)["event"]
+            for line in open(journal)
+            if line.strip()
+        ]
+        assert "search_start" in events
+        assert "search_space" in events
+        assert "search_strategy" in events
+        assert "search_done" in events

@@ -1,0 +1,175 @@
+"""Cross-strategy tests: determinism, semantics, and oracle checks.
+
+Every strategy in the zoo must (a) be bit-identical under a fixed
+seed, (b) return a best_function that really has the reported fitness,
+(c) account its attempted-phase budget, and (d) never report a fitness
+below the exhaustive optimum of the fully enumerated space.
+"""
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig, enumerate_space
+from repro.core.interactions import analyze_interactions
+from repro.frontend import compile_source
+from repro.opt import implicit_cleanup
+from repro.search import (
+    BanditSearcher,
+    GeneticSearcher,
+    HillClimber,
+    RandomSampler,
+    SimulatedAnnealer,
+    TableDrivenPolicy,
+    codesize_objective,
+)
+from repro.vm import Interpreter
+
+SRC = """
+int clamp(int x) {
+    if (x < 0) return 0;
+    if (x > 255) return 255;
+    return x;
+}
+"""
+
+
+def clamp_function():
+    func = compile_source(SRC).function("clamp")
+    implicit_cleanup(func)
+    return func
+
+
+@pytest.fixture(scope="module")
+def clamp_space():
+    result = enumerate_space(clamp_function(), EnumerationConfig())
+    assert result.completed
+    return result
+
+
+@pytest.fixture(scope="module")
+def clamp_interactions(clamp_space):
+    return analyze_interactions([clamp_space])
+
+
+def build(name, seed, interactions):
+    """Small-budget builders keyed like the harness registry."""
+    func = clamp_function()
+    if name == "ga":
+        return GeneticSearcher(
+            func, population_size=8, generations=6, seed=seed
+        )
+    if name == "hillclimb":
+        return HillClimber(func, restarts=2, max_steps=20, seed=seed)
+    if name == "random":
+        return RandomSampler(func, samples=40, seed=seed)
+    if name == "bandit-eps":
+        return BanditSearcher(func, episodes=40, policy="epsilon", seed=seed)
+    if name == "bandit-ucb":
+        return BanditSearcher(func, episodes=40, policy="ucb", seed=seed)
+    if name == "anneal":
+        return SimulatedAnnealer(func, steps=40, seed=seed)
+    if name == "policy":
+        return TableDrivenPolicy(func, interactions, rollouts=8, seed=seed)
+    raise AssertionError(name)
+
+
+ALL = ("ga", "hillclimb", "random", "bandit-eps", "bandit-ucb", "anneal", "policy")
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestEveryStrategy:
+    def test_bit_identical_under_fixed_seed(self, name, clamp_interactions):
+        first = build(name, 17, clamp_interactions).run()
+        second = build(name, 17, clamp_interactions).run()
+        assert first.to_dict() == second.to_dict()
+
+    def test_best_function_matches_reported_fitness(
+        self, name, clamp_interactions
+    ):
+        result = build(name, 3, clamp_interactions).run()
+        assert codesize_objective(result.best_function) == result.best_fitness
+
+    def test_budget_accounting(self, name, clamp_interactions):
+        result = build(name, 5, clamp_interactions).run()
+        assert result.attempted_phases > 0
+        assert result.evaluations > 0
+        assert result.strategy == build(name, 5, clamp_interactions).name
+
+    def test_never_beats_the_exhaustive_optimum(
+        self, name, clamp_space, clamp_interactions
+    ):
+        optimum = clamp_space.dag.min_codesize()
+        for seed in (1, 2):
+            result = build(name, seed, clamp_interactions).run()
+            assert result.best_fitness >= optimum
+
+    def test_history_is_monotone_nonincreasing(self, name, clamp_interactions):
+        result = build(name, 9, clamp_interactions).run()
+        assert result.history
+        assert all(
+            later <= earlier
+            for earlier, later in zip(result.history, result.history[1:])
+        )
+
+    def test_best_function_is_semantically_correct(
+        self, name, clamp_interactions
+    ):
+        result = build(name, 13, clamp_interactions).run()
+        program = compile_source(SRC)
+        program.functions["clamp"] = result.best_function
+        vm = Interpreter(program)
+        assert vm.run("clamp", (-5,)).value == 0
+        assert vm.run("clamp", (300,)).value == 255
+        assert vm.run("clamp", (42,)).value == 42
+
+
+class TestStrategySpecifics:
+    def test_policy_finds_the_optimum_on_clamp(
+        self, clamp_space, clamp_interactions
+    ):
+        # the Figure 8 tables are measured from clamp's own space, so
+        # the greedy rollout alone should reach the true optimum here
+        optimum = clamp_space.dag.min_codesize()
+        result = build("policy", 7, clamp_interactions).run()
+        assert result.best_fitness == optimum
+
+    def test_every_strategy_improves_on_the_unoptimized_base(
+        self, clamp_interactions
+    ):
+        base_size = codesize_objective(clamp_function())
+        for name in ALL:
+            result = build(name, 7, clamp_interactions).run()
+            assert result.best_fitness < base_size, name
+
+    def test_policy_first_rollout_is_figure8_greedy(self, clamp_interactions):
+        policy = TableDrivenPolicy(
+            clamp_function(), clamp_interactions, rollouts=1, seed=1
+        )
+        greedy1 = policy._rollout(stochastic=False)[0]
+        policy2 = TableDrivenPolicy(
+            clamp_function(), clamp_interactions, rollouts=1, seed=99
+        )
+        greedy2 = policy2._rollout(stochastic=False)[0]
+        # the greedy trajectory is seed-independent by construction
+        assert greedy1 == greedy2
+
+    def test_bandit_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="bad bandit policy"):
+            BanditSearcher(clamp_function(), policy="thompson")
+
+    def test_bandit_names_differ_by_policy(self):
+        eps = BanditSearcher(clamp_function(), policy="epsilon")
+        ucb = BanditSearcher(clamp_function(), policy="ucb")
+        assert eps.name == "bandit-eps"
+        assert ucb.name == "bandit-ucb"
+
+    def test_different_seeds_explore_differently(self, clamp_interactions):
+        # not a strict requirement per-strategy, but across the zoo at
+        # least one strategy must produce a different search trace for
+        # a different seed — otherwise the RNG plumbing is broken
+        differing = 0
+        for name in ALL:
+            a = build(name, 1, clamp_interactions).run()
+            b = build(name, 2, clamp_interactions).run()
+            if a.to_dict() != b.to_dict():
+                differing += 1
+        assert differing > 0

@@ -207,6 +207,98 @@ class TestSearchAndMisc:
         assert "best sequence" in out
         assert "code size" in out
 
+    def test_search_alternate_strategy(self, source_file, capsys):
+        assert (
+            main(
+                [
+                    "search",
+                    source_file,
+                    "--function",
+                    "clamp",
+                    "--strategy",
+                    "random",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert ": random" in out
+        assert "phases attempted" in out
+
+    def test_search_policy_strategy(self, source_file, capsys):
+        assert (
+            main(
+                [
+                    "search",
+                    source_file,
+                    "--function",
+                    "clamp",
+                    "--strategy",
+                    "policy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert ": policy" in out
+
+    def test_search_rejects_unknown_strategy(self, source_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "search",
+                    source_file,
+                    "--function",
+                    "clamp",
+                    "--strategy",
+                    "alchemy",
+                ]
+            )
+
+    def test_search_bench_quick_subset(self, tmp_path, capsys):
+        out_path = tmp_path / "search.json"
+        assert (
+            main(
+                [
+                    "search-bench",
+                    "--functions",
+                    "jpeg.descale",
+                    "--strategies",
+                    "random",
+                    "--trials",
+                    "1",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "jpeg.descale" in out
+        assert "random" in out
+        import json
+
+        leaderboard = json.loads(out_path.read_text())
+        assert leaderboard["functions"]["jpeg.descale"]["strategies"]["random"][
+            "beats_oracle"
+        ] is False
+
+    def test_search_bench_rejects_bad_function(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "search-bench",
+                    "--functions",
+                    "jpeg.not_a_function",
+                    "--strategies",
+                    "random",
+                    "--trials",
+                    "1",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+
     def test_list_benchmarks(self, capsys):
         assert main(["list-benchmarks"]) == 0
         out = capsys.readouterr().out
