@@ -1,0 +1,707 @@
+"""Dataflow analyses over the flat IR (bitmask registers, int blocks).
+
+Mirrors of :mod:`repro.analysis` for :class:`~repro.ir.flat.FlatFunction`:
+the same fixpoints compute the same facts — liveness as int bitmasks
+over interned register ids, CFGs and dominators over positional block
+indices — so the flat phase kernels reach bit-identical decisions to
+their object counterparts without touching instruction objects.
+
+Caching follows the exact discipline of :mod:`repro.analysis.cache`:
+analyses live on ``FlatFunction._analyses``, clones share the cache
+object, and every mutation commit point rebinds it via
+``invalidate_analyses()``.  Additionally, per-block use/def masks are
+cached *globally* by interned block content — a block's gen/kill sets
+are a pure function of its instruction ids, and the same few hundred
+distinct blocks recur across the whole enumeration space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.framerefs import (
+    _NO_REFS,
+    InstSlotRefs,
+    _eval_abstract,
+    _meet,
+    _transfer,
+)
+from repro.ir.flat import (
+    DEF_MASK,
+    FLAGS,
+    F_TRANSFER,
+    INST_OBJS,
+    KIND,
+    K_ASSIGN,
+    K_CONDBR,
+    K_JUMP,
+    K_RET,
+    MEM_REFS,
+    TARGET_LID,
+    USE_MASK,
+    FlatFunction,
+    block_id,
+)
+from repro.observability import tracer as _obs
+
+#: rid of the return-value register (hardware r0 is seeded at rid 0).
+RV_RID = 0
+RV_BIT = 1 << RV_RID
+
+
+def _note(hit: bool) -> None:
+    tr = _obs.ACTIVE
+    if tr is not None:
+        tr.analysis_event(hit)
+
+
+# ----------------------------------------------------------------------
+# CFG over block indices
+# ----------------------------------------------------------------------
+
+
+class FlatCFG:
+    """Successor/predecessor block-index lists (positional order)."""
+
+    __slots__ = ("succs", "preds")
+
+    def __init__(self, succs: List[List[int]]):
+        self.succs = succs
+        self.preds: List[List[int]] = [[] for _ in succs]
+        for i, targets in enumerate(succs):
+            for target in targets:
+                self.preds[target].append(i)
+
+    def reachable(self, entry: int = 0) -> Set[int]:
+        seen = {entry}
+        stack = [entry]
+        while stack:
+            block = stack.pop()
+            for succ in self.succs[block]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def reverse_postorder(self, entry: int = 0) -> List[int]:
+        seen = {entry}
+        postorder: List[int] = []
+        stack: List[Tuple[int, int]] = [(entry, 0)]
+        while stack:
+            current, pos = stack[-1]
+            succs = self.succs[current]
+            advanced = False
+            while pos < len(succs):
+                succ = succs[pos]
+                pos += 1
+                if succ not in seen:
+                    seen.add(succ)
+                    stack[-1] = (current, pos)
+                    stack.append((succ, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                stack[-1] = (current, pos)
+                if pos >= len(succs):
+                    postorder.append(current)
+                    stack.pop()
+        return postorder[::-1]
+
+
+def build_flat_cfg(flat: FlatFunction) -> FlatCFG:
+    index = {lid: i for i, lid in enumerate(flat.labels)}
+    n = len(flat.blocks)
+    succs: List[List[int]] = []
+    for i, block in enumerate(flat.blocks):
+        targets: List[int] = []
+        last = block[-1] if block else -1
+        kind = KIND[last] if last >= 0 and FLAGS[last] & F_TRANSFER else -1
+        if kind == K_JUMP:
+            targets = [index[TARGET_LID[last]]]
+        elif kind == K_CONDBR:
+            targets = [index[TARGET_LID[last]]]
+            if i + 1 < n and i + 1 != targets[0]:
+                targets.append(i + 1)
+        elif kind == K_RET:
+            targets = []
+        else:
+            if i + 1 < n:
+                targets = [i + 1]
+        succs.append(targets)
+    return FlatCFG(succs)
+
+
+# ----------------------------------------------------------------------
+# Register liveness (bitmasks)
+# ----------------------------------------------------------------------
+
+#: (block content id, returns_value) -> (use mask, def mask)
+_BLOCK_USE_DEF: Dict[Tuple[int, bool], Tuple[int, int]] = {}
+
+
+def _block_use_def(block: List[int], returns_value: bool) -> Tuple[int, int]:
+    key = (block_id(tuple(block)), returns_value)
+    cached = _BLOCK_USE_DEF.get(key)
+    if cached is not None:
+        return cached
+    use = 0
+    defs = 0
+    for iid in block:
+        use |= USE_MASK[iid] & ~defs
+        if returns_value and KIND[iid] == K_RET and not defs & RV_BIT:
+            use |= RV_BIT
+        defs |= DEF_MASK[iid]
+    result = (use, defs)
+    _BLOCK_USE_DEF[key] = result
+    return result
+
+
+class FlatLiveness:
+    """Per-block live-in/live-out register masks."""
+
+    __slots__ = ("live_in", "live_out", "func", "after_memo")
+
+    def __init__(
+        self,
+        live_in: List[int],
+        live_out: List[int],
+        func: FlatFunction,
+        after_memo: Optional[Dict[int, List[int]]] = None,
+    ):
+        self.live_in = live_in
+        self.live_out = live_out
+        self.func = func
+        # per-block memo of live_after_each, carried across rebinds
+        # (the fixpoint lists are shared, so the memo stays valid)
+        self.after_memo = {} if after_memo is None else after_memo
+
+    def live_after_each(self, block_index: int) -> List[int]:
+        """Mask of registers live after each instruction of the block."""
+        memo = self.after_memo.get(block_index)
+        if memo is not None:
+            return memo
+        block = self.func.blocks[block_index]
+        returns_value = self.func.returns_value
+        live = self.live_out[block_index]
+        result = [0] * len(block)
+        for i in range(len(block) - 1, -1, -1):
+            iid = block[i]
+            result[i] = live
+            live = (live & ~DEF_MASK[iid]) | USE_MASK[iid]
+            if returns_value and KIND[iid] == K_RET:
+                live |= RV_BIT
+        self.after_memo[block_index] = result
+        return result
+
+    def live_before_each(self, block_index: int) -> List[int]:
+        block = self.func.blocks[block_index]
+        returns_value = self.func.returns_value
+        live = self.live_out[block_index]
+        result = [0] * len(block)
+        for i in range(len(block) - 1, -1, -1):
+            iid = block[i]
+            live = (live & ~DEF_MASK[iid]) | USE_MASK[iid]
+            if returns_value and KIND[iid] == K_RET:
+                live |= RV_BIT
+            result[i] = live
+        return result
+
+
+def compute_flat_liveness(
+    flat: FlatFunction, cfg: Optional[FlatCFG] = None
+) -> FlatLiveness:
+    if cfg is None:
+        cfg = build_flat_cfg(flat)
+    returns_value = flat.returns_value
+    blocks = flat.blocks
+    n = len(blocks)
+    use = [0] * n
+    defs = [0] * n
+    for i, block in enumerate(blocks):
+        use[i], defs[i] = _block_use_def(block, returns_value)
+
+    live_in = [0] * n
+    live_out = [0] * n
+    succs = cfg.succs
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            out = 0
+            for succ in succs[i]:
+                out |= live_in[succ]
+            new_in = use[i] | (out & ~defs[i])
+            if out != live_out[i] or new_in != live_in[i]:
+                live_out[i] = out
+                live_in[i] = new_in
+                changed = True
+    return FlatLiveness(live_in, live_out, flat)
+
+
+# ----------------------------------------------------------------------
+# Frame references and slot liveness
+# ----------------------------------------------------------------------
+
+
+class FlatFrameRefs:
+    """Per-instruction scalar-slot effects, by block index."""
+
+    __slots__ = ("refs", "tracked", "has_wild")
+
+    def __init__(self, refs: List[List[InstSlotRefs]], tracked: frozenset, has_wild: bool):
+        self.refs = refs
+        self.tracked = tracked
+        self.has_wild = has_wild
+
+
+def compute_flat_frame_refs(
+    flat: FlatFunction, cfg: Optional[FlatCFG] = None
+) -> FlatFrameRefs:
+    """The fp-offset dataflow of :mod:`repro.analysis.framerefs`, driven
+    over flat blocks (abstract state transfer reuses the object-IR
+    helpers on the interned instruction objects)."""
+    if cfg is None:
+        cfg = build_flat_cfg(flat)
+    tracked = flat.scalar_slot_offsets()
+    insts = INST_OBJS
+
+    n = len(flat.blocks)
+    in_states: List[Optional[Dict]] = [None] * n
+    in_states[0] = {}
+    order = cfg.reverse_postorder(0)
+    changed = True
+    while changed:
+        changed = False
+        for bi in order:
+            state = in_states[bi]
+            if state is None:
+                continue
+            current = dict(state)
+            for iid in flat.blocks[bi]:
+                _transfer(insts[iid], current)
+            for succ in cfg.succs[bi]:
+                existing = in_states[succ]
+                if existing is None:
+                    in_states[succ] = dict(current)
+                    changed = True
+                    continue
+                merged = {}
+                for reg in set(existing) | set(current):
+                    merged[reg] = _meet(
+                        existing.get(reg, "other"), current.get(reg, "other")
+                    )
+                if merged != existing:
+                    in_states[succ] = merged
+                    changed = True
+
+    refs: List[List[InstSlotRefs]] = []
+    has_wild = False
+    mem_refs = MEM_REFS
+    for bi, block in enumerate(flat.blocks):
+        state = in_states[bi]
+        current = dict(state) if state is not None else {}
+        block_refs: List[InstSlotRefs] = []
+        for iid in block:
+            touched = mem_refs[iid]
+            if not touched:
+                block_refs.append(_NO_REFS)
+                _transfer(insts[iid], current)
+                continue
+            reads: Set[int] = set()
+            writes: Set[int] = set()
+            wild_read = False
+            wild_write = False
+            for mem, is_write in touched:
+                value = _eval_abstract(mem.addr, current)
+                if isinstance(value, int):
+                    if value in tracked:
+                        (writes if is_write else reads).add(value)
+                elif value == "wild":
+                    if is_write:
+                        wild_write = True
+                    else:
+                        wild_read = True
+            if wild_read or wild_write:
+                has_wild = True
+            block_refs.append(
+                InstSlotRefs(frozenset(reads), frozenset(writes), wild_read, wild_write)
+            )
+            _transfer(insts[iid], current)
+        refs.append(block_refs)
+    return FlatFrameRefs(refs, tracked, has_wild)
+
+
+class FlatSlotLiveness:
+    """Per-block live-in/out sets of scalar frame-slot offsets."""
+
+    __slots__ = (
+        "live_in",
+        "live_out",
+        "func",
+        "tracked",
+        "frame_refs",
+        "after_memo",
+    )
+
+    def __init__(
+        self, live_in, live_out, func, tracked, frame_refs, after_memo=None
+    ):
+        self.live_in = live_in
+        self.live_out = live_out
+        self.func = func
+        self.tracked = tracked
+        self.frame_refs = frame_refs
+        self.after_memo: Dict[int, List[Set[int]]] = (
+            {} if after_memo is None else after_memo
+        )
+
+    def live_after_each(self, block_index: int) -> List[Set[int]]:
+        memo = self.after_memo.get(block_index)
+        if memo is not None:
+            return memo
+        block = self.func.blocks[block_index]
+        refs = self.frame_refs.refs[block_index]
+        live = set(self.live_out[block_index])
+        result: List[Set[int]] = [set()] * len(block)
+        for i in range(len(block) - 1, -1, -1):
+            ref = refs[i]
+            result[i] = set(live)
+            if not ref.wild_write:
+                live -= ref.writes
+            if ref.wild_read:
+                live |= self.tracked
+            else:
+                live |= ref.reads
+        self.after_memo[block_index] = result
+        return result
+
+
+def compute_flat_slot_liveness(
+    flat: FlatFunction, cfg: Optional[FlatCFG] = None
+) -> FlatSlotLiveness:
+    if cfg is None:
+        cfg = build_flat_cfg(flat)
+    frame_refs = compute_flat_frame_refs(flat, cfg)
+    tracked = set(frame_refs.tracked)
+
+    n = len(flat.blocks)
+    use: List[Set[int]] = [set() for _ in range(n)]
+    defs: List[Set[int]] = [set() for _ in range(n)]
+    for bi in range(n):
+        block_use = use[bi]
+        block_def = defs[bi]
+        for ref in frame_refs.refs[bi]:
+            if ref.wild_read:
+                block_use |= tracked - block_def
+            else:
+                block_use |= ref.reads - block_def
+            if not ref.wild_write:
+                block_def |= ref.writes
+
+    live_in: List[Set[int]] = [set() for _ in range(n)]
+    live_out: List[Set[int]] = [set() for _ in range(n)]
+    succs = cfg.succs
+    changed = True
+    while changed:
+        changed = False
+        for bi in range(n - 1, -1, -1):
+            out: Set[int] = set()
+            for succ in succs[bi]:
+                out |= live_in[succ]
+            new_in = use[bi] | (out - defs[bi])
+            if out != live_out[bi] or new_in != live_in[bi]:
+                live_out[bi] = out
+                live_in[bi] = new_in
+                changed = True
+    return FlatSlotLiveness(live_in, live_out, flat, tracked, frame_refs)
+
+
+# ----------------------------------------------------------------------
+# Dominators and natural loops over block indices
+# ----------------------------------------------------------------------
+
+
+class FlatDominatorTree:
+    """Immediate-dominator tree over reachable block indices."""
+
+    __slots__ = ("idom", "entry", "_depth")
+
+    def __init__(self, idom: Dict[int, Optional[int]], entry: int = 0):
+        self.idom = idom
+        self.entry = entry
+        self._depth: Dict[int, int] = {}
+        for block in idom:
+            depth = 0
+            current: Optional[int] = block
+            while current is not None and current != entry:
+                current = idom[current]
+                depth += 1
+            self._depth[block] = depth
+
+    def dominates(self, a: int, b: int) -> bool:
+        current: Optional[int] = b
+        while current is not None:
+            if current == a:
+                return True
+            if current == self.entry:
+                return False
+            current = self.idom[current]
+        return False
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def depth(self, block: int) -> int:
+        return self._depth[block]
+
+
+def compute_flat_dominators(
+    flat: FlatFunction, cfg: Optional[FlatCFG] = None
+) -> FlatDominatorTree:
+    if cfg is None:
+        cfg = build_flat_cfg(flat)
+    entry = 0
+    rpo = cfg.reverse_postorder(entry)
+    position = {block: i for i, block in enumerate(rpo)}
+    idom: Dict[int, Optional[int]] = {entry: None}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block == entry:
+                continue
+            new_idom: Optional[int] = None
+            for pred in cfg.preds[block]:
+                if pred not in position or pred == block:
+                    continue
+                if pred in idom or pred == entry:
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = intersect(pred, new_idom)
+            if new_idom is None:
+                continue
+            if idom.get(block) != new_idom:
+                idom[block] = new_idom
+                changed = True
+    return FlatDominatorTree(idom, entry)
+
+
+class FlatLoop:
+    """A natural loop over block indices."""
+
+    __slots__ = ("header", "body", "latches", "depth")
+
+    def __init__(self, header: int, body: Set[int], latches: Set[int]):
+        self.header = header
+        self.body = body
+        self.latches = latches
+        self.depth = 1
+
+
+def find_flat_loops(
+    flat: FlatFunction,
+    cfg: Optional[FlatCFG] = None,
+    dom: Optional[FlatDominatorTree] = None,
+) -> List[FlatLoop]:
+    if cfg is None:
+        cfg = build_flat_cfg(flat)
+    if dom is None:
+        dom = compute_flat_dominators(flat, cfg)
+
+    reachable = cfg.reachable(0)
+    loops_by_header: Dict[int, FlatLoop] = {}
+    # Positional order, mirroring find_natural_loops' cfg.order walk.
+    for block in sorted(reachable):
+        for succ in cfg.succs[block]:
+            if succ in reachable and dom.dominates(succ, block):
+                header = succ
+                body = {header, block}
+                stack = [block]
+                while stack:
+                    current = stack.pop()
+                    if current == header:
+                        continue
+                    for pred in cfg.preds[current]:
+                        if pred in reachable and pred not in body:
+                            body.add(pred)
+                            stack.append(pred)
+                loop = loops_by_header.get(header)
+                if loop is None:
+                    loops_by_header[header] = FlatLoop(header, body, {block})
+                else:
+                    loop.body |= body
+                    loop.latches.add(block)
+
+    loops = list(loops_by_header.values())
+    for loop in loops:
+        loop.depth = 1 + sum(
+            1
+            for other in loops
+            if other is not loop
+            and loop.header in other.body
+            and loop.body <= other.body
+        )
+    loops.sort(key=lambda loop: -loop.depth)
+    return loops
+
+
+# ----------------------------------------------------------------------
+# Per-function cache (FlatFunction._analyses)
+# ----------------------------------------------------------------------
+
+
+class FlatAnalyses:
+    """Lazily-filled flat analyses for one function content."""
+
+    __slots__ = (
+        "cfg",
+        "liveness",
+        "slot_liveness",
+        "dominators",
+        "loops",
+        "single_defs",
+        "reg_use_counts",
+    )
+
+    def __init__(self) -> None:
+        self.cfg: Optional[FlatCFG] = None
+        self.liveness: Optional[FlatLiveness] = None
+        self.slot_liveness: Optional[FlatSlotLiveness] = None
+        self.dominators: Optional[FlatDominatorTree] = None
+        self.loops: Optional[List[FlatLoop]] = None
+        self.single_defs: Optional[Dict[int, int]] = None
+        self.reg_use_counts: Optional[Dict[int, int]] = None
+
+
+#: (content key, returns_value, tracked slot offsets) -> FlatAnalyses.
+#: Every fact in FlatAnalyses is a pure function of that triple, so
+#: functions with equal content *share* their analysis cache object —
+#: independent phase orders converging on the same code (the very
+#: merges the DAG detects) pay each fixpoint once per process.
+_ANALYSES_BY_CONTENT: Dict[Tuple, FlatAnalyses] = {}
+_ANALYSES_MAX = 1 << 16
+
+
+def _cache_of(flat: FlatFunction) -> FlatAnalyses:
+    cache = flat._analyses
+    if cache is None:
+        key = (
+            flat.content_key(),
+            flat.returns_value,
+            flat.scalar_slot_offsets(),
+        )
+        cache = _ANALYSES_BY_CONTENT.get(key)
+        if cache is None:
+            cache = FlatAnalyses()
+            if len(_ANALYSES_BY_CONTENT) >= _ANALYSES_MAX:
+                _ANALYSES_BY_CONTENT.clear()
+            _ANALYSES_BY_CONTENT[key] = cache
+        flat._analyses = cache
+    return cache
+
+
+def flat_cfg_of(flat: FlatFunction) -> FlatCFG:
+    cache = _cache_of(flat)
+    _note(cache.cfg is not None)
+    if cache.cfg is None:
+        cache.cfg = build_flat_cfg(flat)
+    return cache.cfg
+
+
+def flat_liveness_of(flat: FlatFunction) -> FlatLiveness:
+    cache = _cache_of(flat)
+    _note(cache.liveness is not None)
+    if cache.liveness is None:
+        cache.liveness = compute_flat_liveness(flat, flat_cfg_of(flat))
+    elif cache.liveness.func is not flat:
+        cache.liveness = FlatLiveness(
+            cache.liveness.live_in,
+            cache.liveness.live_out,
+            flat,
+            cache.liveness.after_memo,
+        )
+    return cache.liveness
+
+
+def flat_slot_liveness_of(flat: FlatFunction) -> FlatSlotLiveness:
+    cache = _cache_of(flat)
+    _note(cache.slot_liveness is not None)
+    if cache.slot_liveness is None:
+        cache.slot_liveness = compute_flat_slot_liveness(flat, flat_cfg_of(flat))
+    elif cache.slot_liveness.func is not flat:
+        old = cache.slot_liveness
+        cache.slot_liveness = FlatSlotLiveness(
+            old.live_in,
+            old.live_out,
+            flat,
+            old.tracked,
+            old.frame_refs,
+            old.after_memo,
+        )
+    return cache.slot_liveness
+
+
+def flat_dominators_of(flat: FlatFunction) -> FlatDominatorTree:
+    cache = _cache_of(flat)
+    _note(cache.dominators is not None)
+    if cache.dominators is None:
+        cache.dominators = compute_flat_dominators(flat, flat_cfg_of(flat))
+    return cache.dominators
+
+
+def flat_loops_of(flat: FlatFunction) -> List[FlatLoop]:
+    cache = _cache_of(flat)
+    _note(cache.loops is not None)
+    if cache.loops is None:
+        cache.loops = find_flat_loops(flat, flat_cfg_of(flat), flat_dominators_of(flat))
+    return cache.loops
+
+
+def flat_single_defs_of(flat: FlatFunction) -> Dict[int, int]:
+    """``single_def_registers`` over the flat IR: rid -> defining iid.
+
+    A register counts as multiply-defined when it is live into the
+    entry block (implicit definition by the caller or a predecessor
+    incarnation).  Only ``Assign``-defined registers are returned —
+    the CSE kernel's propagation sources.
+    """
+    cache = _cache_of(flat)
+    _note(cache.single_defs is not None)
+    if cache.single_defs is None:
+        counts: Dict[int, int] = {}
+        definer: Dict[int, int] = {}
+        live_entry = flat_liveness_of(flat).live_in[0]
+        while live_entry:
+            bit = live_entry & -live_entry
+            counts[bit.bit_length() - 1] = 1
+            live_entry ^= bit
+        for block in flat.blocks:
+            for iid in block:
+                mask = DEF_MASK[iid]
+                while mask:
+                    bit = mask & -mask
+                    rid = bit.bit_length() - 1
+                    counts[rid] = counts.get(rid, 0) + 1
+                    definer[rid] = iid
+                    mask ^= bit
+        cache.single_defs = {
+            rid: iid
+            for rid, iid in definer.items()
+            if counts[rid] == 1 and KIND[iid] == K_ASSIGN
+        }
+    return cache.single_defs
+
+
+def reset_flat_analysis_caches() -> None:
+    _BLOCK_USE_DEF.clear()
+    _ANALYSES_BY_CONTENT.clear()

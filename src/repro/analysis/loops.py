@@ -58,7 +58,12 @@ def find_natural_loops(
 
     reachable = cfg.reachable(func.entry.label)
     loops_by_header: Dict[str, Loop] = {}
-    for label in reachable:
+    # Iterate in positional block order, not set order: the discovery
+    # order decides how same-depth loops tie-break after the sort below,
+    # and phases act on the first candidate loop.
+    for label in cfg.order:
+        if label not in reachable:
+            continue
         for succ in cfg.succs.get(label, ()):
             if succ in reachable and dom.dominates(succ, label):
                 # Back edge label -> succ.

@@ -53,6 +53,7 @@ from repro.core import checkpoint as ckpt
 from repro.core.dag import SpaceDAG, SpaceNode
 from repro.core.fingerprint import Fingerprint, fingerprint_function
 from repro.core.memo import TransitionMemo
+from repro.ir.flat import flat_fingerprint, from_flat, to_flat
 from repro.ir.function import Function, Program
 from repro.machine.target import DEFAULT_TARGET, Target
 from repro.observability import tracer as _obs
@@ -63,6 +64,11 @@ from repro.opt import (
     attempt_phase_on_clone,
     implicit_cleanup,
 )
+from repro.opt.flat import attempt_phase_on_flat
+
+#: the stock phase instances, by id — the flat kernels are verified
+#: against exactly these objects (see SpaceEnumerator.flat_engine)
+_CANONICAL_PHASES = {phase.id: phase for phase in PHASES}
 from repro.robustness.faults import FaultInjector
 from repro.robustness.guard import (
     DifferentialTester,
@@ -99,6 +105,7 @@ class EnumerationConfig:
         canonical_input: bool = False,
         memo: Optional[TransitionMemo] = None,
         sanitize: Optional[str] = None,
+        engine: str = "flat",
     ):
         self.max_level_sequences = max_level_sequences
         self.max_nodes = max_nodes
@@ -166,6 +173,18 @@ class EnumerationConfig:
                 f"bad sanitize mode {sanitize!r}; expected 'fast' or 'full'"
             )
         self.sanitize = sanitize
+        #: expansion engine: "flat" runs the unguarded prefix-sharing
+        #: hot path on the flat IR (repro.ir.flat + repro.opt.flat);
+        #: "object" is the legacy engine, retained for differential
+        #: testing.  The two produce bit-identical DAGs, so — like the
+        #: memo — the engine stays out of ``signature()``.  Guards,
+        #: exact mode, the remapping ablation, and replay mode need
+        #: instruction objects and silently use the object engine.
+        if engine not in ("flat", "object"):
+            raise ValueError(
+                f"bad engine {engine!r}; expected 'flat' or 'object'"
+            )
+        self.engine = engine
 
     def guards_enabled(self) -> bool:
         """Whether phase applications must run through the guard."""
@@ -291,6 +310,25 @@ class SpaceEnumerator:
             )
             else None
         )
+        # The flat engine replaces only the same unguarded
+        # prefix-sharing transition the memo does, and additionally
+        # needs the streaming remapped fingerprint (no exact texts, no
+        # remapping ablation).  Kernels dispatch on ``phase.id``, so a
+        # custom phase object carrying a stock id (a test wrapper, an
+        # instrumented phase) must also force the object engine — only
+        # the canonical phase instances are known to match their
+        # kernels.  Anything else falls back to objects.
+        self.flat_engine = (
+            self.config.engine == "flat"
+            and self.config.share_prefixes
+            and self.guard is None
+            and self.config.remap
+            and not self.config.exact
+            and all(
+                _CANONICAL_PHASES.get(phase.id) is phase
+                for phase in self.config.phases
+            )
+        )
         self.resumed_from: Optional[str] = None
         self._interrupted = False
         self._last_checkpoint = time.monotonic()
@@ -372,6 +410,14 @@ class SpaceEnumerator:
                 node.function = None
             for node in self.next_frontier:
                 node.function = None
+        if self.flat_engine and config.keep_functions:
+            # Callers asking for retained functions expect instruction
+            # objects, whatever engine expanded the space.
+            for node in self.dag.nodes.values():
+                if node.function is not None and not isinstance(
+                    node.function, Function
+                ):
+                    node.function = from_flat(node.function)
         if tracer is not None:
             delta = tracer.phases_since(phase_snapshot)
             if delta:
@@ -472,7 +518,7 @@ class SpaceEnumerator:
         )
         root_key = _node_key(root_fp, root_func)
         root = self.dag.add_node(root_key, 0, root_fp.num_insts, root_fp.cf_crc)
-        root.function = root_func
+        root.function = to_flat(root_func) if self.flat_engine else root_func
         if config.exact:
             self.texts[root_key] = root_fp.text
         # Paths from the root, used to replay sequences when prefix
@@ -535,7 +581,10 @@ class SpaceEnumerator:
         self.frontier_index = state["frontier_index"]
         self.next_frontier = [self.dag.nodes[i] for i in state["next_frontier"]]
         for node_id, data in state["functions"].items():
-            self.dag.nodes[int(node_id)].function = ckpt.function_from_dict(data)
+            restored = ckpt.function_from_dict(data)
+            if self.flat_engine:
+                restored = to_flat(restored)
+            self.dag.nodes[int(node_id)].function = restored
         self.recipes = {
             int(node_id): tuple(recipe)
             for node_id, recipe in state["recipes"].items()
@@ -571,12 +620,11 @@ class SpaceEnumerator:
                     return
                 # The paper's per-level criterion: sequences to apply
                 # at this level.
+                # Every in-edge label is one of config.phases, so the
+                # per-node count is just the complement of its arrivals.
+                num_phases = len(config.phases)
                 sequences_this_level = sum(
-                    sum(
-                        1
-                        for phase in config.phases
-                        if phase.id not in _arrival_phases(node)
-                    )
+                    num_phases - len(_arrival_phases(node))
                     for node in self.frontier
                 )
                 if sequences_this_level > config.max_level_sequences:
@@ -632,6 +680,9 @@ class SpaceEnumerator:
         next_frontier_len = len(self.next_frontier)
         added_nodes: List[SpaceNode] = []
         added_edges: List[Tuple[SpaceNode, str, SpaceNode]] = []
+        # Per-node scratch for the flat engine's fallback phases: the
+        # object view of this node is materialized at most once.
+        view_cache: Dict[str, Function] = {}
 
         def rollback() -> None:
             for parent, phase_id, child in reversed(added_edges):
@@ -691,7 +742,10 @@ class SpaceEnumerator:
                 child = self.dag.add_node(
                     key, self.level + 1, entry.num_insts, entry.cf_crc
                 )
-                child.function = TransitionMemo.materialize(entry)
+                materialized = TransitionMemo.materialize(entry)
+                child.function = (
+                    to_flat(materialized) if self.flat_engine else materialized
+                )
                 self.recipes[child.node_id] = self.recipes[node.node_id] + (
                     phase.id,
                 )
@@ -703,12 +757,18 @@ class SpaceEnumerator:
             if config.share_prefixes:
                 self.applied += 1
                 if self.guard is None:
-                    # Single-clone fast path (see opt/base.py): at most
-                    # one clone per attempted edge, none when the phase
-                    # is illegal in the current state.
-                    candidate = attempt_phase_on_clone(
-                        node.function, phase, self.target
-                    )
+                    # Single-clone fast path (see opt/base.py and
+                    # opt/flat): at most one clone per attempted edge,
+                    # none when the phase is illegal in the current
+                    # state.
+                    if self.flat_engine:
+                        candidate = attempt_phase_on_flat(
+                            node.function, phase, self.target, view_cache
+                        )
+                    else:
+                        candidate = attempt_phase_on_clone(
+                            node.function, phase, self.target
+                        )
                     active = candidate is not None
                 else:
                     candidate = node.function.clone()
@@ -742,9 +802,12 @@ class SpaceEnumerator:
                     self.memo.record_dormant(node.key, phase.id)
                 node.dormant.add(phase.id)
                 continue
-            fingerprint = fingerprint_function(
-                candidate, keep_text=config.exact, remap=config.remap
-            )
+            if self.flat_engine:
+                fingerprint = flat_fingerprint(candidate)
+            else:
+                fingerprint = fingerprint_function(
+                    candidate, keep_text=config.exact, remap=config.remap
+                )
             key = _node_key(fingerprint, candidate)
             if entry is not None and (entry.dormant or entry.key != key):
                 raise RuntimeError(
@@ -759,7 +822,7 @@ class SpaceEnumerator:
                     key,
                     fingerprint.num_insts,
                     fingerprint.cf_crc,
-                    candidate,
+                    from_flat(candidate) if self.flat_engine else candidate,
                 )
             existing = self.dag.lookup(key)
             if existing is not None:
@@ -829,9 +892,10 @@ class SpaceEnumerator:
         if config.share_prefixes:
             for node in pending:
                 if node.function is not None:
-                    functions[str(node.node_id)] = ckpt.function_to_dict(
-                        node.function
-                    )
+                    func = node.function
+                    if not isinstance(func, Function):
+                        func = from_flat(func)  # flat engine frontier
+                    functions[str(node.node_id)] = ckpt.function_to_dict(func)
         recipes = {
             str(node.node_id): "".join(self.recipes.get(node.node_id, ()))
             for node in pending

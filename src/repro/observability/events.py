@@ -56,6 +56,8 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     "enum_start": frozenset({"function"}),
     "level_done": frozenset({"function", "level"}),
     "enum_done": frozenset({"function", "instances", "completed"}),
+    # `repro profile`: one profiled enumeration's throughput summary
+    "profile_run": frozenset({"function", "engine", "wall", "edges"}),
     # attempted / active / dormant accounting
     "phase_stats": frozenset({"phases"}),
     # caches

@@ -1,0 +1,191 @@
+"""Flat mirror of the compulsory register assignment.
+
+Identical Chaitin-Briggs coloring to
+:mod:`repro.opt.register_assignment` — same interference edges, same
+simplify order, same tie-breaks, same spill fallback — computed over
+register-id bitmasks instead of object sets, so the result (and hence
+the fingerprint of everything downstream) is bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.defuse import rewrite_uses
+from repro.analysis.flat import flat_liveness_of
+from repro.ir.flat import (
+    DEF_MASK,
+    INST_OBJS,
+    NUM_SEEDED_HW,
+    REG_OBJS,
+    USE_MASK,
+    FlatFunction,
+    intern_inst,
+    iter_rids,
+)
+from repro.ir.function import LocalSlot
+from repro.ir.instructions import Assign
+from repro.ir.operands import BinOp, Const, Mem
+from repro.machine.target import ALLOCATABLE, FP, Target
+from repro.opt.flat.support import ALLOC_MASK, HW_MASK, PSEUDO_CLEAR, rewrite_regs_iid
+
+_MAX_SPILL_ROUNDS = 25
+
+
+def flat_assign_registers(flat: FlatFunction, target: Target) -> None:
+    """Replace every pseudo register in *flat* with a hardware register."""
+    for _ in range(_MAX_SPILL_ROUNDS):
+        coloring, spilled = _try_color(flat)
+        if not spilled:
+            _rewrite(flat, coloring)
+            flat.reg_assigned = True
+            return
+        for pseudo in spilled:
+            _spill(flat, pseudo)
+    raise RuntimeError(f"{flat.name}: register assignment did not converge")
+
+
+def _try_color(flat: FlatFunction) -> Tuple[Dict[int, int], List[int]]:
+    """One coloring attempt: (pseudo rid -> hw index, rids to spill)."""
+    all_regs = 0
+    for block in flat.blocks:
+        for iid in block:
+            all_regs |= DEF_MASK[iid] | USE_MASK[iid]
+    pseudos = list(iter_rids(all_regs & PSEUDO_CLEAR))
+
+    interference: Dict[int, int] = {p: 0 for p in pseudos}
+    forbidden: Dict[int, int] = {p: 0 for p in pseudos}
+
+    liveness = flat_liveness_of(flat)
+    for bi, block in enumerate(flat.blocks):
+        live_after = liveness.live_after_each(bi)
+        for i, iid in enumerate(block):
+            def_mask = DEF_MASK[iid]
+            if not def_mask:
+                continue
+            live = live_after[i]
+            for defined in iter_rids(def_mask):
+                others = live & ~(1 << defined)
+                if defined >= NUM_SEEDED_HW:
+                    pseudo_others = others & PSEUDO_CLEAR
+                    interference[defined] |= pseudo_others
+                    forbidden[defined] |= others & HW_MASK
+                    bit = 1 << defined
+                    for other in iter_rids(pseudo_others):
+                        interference[other] |= bit
+                else:
+                    bit = 1 << defined
+                    for other in iter_rids(others & PSEUDO_CLEAR):
+                        forbidden[other] |= bit
+
+    # Chaitin-Briggs simplify/select with optimistic spilling, ordered
+    # by the pseudo's own numeric index exactly as the object engine.
+    colors = list(ALLOCATABLE)
+    k = len(colors)
+    index_of = {p: REG_OBJS[p].index for p in pseudos}
+    degree = {
+        p: interference[p].bit_count() + forbidden[p].bit_count() for p in pseudos
+    }
+    stack: List[int] = []
+    remaining = set(pseudos)
+    removed: set = set()
+    while remaining:
+        candidates = sorted(
+            (p for p in remaining if degree[p] < k), key=lambda p: index_of[p]
+        )
+        if candidates:
+            chosen = candidates[0]
+        else:
+            chosen = max(remaining, key=lambda p: (degree[p], index_of[p]))
+        stack.append(chosen)
+        remaining.discard(chosen)
+        removed.add(chosen)
+        for neighbor in iter_rids(interference[chosen]):
+            if neighbor not in removed:
+                degree[neighbor] -= 1
+
+    # Prefer lightly used colors (see register_assignment.py): hardware
+    # registers already in the code count once per defs set and once
+    # per uses set of each instruction, exactly like the object tally.
+    usage: Dict[int, int] = {c: 0 for c in colors}
+    for block in flat.blocks:
+        for iid in block:
+            for rid in iter_rids(DEF_MASK[iid] & ALLOC_MASK):
+                usage[rid] += 1
+            for rid in iter_rids(USE_MASK[iid] & ALLOC_MASK):
+                usage[rid] += 1
+
+    coloring: Dict[int, int] = {}
+    spilled: List[int] = []
+    while stack:
+        pseudo = stack.pop()
+        taken = forbidden[pseudo]
+        for neighbor in iter_rids(interference[pseudo]):
+            assigned = coloring.get(neighbor)
+            if assigned is not None:
+                taken |= 1 << assigned
+        free = [c for c in colors if not taken >> c & 1]
+        if free:
+            best = min(free, key=lambda c: (usage[c], c))
+            coloring[pseudo] = best
+            usage[best] += 1
+        else:
+            spilled.append(pseudo)
+    return coloring, spilled
+
+
+def _rewrite(flat: FlatFunction, coloring: Dict[int, int]) -> None:
+    for bi, block in enumerate(flat.blocks):
+        flat.blocks[bi] = [
+            rewrite_regs_iid(
+                iid,
+                tuple(
+                    (rid, coloring[rid])
+                    for rid in iter_rids(
+                        (DEF_MASK[iid] | USE_MASK[iid]) & PSEUDO_CLEAR
+                    )
+                ),
+            )
+            for iid in block
+        ]
+    flat.invalidate_analyses()
+
+
+def _spill_slot_name(flat: FlatFunction) -> str:
+    index = 0
+    while f"_spill{index}" in flat.frame:
+        index += 1
+    return f"_spill{index}"
+
+
+def _spill(flat: FlatFunction, pseudo_rid: int) -> None:
+    """Rewrite the pseudo to live in a new stack slot (rare path)."""
+    name = _spill_slot_name(flat)
+    slot = LocalSlot(name, flat.frame_size, 1, "int", False)
+    flat.frame = dict(flat.frame)  # clones share the dict (COW)
+    flat.frame[name] = slot
+    flat.frame_size += 4
+    flat._scalar_slots = None  # new scalar slot: refresh the memo
+    addr = BinOp("add", FP, Const(slot.offset)) if slot.offset else FP
+    pseudo = REG_OBJS[pseudo_rid]
+    bit = 1 << pseudo_rid
+
+    for bi, block in enumerate(flat.blocks):
+        new_block: List[int] = []
+        for iid in block:
+            uses_pseudo = USE_MASK[iid] & bit
+            defines_pseudo = DEF_MASK[iid] & bit
+            inst = INST_OBJS[iid]
+            if uses_pseudo:
+                load_temp = REG_OBJS[flat.new_rid()]
+                new_block.append(intern_inst(Assign(load_temp, Mem(addr))))
+                inst = rewrite_uses(inst, {pseudo: load_temp})
+            if defines_pseudo:
+                store_temp = REG_OBJS[flat.new_rid()]
+                assert isinstance(inst, Assign) and inst.dst == pseudo
+                new_block.append(intern_inst(Assign(store_temp, inst.src)))
+                new_block.append(intern_inst(Assign(Mem(addr), store_temp)))
+            else:
+                new_block.append(intern_inst(inst))
+        flat.blocks[bi] = new_block
+    flat.invalidate_analyses()

@@ -1,0 +1,201 @@
+"""Flat kernels for the pure control-flow phases: b, d, i, r, u.
+
+Each mirrors its object phase decision-for-decision (same scan order,
+same guards, same single-change-per-pass structure) over label ids and
+block indices.  Branch retargeting goes through the interned
+constructors in :mod:`repro.opt.flat.support`, so rewritten
+terminators hash-cons to the same ids everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.flat import flat_cfg_of
+from repro.ir.flat import (
+    FLAGS,
+    F_TRANSFER,
+    KIND,
+    K_CONDBR,
+    K_JUMP,
+    RELOP,
+    TARGET_LID,
+    FlatFunction,
+)
+from repro.ir.instructions import INVERTED_RELOP
+from repro.machine.target import Target
+from repro.opt.flat.support import FlatKernel, condbr_iid, jump_iid, terminator_iid
+
+
+def _final_target(start: int, trivial: Dict[int, int]) -> int:
+    """Follow a chain of jump-only blocks; stop on a cycle."""
+    seen = {start}
+    current = start
+    while current in trivial:
+        following = trivial[current]
+        if following in seen:
+            break
+        seen.add(following)
+        current = following
+    return current
+
+
+class BranchChainingKernel(FlatKernel):
+    id = "b"
+
+    def run(self, flat: FlatFunction, target: Target) -> bool:
+        trivial: Dict[int, int] = {}
+        for lid, block in zip(flat.labels, flat.blocks):
+            if len(block) == 1 and KIND[block[0]] == K_JUMP:
+                trivial[lid] = TARGET_LID[block[0]]
+
+        changed = False
+        for block in flat.blocks:
+            term = terminator_iid(block)
+            if term < 0:
+                continue
+            kind = KIND[term]
+            if kind == K_JUMP:
+                final = _final_target(TARGET_LID[term], trivial)
+                if final != TARGET_LID[term]:
+                    block[-1] = jump_iid(final)
+                    changed = True
+            elif kind == K_CONDBR:
+                final = _final_target(TARGET_LID[term], trivial)
+                if final != TARGET_LID[term]:
+                    block[-1] = condbr_iid(RELOP[term], final)
+                    changed = True
+
+        if changed:
+            flat.invalidate_analyses()
+            cfg = flat_cfg_of(flat)
+            reachable = cfg.reachable(0)
+            flat.blocks = [
+                block for i, block in enumerate(flat.blocks) if i in reachable
+            ]
+            flat.labels = [
+                lid for i, lid in enumerate(flat.labels) if i in reachable
+            ]
+            flat.invalidate_analyses()
+        return changed
+
+
+class RemoveUnreachableCodeKernel(FlatKernel):
+    id = "d"
+
+    def run(self, flat: FlatFunction, target: Target) -> bool:
+        cfg = flat_cfg_of(flat)
+        reachable = cfg.reachable(0)
+        if len(reachable) == len(flat.blocks):
+            return False
+        flat.blocks = [
+            block for i, block in enumerate(flat.blocks) if i in reachable
+        ]
+        flat.labels = [lid for i, lid in enumerate(flat.labels) if i in reachable]
+        flat.invalidate_analyses()
+        return True
+
+
+class BlockReorderingKernel(FlatKernel):
+    id = "i"
+
+    def run(self, flat: FlatFunction, target: Target) -> bool:
+        changed = False
+        while self._apply_once(flat):
+            changed = True
+        return changed
+
+    @staticmethod
+    def _apply_once(flat: FlatFunction) -> bool:
+        cfg = flat_cfg_of(flat)
+        n = len(flat.blocks)
+        for i, block in enumerate(flat.blocks):
+            term = terminator_iid(block)
+            if term < 0 or KIND[term] != K_JUMP:
+                continue
+            target_lid = TARGET_LID[term]
+            if i + 1 < n and flat.labels[i + 1] == target_lid:
+                # Jump to the next positional block: delete it.
+                block.pop()
+                flat.invalidate_analyses()
+                return True
+            if target_lid == flat.labels[0]:
+                continue
+            j = flat.block_index(target_lid)
+            if len(cfg.preds[j]) != 1:
+                continue
+            if target_lid == flat.labels[i]:
+                continue
+            moved = flat.blocks[j]
+            moved_term = terminator_iid(moved)
+            if moved_term >= 0 and KIND[moved_term] == K_CONDBR:
+                continue  # cannot carry its fallthrough along
+            if moved_term < 0:
+                if j + 1 >= n:
+                    continue
+                moved.append(jump_iid(flat.labels[j + 1]))
+            # Move the target block to just after the jumping block and
+            # delete the jump.
+            block.pop()
+            source_lid = flat.labels[i]
+            del flat.blocks[j]
+            del flat.labels[j]
+            insert_at = flat.block_index(source_lid) + 1
+            flat.blocks.insert(insert_at, moved)
+            flat.labels.insert(insert_at, target_lid)
+            flat.invalidate_analyses()
+            return True
+        return False
+
+
+class ReverseBranchesKernel(FlatKernel):
+    id = "r"
+
+    def run(self, flat: FlatFunction, target: Target) -> bool:
+        changed = False
+        while True:
+            cfg = flat_cfg_of(flat)
+            applied = False
+            for i in range(len(flat.blocks) - 2):
+                upper = flat.blocks[i]
+                middle = flat.blocks[i + 1]
+                term = terminator_iid(upper)
+                if term < 0 or KIND[term] != K_CONDBR:
+                    continue
+                if TARGET_LID[term] != flat.labels[i + 2]:
+                    continue
+                if len(middle) != 1 or KIND[middle[0]] != K_JUMP:
+                    continue
+                if cfg.preds[i + 1] != [i]:
+                    continue
+                jump_target = TARGET_LID[middle[0]]
+                if jump_target == flat.labels[i + 1]:
+                    continue  # degenerate self-loop
+                upper[-1] = condbr_iid(INVERTED_RELOP[RELOP[term]], jump_target)
+                del flat.blocks[i + 1]
+                del flat.labels[i + 1]
+                flat.invalidate_analyses()
+                applied = True
+                changed = True
+                break
+            if not applied:
+                return changed
+
+
+class RemoveUselessJumpsKernel(FlatKernel):
+    id = "u"
+
+    def run(self, flat: FlatFunction, target: Target) -> bool:
+        changed = False
+        for i in range(len(flat.blocks) - 1):
+            block = flat.blocks[i]
+            term = terminator_iid(block)
+            if term < 0:
+                continue
+            kind = KIND[term]
+            if kind in (K_JUMP, K_CONDBR) and TARGET_LID[term] == flat.labels[i + 1]:
+                block.pop()
+                changed = True
+        if changed:
+            flat.invalidate_analyses()
+        return changed

@@ -1,0 +1,114 @@
+"""Flat kernel for phase h — dead assignment elimination."""
+
+from __future__ import annotations
+
+from typing import List
+
+from typing import Dict
+
+from repro.analysis.flat import flat_liveness_of, flat_slot_liveness_of
+from repro.ir.flat import (
+    DEF_RID,
+    KIND,
+    K_ASSIGN,
+    K_COMPARE,
+    K_CONDBR,
+    K_STORE,
+    FlatFunction,
+    block_id,
+)
+from repro.machine.target import Target
+from repro.opt.flat.support import FlatKernel
+
+#: block id -> per-instruction "condition code read later" flags
+#: (purely local to the block)
+_CC_FLAGS: Dict[int, List[bool]] = {}
+_CC_FLAGS_MAX = 1 << 18
+
+
+class DeadAssignmentEliminationKernel(FlatKernel):
+    id = "h"
+
+    def run(self, flat: FlatFunction, target: Target) -> bool:
+        changed = False
+        while self._sweep(flat):
+            changed = True
+        return changed
+
+    def _sweep(self, flat: FlatFunction) -> bool:
+        liveness = flat_liveness_of(flat)
+        slot_liveness = flat_slot_liveness_of(flat)
+        frame_refs = slot_liveness.frame_refs
+        removed = False
+        for bi, block in enumerate(flat.blocks):
+            live_after = liveness.live_after_each(bi)
+            slots_after = slot_liveness.live_after_each(bi)
+            refs = frame_refs.refs[bi]
+            cc_read_later = self._cc_read_flags(block)
+            # Detection first, without building a replacement list —
+            # on most sweeps most blocks have nothing to remove.
+            first_dead = -1
+            for i, iid in enumerate(block):
+                kind = KIND[iid]
+                if kind == K_COMPARE:
+                    if not cc_read_later[i]:
+                        first_dead = i
+                        break
+                elif kind == K_ASSIGN:
+                    if not live_after[i] >> DEF_RID[iid] & 1:
+                        first_dead = i
+                        break
+                elif kind == K_STORE:
+                    ref = refs[i]
+                    if (
+                        not ref.wild_write
+                        and len(ref.writes) == 1
+                        and not (set(ref.writes) & slots_after[i])
+                    ):
+                        first_dead = i
+                        break
+            if first_dead < 0:
+                continue
+            removed = True
+            kept: List[int] = block[:first_dead]
+            for i in range(first_dead + 1, len(block)):
+                iid = block[i]
+                kind = KIND[iid]
+                if kind == K_COMPARE and not cc_read_later[i]:
+                    continue
+                if kind == K_ASSIGN:
+                    if not live_after[i] >> DEF_RID[iid] & 1:
+                        continue
+                elif kind == K_STORE:
+                    ref = refs[i]
+                    if (
+                        not ref.wild_write
+                        and len(ref.writes) == 1
+                        and not (set(ref.writes) & slots_after[i])
+                    ):
+                        continue
+                kept.append(iid)
+            flat.blocks[bi] = kept
+            flat.invalidate_analyses()
+        return removed
+
+    @staticmethod
+    def _cc_read_flags(block: List[int]) -> List[bool]:
+        """For each instruction, is the condition code it sets read later?"""
+        bid = block_id(tuple(block))
+        flags = _CC_FLAGS.get(bid)
+        if flags is not None:
+            return flags
+        flags = [False] * len(block)
+        needed = False
+        for i in range(len(block) - 1, -1, -1):
+            kind = KIND[block[i]]
+            if kind == K_CONDBR:
+                needed = True
+            elif kind == K_COMPARE:
+                flags[i] = needed
+                needed = False
+        if len(_CC_FLAGS) >= _CC_FLAGS_MAX:
+            _CC_FLAGS.clear()
+        _CC_FLAGS[bid] = flags
+        return flags

@@ -92,6 +92,7 @@ def _build_config(
         resume=resume,
         sanitize=raw.get("sanitize"),
         memo=memo,
+        engine=raw.get("engine", "flat"),
     )
 
 

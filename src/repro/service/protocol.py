@@ -46,6 +46,7 @@ CONFIG_FIELDS: Dict[str, tuple] = {
     "fault_rate": (int, float),
     "fault_seed": (int,),
     "jobs": (int,),
+    "engine": (str,),
 }
 
 
@@ -104,6 +105,9 @@ def _validated_config(raw: object) -> Dict[str, object]:
     jobs = config.get("jobs")
     if jobs is not None and not 1 <= jobs <= 64:
         _fail("config.jobs must be in [1, 64]")
+    engine = config.get("engine")
+    if engine is not None and engine not in ("flat", "object"):
+        _fail("config.engine must be 'flat' or 'object'")
     for key in (
         "max_nodes",
         "max_levels",
