@@ -1,0 +1,135 @@
+"""Semantic collapse — measured pruning versus the syntactic space.
+
+For the six collapse study seeds this regenerates the Table 3-style
+node/leaf counts under both collapse modes and records the semantic
+pruning each seed gets on top of the paper's remap+CRC dedup, the
+proof-outcome breakdown (proved / co-execution-tested / splits), and —
+per seed — how many leaves are *globally optimal with respect to the
+phase set* (leaves achieving the minimum leaf code size, the paper's
+optimization objective).
+
+Hard invariants checked on every seed: the semantic space never
+exceeds the syntactic one, and no merge candidate is ever refuted
+(a refuted digest collision would be a canonicalizer bug).
+
+Results land in ``benchmarks/results/collapse.json``; the measured
+numbers quoted in ``docs/COLLAPSE.md`` come from this run.
+"""
+
+import json
+
+from repro.core.enumeration import enumerate_space
+from repro.opt import implicit_cleanup
+from repro.programs import compile_benchmark
+
+from .conftest import RESULTS_DIR, bench_config
+
+#: the collapse study seeds: one function per study benchmark, all six
+#: enumerable under the default caps in both modes
+COLLAPSE_SEEDS = [
+    ("bitcount", "ntbl_bitcount"),
+    ("dijkstra", "next_rand"),
+    ("fft", "fcos"),
+    ("jpeg", "descale"),
+    ("sha", "rol"),
+    ("stringsearch", "set_pattern"),
+]
+
+
+def _seed(bench_name, function_name):
+    program = compile_benchmark(bench_name)
+    func = program.functions[function_name]
+    implicit_cleanup(func)
+    return program, func
+
+
+def _space_row(result):
+    dag = result.dag
+    leaves = dag.leaves()
+    row = {
+        "nodes": len(dag),
+        "leaves": len(leaves),
+        "attempted": result.attempted_phases,
+        "depth": dag.depth(),
+        "completed": result.completed,
+    }
+    if leaves:
+        best = min(leaf.num_insts for leaf in leaves)
+        row["min_leaf_codesize"] = best
+        row["max_leaf_codesize"] = max(leaf.num_insts for leaf in leaves)
+        # the paper's "globally optimal w.r.t. the phase set": leaves
+        # whose code size equals the best any ordering achieves
+        row["optimal_leaves"] = sum(
+            1 for leaf in leaves if leaf.num_insts == best
+        )
+    return row
+
+
+def test_collapse_pruning(benchmark):
+    seeds = {}
+    for bench_name, function_name in COLLAPSE_SEEDS:
+        label = f"{bench_name}.{function_name}"
+        program, func = _seed(bench_name, function_name)
+        syntactic = enumerate_space(func.clone(), bench_config())
+        semantic = enumerate_space(
+            func.clone(),
+            bench_config(collapse="semantic", program=program),
+        )
+        stats = semantic.collapse_stats
+        assert stats is not None, label
+        assert stats["refuted"] == 0, label
+        row = {
+            "syntactic": _space_row(syntactic),
+            "semantic": _space_row(semantic),
+            "collapse_stats": stats,
+        }
+        if syntactic.completed and semantic.completed:
+            assert row["semantic"]["nodes"] <= row["syntactic"]["nodes"], label
+            # semantic merging never changes what the best ordering
+            # can achieve — only how many instances stand for it
+            assert (
+                row["semantic"]["min_leaf_codesize"]
+                == row["syntactic"]["min_leaf_codesize"]
+            ), label
+            pruned = row["syntactic"]["nodes"] - row["semantic"]["nodes"]
+            row["pruned_nodes"] = pruned
+            row["pruned_percent"] = round(
+                100.0 * pruned / row["syntactic"]["nodes"], 1
+            )
+        seeds[label] = row
+
+    complete = [row for row in seeds.values() if "pruned_percent" in row]
+    summary = {
+        "seeds_complete": len(complete),
+        "seeds_total": len(seeds),
+        "total_refuted": sum(
+            row["collapse_stats"]["refuted"] for row in seeds.values()
+        ),
+        "total_merged": sum(
+            row["collapse_stats"]["merged"] for row in seeds.values()
+        ),
+    }
+    if complete:
+        summary["mean_pruned_percent"] = round(
+            sum(row["pruned_percent"] for row in complete) / len(complete), 1
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"seeds": seeds, "summary": summary}
+    (RESULTS_DIR / "collapse.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\n{json.dumps(summary, indent=2)}\n")
+
+    # Time the semantic enumeration of the representative seed (the
+    # proof/collapse overhead the pruning pays for).
+    program, func = _seed("sha", "rol")
+
+    def enumerate_semantic():
+        return enumerate_space(
+            func.clone(),
+            bench_config(collapse="semantic", program=program),
+        )
+
+    result = benchmark.pedantic(enumerate_semantic, rounds=1, iterations=1)
+    assert result.completed

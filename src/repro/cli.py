@@ -136,6 +136,19 @@ def _format_sanitize_stats(mode: str, stats) -> str:
     return line
 
 
+def _format_collapse_stats(stats) -> str:
+    return (
+        f"collapse (semantic): {stats.get('merged', 0)} merged "
+        f"({stats.get('merged_proved', 0)} proved, "
+        f"{stats.get('merged_tested', 0)} tested) of "
+        f"{stats.get('candidates', 0)} candidates — "
+        f"{stats.get('split_unproven', 0)} unproven, "
+        f"{stats.get('split_cycle', 0)} cycle-split, "
+        f"{stats.get('split_size', 0)} size-split, "
+        f"{stats.get('refuted', 0)} refuted"
+    )
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
@@ -293,7 +306,14 @@ def cmd_enumerate(args) -> int:
         difftest=args.difftest,
         program=(
             program
-            if ((args.difftest or args.sanitize) and not use_parallel)
+            if (
+                (
+                    args.difftest
+                    or args.sanitize
+                    or args.collapse == "semantic"
+                )
+                and not use_parallel
+            )
             else None
         ),
         phase_timeout=args.phase_timeout,
@@ -302,6 +322,7 @@ def cmd_enumerate(args) -> int:
         resume=False if use_parallel else args.resume,
         sanitize=args.sanitize,
         engine=args.engine,
+        collapse=args.collapse,
     )
     tracer = _build_tracer(args, "repro.enumerate") if args.run_dir else None
     profiler = None
@@ -321,7 +342,15 @@ def cmd_enumerate(args) -> int:
             request = EnumerationRequest(
                 args.function,
                 func,
-                source if (args.difftest or args.sanitize) else None,
+                (
+                    source
+                    if (
+                        args.difftest
+                        or args.sanitize
+                        or args.collapse == "semantic"
+                    )
+                    else None
+                ),
             )
             try:
                 result = ParallelEnumerator(config, parallel).enumerate(
@@ -380,6 +409,8 @@ def cmd_enumerate(args) -> int:
         print(result.quarantine.format_report())
     if args.sanitize and result.sanitize_stats is not None:
         print(_format_sanitize_stats(args.sanitize, result.sanitize_stats))
+    if result.collapse_stats is not None:
+        print(_format_collapse_stats(result.collapse_stats))
     if args.dot:
         with open(args.dot, "w") as handle:
             handle.write(result.dag.to_dot())
@@ -897,6 +928,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="expansion engine: 'flat' attempts phases on the packed "
         "array-of-tables IR (the default; ~10x faster cold), 'object' "
         "forces the original object-IR path (see docs/DESIGN.md)",
+    )
+    p.add_argument(
+        "--collapse",
+        choices=["syntactic", "semantic"],
+        default="syntactic",
+        help="instance-merging mode: 'syntactic' (the default) is the "
+        "paper's remap+CRC dedup; 'semantic' additionally merges "
+        "instances whose canonical symbolic summaries are proved (or "
+        "VM-co-execution-tested) equivalent — unproven collisions stay "
+        "split; see docs/COLLAPSE.md",
     )
     p.add_argument("--exact", action="store_true", help="verify no hash collisions")
     p.add_argument("--dot", help="write the space DAG as Graphviz to this file")

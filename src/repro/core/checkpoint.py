@@ -217,7 +217,15 @@ def dag_to_dict(dag: SpaceDAG) -> Dict[str, object]:
                 "parents": [[pid, phase] for (pid, phase) in node.parents],
             }
         )
-    return {"root_id": dag.root_id, "nodes": nodes}
+    data: Dict[str, object] = {"root_id": dag.root_id, "nodes": nodes}
+    if dag.aliases:
+        # Only written by semantic collapse — syntactic checkpoints
+        # stay byte-identical to previous versions.
+        data["aliases"] = [
+            [key_to_json(key), node_id]
+            for key, node_id in dag.aliases.items()
+        ]
+    return data
 
 
 def dag_from_dict(function_name: str, data: Dict[str, object]) -> SpaceDAG:
@@ -238,6 +246,8 @@ def dag_from_dict(function_name: str, data: Dict[str, object]) -> SpaceDAG:
         node.parents = [(pid, phase) for pid, phase in entry["parents"]]
         dag.nodes[node_id] = node
         dag.by_key[node.key] = node_id
+    for key, node_id in data.get("aliases", []):
+        dag.aliases[key_from_json(key)] = node_id
     dag.root_id = data["root_id"]
     return dag
 

@@ -62,6 +62,10 @@ class SpaceDAG:
         self.function_name = function_name
         self.nodes: Dict[int, SpaceNode] = {}
         self.by_key: Dict[object, int] = {}
+        #: syntactic key -> node id of the *representative* the instance
+        #: was semantically collapsed into (collapse=semantic only; see
+        #: docs/COLLAPSE.md).  Empty under syntactic collapse.
+        self.aliases: Dict[object, int] = {}
         self.root_id: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -79,7 +83,15 @@ class SpaceDAG:
 
     def lookup(self, key) -> Optional[SpaceNode]:
         node_id = self.by_key.get(key)
+        if node_id is None:
+            node_id = self.aliases.get(key)
         return None if node_id is None else self.nodes[node_id]
+
+    def add_alias(self, key, node_id: int) -> None:
+        """Record that the instance with syntactic *key* was merged
+        into node *node_id*; later lookups (repeat discoveries, warm
+        memo hits, ``find_instance``) resolve to the representative."""
+        self.aliases[key] = node_id
 
     def add_edge(self, parent: SpaceNode, phase_id: str, child: SpaceNode) -> None:
         parent.active[phase_id] = child.node_id
@@ -304,6 +316,13 @@ def materialize_instances(dag: SpaceDAG, root_func, target=None) -> int:
                 )
             key = _node_key(fingerprint_function(candidate), candidate)
             if key != child.key:
+                if dag.aliases.get(key) == child.node_id:
+                    # Semantically merged edge: the replayed candidate
+                    # is a proved-equivalent sibling of the
+                    # representative, not its exact code.  Leave
+                    # materialization to an exact in-edge — the
+                    # representative's creating edge always is one.
+                    continue
                 raise ValueError(
                     f"{dag.function_name}: replaying phase {phase_id!r} on "
                     f"node #{node.node_id} produced a different instance "

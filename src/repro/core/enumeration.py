@@ -106,6 +106,7 @@ class EnumerationConfig:
         memo: Optional[TransitionMemo] = None,
         sanitize: Optional[str] = None,
         engine: str = "flat",
+        collapse: str = "syntactic",
     ):
         self.max_level_sequences = max_level_sequences
         self.max_nodes = max_nodes
@@ -185,6 +186,19 @@ class EnumerationConfig:
                 f"bad engine {engine!r}; expected 'flat' or 'object'"
             )
         self.engine = engine
+        #: instance-merging mode: "syntactic" is the paper's remap+CRC
+        #: dedup; "semantic" additionally collapses instances whose
+        #: canonical symbolic summaries collide *and* are proved (or
+        #: co-execution-tested) equivalent — never on the hash alone
+        #: (see staticanalysis/canon.py and docs/COLLAPSE.md).  Unlike
+        #: the engine, collapse changes which space is enumerated, so
+        #: it participates in ``signature()``.
+        if collapse not in ("syntactic", "semantic"):
+            raise ValueError(
+                f"bad collapse mode {collapse!r}; "
+                "expected 'syntactic' or 'semantic'"
+            )
+        self.collapse = collapse
 
     def guards_enabled(self) -> bool:
         """Whether phase applications must run through the guard."""
@@ -207,6 +221,7 @@ class EnumerationConfig:
             "phases": "".join(phase.id for phase in self.phases),
             "remap": self.remap,
             "exact": self.exact,
+            "collapse": self.collapse,
         }
 
 
@@ -225,6 +240,7 @@ class EnumerationResult:
         levels_completed: int = 0,
         resumed_from: Optional[str] = None,
         sanitize_stats: Optional[Dict[str, int]] = None,
+        collapse_stats: Optional[Dict[str, int]] = None,
     ):
         self.dag = dag
         #: True when the space was fully enumerated (no budget hit)
@@ -245,6 +261,9 @@ class EnumerationResult:
         #: static-analysis counters (edges checked, findings, transval
         #: verdicts); None when the run had no --sanitize
         self.sanitize_stats = sanitize_stats
+        #: semantic-collapse counters (candidates, merged, splits);
+        #: None when the run used syntactic collapse
+        self.collapse_stats = collapse_stats
 
     def __repr__(self):
         status = "complete" if self.completed else f"aborted({self.abort_reason})"
@@ -329,6 +348,18 @@ class SpaceEnumerator:
                 for phase in self.config.phases
             )
         )
+        # Semantic collapse (docs/COLLAPSE.md): merge decisions live in
+        # a SemanticCollapser so the serial expander and the parallel
+        # coordinator's replay merge share one decision procedure.  A
+        # program context (config.program) enables the VM co-execution
+        # fallback; without it unproven collisions simply stay split.
+        self.collapser = None
+        if self.config.collapse == "semantic":
+            from repro.staticanalysis.canon import SemanticCollapser
+
+            self.collapser = SemanticCollapser(
+                program=self.config.program, entry=func.name
+            )
         self.resumed_from: Optional[str] = None
         self._interrupted = False
         self._last_checkpoint = time.monotonic()
@@ -441,6 +472,12 @@ class SpaceEnumerator:
                     mode=config.sanitize,
                     **self.guard.sanitizer.stats(),
                 )
+            if self.collapser is not None:
+                tracer.emit(
+                    "collapse_stats",
+                    function=self.input_func.name,
+                    **self.collapser.stats_fields(),
+                )
             tracer.emit(
                 "enum_done",
                 function=self.input_func.name,
@@ -464,6 +501,11 @@ class SpaceEnumerator:
             sanitize_stats=(
                 self.guard.sanitizer.stats()
                 if self.guard is not None and self.guard.sanitizer is not None
+                else None
+            ),
+            collapse_stats=(
+                self.collapser.stats_fields()
+                if self.collapser is not None
                 else None
             ),
         )
@@ -521,6 +563,10 @@ class SpaceEnumerator:
         root.function = to_flat(root_func) if self.flat_engine else root_func
         if config.exact:
             self.texts[root_key] = root_fp.text
+        if self.collapser is not None:
+            self.collapser.register(
+                self.collapser.digest_of(root_func), root.node_id, root_func
+            )
         # Paths from the root, used to replay sequences when prefix
         # sharing is disabled.
         self.recipes: Dict[int, Tuple[str, ...]] = {root.node_id: ()}
@@ -595,6 +641,10 @@ class SpaceEnumerator:
         self.attempted = state["attempted"]
         self.applied = state["applied"]
         self.level = state["level"]
+        if self.collapser is not None:
+            # The signature check above guarantees the checkpoint was
+            # written in semantic mode, so the collapse state exists.
+            self.collapser.restore(state["collapse"])
         self.completed = True
         self.abort_reason = None
         restored_log = QuarantineLog.from_dicts(state["quarantine"])
@@ -680,6 +730,13 @@ class SpaceEnumerator:
         next_frontier_len = len(self.next_frontier)
         added_nodes: List[SpaceNode] = []
         added_edges: List[Tuple[SpaceNode, str, SpaceNode]] = []
+        # Semantic-collapse scratch, undone on a mid-node rollback
+        # exactly like the DAG mutations below.
+        added_aliases: List[object] = []
+        added_digests: List[Tuple[str, int]] = []
+        collapse_stats_before = (
+            dict(self.collapser.stats) if self.collapser is not None else None
+        )
         # Per-node scratch for the flat engine's fallback phases: the
         # object view of this node is materialized at most once.
         view_cache: Dict[str, Function] = {}
@@ -698,10 +755,51 @@ class SpaceEnumerator:
                 self.recipes.pop(child.node_id, None)
                 if config.exact:
                     self.texts.pop(child.key, None)
+            for key in reversed(added_aliases):
+                self.dag.aliases.pop(key, None)
+                if config.exact:
+                    self.texts.pop(key, None)
+            if self.collapser is not None:
+                for digest, node_id in reversed(added_digests):
+                    self.collapser.forget(digest, node_id)
+                self.collapser.stats = dict(collapse_stats_before)
             del self.next_frontier[next_frontier_len:]
             node.dormant = dormant_before
             self.attempted = attempted_before
             self.applied = applied_before
+
+        def collapse_target(candidate_func: Function):
+            """(digest, representative-or-None) for a fresh instance."""
+            return self.collapser.merge_target(self.dag, node, candidate_func)
+
+        def alias_guarded(key, existing):
+            """Veto a syntactic hit that resolved through an alias onto
+            this node's own root path: the edge would close a cycle.
+            The caller falls through to the miss path, where the
+            collapser makes (and counts) the split decision."""
+            if (
+                existing is None
+                or self.collapser is None
+                or key in self.dag.by_key
+            ):
+                return existing
+            from repro.staticanalysis.canon import _reaches
+
+            if existing.node_id == node.node_id or _reaches(
+                self.dag, existing.node_id, node.node_id
+            ):
+                return None
+            return existing
+
+        def merge(key, phase_id: str, rep: SpaceNode, text) -> None:
+            self.dag.add_alias(key, rep.node_id)
+            added_aliases.append(key)
+            if config.exact:
+                # Later syntactic rediscoveries of this instance resolve
+                # through the alias; the collision check needs its text.
+                self.texts[key] = text
+            self.dag.add_edge(node, phase_id, rep)
+            added_edges.append((node, phase_id, rep))
 
         for phase in config.phases:
             if phase.id in arrival:
@@ -734,18 +832,31 @@ class SpaceEnumerator:
                     node.dormant.add(phase.id)
                     continue
                 key = entry.key
-                existing = self.dag.lookup(key)
+                existing = alias_guarded(key, self.dag.lookup(key))
                 if existing is not None:
                     self.dag.add_edge(node, phase.id, existing)
                     added_edges.append((node, phase.id, existing))
                     continue
+                materialized = TransitionMemo.materialize(entry)
+                digest = None
+                if self.collapser is not None:
+                    # Warm memo runs start with an empty alias table,
+                    # so the fast path must make its own merge decision
+                    # — in the same order the cold path would.
+                    digest, rep = collapse_target(materialized)
+                    if rep is not None:
+                        merge(key, phase.id, rep, None)
+                        continue
                 child = self.dag.add_node(
                     key, self.level + 1, entry.num_insts, entry.cf_crc
                 )
-                materialized = TransitionMemo.materialize(entry)
                 child.function = (
                     to_flat(materialized) if self.flat_engine else materialized
                 )
+                if self.collapser is not None and self.collapser.register(
+                    digest, child.node_id, materialized
+                ):
+                    added_digests.append((digest, child.node_id))
                 self.recipes[child.node_id] = self.recipes[node.node_id] + (
                     phase.id,
                 )
@@ -831,13 +942,29 @@ class SpaceEnumerator:
                         f"fingerprint collision in {self.input_func.name}: two "
                         "distinct instances share (count, byte-sum, CRC)"
                     )
+                existing = alias_guarded(key, existing)
+            if existing is not None:
                 self.dag.add_edge(node, phase.id, existing)
                 added_edges.append((node, phase.id, existing))
                 continue
+            digest = None
+            candidate_obj = None
+            if self.collapser is not None:
+                candidate_obj = (
+                    from_flat(candidate) if self.flat_engine else candidate
+                )
+                digest, rep = collapse_target(candidate_obj)
+                if rep is not None:
+                    merge(key, phase.id, rep, fingerprint.text)
+                    continue
             child = self.dag.add_node(
                 key, self.level + 1, fingerprint.num_insts, fingerprint.cf_crc
             )
             child.function = candidate
+            if self.collapser is not None and self.collapser.register(
+                digest, child.node_id, candidate_obj
+            ):
+                added_digests.append((digest, child.node_id))
             if config.exact:
                 self.texts[key] = fingerprint.text
             self.recipes[child.node_id] = self.recipes[node.node_id] + (phase.id,)
@@ -900,7 +1027,7 @@ class SpaceEnumerator:
             str(node.node_id): "".join(self.recipes.get(node.node_id, ()))
             for node in pending
         }
-        return {
+        state: Dict[str, object] = {
             "function_name": self.input_func.name,
             "config": config.signature(),
             "completed": self.completed,
@@ -920,6 +1047,9 @@ class SpaceEnumerator:
             ],
             "quarantine": self.quarantine.to_dicts(),
         }
+        if self.collapser is not None:
+            state["collapse"] = self.collapser.state_dict()
+        return state
 
     # ------------------------------------------------------------------
     # Signals

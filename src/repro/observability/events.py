@@ -69,6 +69,9 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     "quarantine": frozenset({"phase", "kind"}),
     # static analysis (per-function sanitizer/contract/transval counters)
     "sanitize_stats": frozenset({"function", "edges"}),
+    # semantic collapse (per-function merge/split counters; extra
+    # fields break candidates down by proof outcome — docs/COLLAPSE.md)
+    "collapse_stats": frozenset({"function", "candidates", "merged"}),
     "fault_injected": frozenset({"phase"}),
     "checkpoint_write": frozenset({"path"}),
     "checkpoint_resume": frozenset({"path"}),

@@ -15,9 +15,11 @@ from typing import Dict, List, Optional
 
 from repro.observability import manifest as manifest_mod
 from repro.observability.events import (
+    EVENT_SCHEMA,
     JOURNAL_NAME,
     SCHEMA_VERSION,
-    validate_journal,
+    read_journal,
+    validate_record,
 )
 
 
@@ -57,12 +59,27 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         records: List[Dict] = []
         errors: List[str] = []
     else:
-        records, errors = validate_journal(journal)
+        records, errors = read_journal(journal)
+
+    # Forward compatibility (the journal may have been written by a
+    # newer build): an event *kind* this schema does not know is a
+    # warning counter, never a schema error and never a silent drop —
+    # but a known event with missing fields is still a violation.
+    unknown_events: Dict[str, int] = {}
+    for index, record in enumerate(records, start=1):
+        name = record.get("event") if isinstance(record, dict) else None
+        if isinstance(name, str) and name not in EVENT_SCHEMA:
+            unknown_events[name] = unknown_events.get(name, 0) + 1
+            continue
+        for error in validate_record(record):
+            errors.append(f"record {index}: {error}")
 
     functions: Dict[str, Dict] = {}
     totals = {
         "events": len(records),
         "schema_errors": len(errors),
+        "unknown_events": sum(unknown_events.values()),
+        "unknown_event_names": sorted(unknown_events),
         "quarantine": {},
         "quarantine_total": 0,
         "faults_injected": 0,
@@ -85,6 +102,19 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         "unverified": 0,
         "refuted": 0,
         "mode": None,
+        "seen": False,
+    }
+    collapse = {
+        "candidates": 0,
+        "merged": 0,
+        "merged_proved": 0,
+        "merged_tested": 0,
+        "split_unproven": 0,
+        "split_cycle": 0,
+        "split_size": 0,
+        "refuted": 0,
+        "uncanonical": 0,
+        "classes": 0,
         "seen": False,
     }
     compiles: List[Dict] = []
@@ -166,6 +196,21 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
             if record.get("mode") is not None:
                 sanitize["mode"] = record["mode"]
             sanitize["seen"] = True
+        elif name == "collapse_stats":
+            for key in (
+                "candidates",
+                "merged",
+                "merged_proved",
+                "merged_tested",
+                "split_unproven",
+                "split_cycle",
+                "split_size",
+                "refuted",
+                "uncanonical",
+                "classes",
+            ):
+                collapse[key] += record.get(key, 0)
+            collapse["seen"] = True
         elif name == "analysis_cache_stats":
             analysis["hits"] += record.get("hits", 0)
             analysis["misses"] += record.get("misses", 0)
@@ -233,6 +278,7 @@ def summarize_run(run_dir: str) -> Dict[str, object]:
         "memo": memo if memo["seen"] else None,
         "analysis_cache": analysis if analysis["seen"] else None,
         "sanitize": sanitize if sanitize["seen"] else None,
+        "collapse": collapse if collapse["seen"] else None,
         "compiles": compiles,
         "search": search if search["seen"] else None,
         "service": service if service["seen"] else None,
@@ -292,6 +338,12 @@ def render_report(summary: Dict[str, object]) -> str:
         f"  events: {totals['events']} (schema v{summary['schema_version']}, "
         f"{totals['schema_errors']} invalid)"
     )
+    if totals.get("unknown_events"):
+        names = ", ".join(totals.get("unknown_event_names", []))
+        lines.append(
+            f"  warning: {totals['unknown_events']} event(s) of unknown "
+            f"kind(s) [{names}] — journal written by a newer schema?"
+        )
     functions: Dict[str, Dict] = summary["functions"]
     if functions:
         lines.append("")
@@ -388,6 +440,19 @@ def render_report(summary: Dict[str, object]) -> str:
             f"{sanitize['findings']} findings, "
             f"{sanitize['contract_violations']} contract violations"
             + verdicts
+        )
+    collapse = summary.get("collapse")
+    if collapse:
+        lines.append(
+            f"  collapse (semantic): {collapse['merged']} merged "
+            f"({collapse['merged_proved']} proved, "
+            f"{collapse['merged_tested']} tested) of "
+            f"{collapse['candidates']} candidates — "
+            f"{collapse['split_unproven']} unproven, "
+            f"{collapse['split_cycle']} cycle-split, "
+            f"{collapse['split_size']} size-split, "
+            f"{collapse['refuted']} refuted, "
+            f"{collapse['classes']} semantic class(es)"
         )
     quarantine: Dict[str, int] = totals["quarantine"]
     if totals["quarantine_total"] or totals["faults_injected"]:

@@ -209,6 +209,24 @@ class _FunctionJob:
         #: sanitizer counters (edges, findings, verdicts), folded from
         #: worker outcomes at merge time; empty without --sanitize
         self.sanitize_counts: Dict[str, int] = {}
+        #: semantic-collapse decision state (collapse=semantic only);
+        #: lives on the coordinator so workers never race on merges and
+        #: the replay merge decides in exact serial order
+        self.collapser = None
+        if getattr(config, "collapse", "syntactic") == "semantic":
+            from repro.staticanalysis.canon import SemanticCollapser
+
+            program = None
+            if request.source is not None:
+                from repro.frontend import compile_source
+
+                program = compile_source(request.source)
+            self.collapser = SemanticCollapser(
+                program=program, entry=self.function_name
+            )
+            self.collapser.register(
+                self.collapser.digest_of(root), root_node.node_id, root
+            )
         self.quarantine = QuarantineLog()
         #: seconds consumed by prior runs (level-checkpoint resume)
         self.consumed = 0.0
@@ -266,6 +284,11 @@ class _FunctionJob:
             levels_completed=self.level,
             resumed_from=self.resumed_from,
             sanitize_stats=self.sanitize_counts or None,
+            collapse_stats=(
+                self.collapser.stats_fields()
+                if self.collapser is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -285,7 +308,7 @@ class _FunctionJob:
             if spec is not None:
                 for entry in spec["nodes"]:
                     functions[str(entry["node_id"])] = entry["function"]
-        return {
+        state: Dict[str, object] = {
             "function_name": self.function_name,
             "config": self.config.signature(),
             "completed": False,
@@ -307,6 +330,9 @@ class _FunctionJob:
             ],
             "quarantine": self.quarantine.to_dicts(),
         }
+        if self.collapser is not None:
+            state["collapse"] = self.collapser.state_dict()
+        return state
 
     def write_checkpoint(
         self, outstanding_specs: Dict[int, Dict], interval: float, force: bool = False
@@ -373,6 +399,11 @@ class _FunctionJob:
         self.applied = state["applied"]
         self.consumed = state["elapsed"]
         self.level = state["level"]
+        if self.collapser is not None:
+            # The signature check above guarantees a semantic-mode
+            # checkpoint, so the collapse state exists (serial and
+            # parallel runs write the same key, interchangeably).
+            self.collapser.restore(state["collapse"])
         self.quarantine = QuarantineLog.from_dicts(state["quarantine"])
         # A checkpoint written exactly at a level boundary has its whole
         # frontier expanded; roll to the next level like the serial
@@ -1127,6 +1158,12 @@ class ParallelEnumerator:
                 function=job.label,
                 mode=self.config.sanitize,
                 **job.sanitize_counts,
+            )
+        if job.collapser is not None:
+            self._emit(
+                "collapse_stats",
+                function=job.label,
+                **job.collapser.stats_fields(),
             )
         self._emit(
             "function_done",

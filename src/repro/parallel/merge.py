@@ -31,6 +31,7 @@ import json
 from repro.core import checkpoint as ckpt
 from repro.core.enumeration import _arrival_phases
 from repro.robustness.quarantine import QuarantineRecord
+from repro.staticanalysis.canon import _reaches as canon_reaches
 
 
 class MergeError(RuntimeError):
@@ -98,6 +99,10 @@ def merge_shard(job, result) -> int:
     #: neither an edge nor a verdict
     sanitize_counts = getattr(job, "sanitize_counts", None)
     sanitize_on = getattr(config, "sanitize", None) is not None
+    #: semantic collapse decisions are coordinator-side only — workers
+    #: never see the digest index, so merges cannot race, and the
+    #: replay makes them in exactly the serial enumerator's order
+    collapser = getattr(job, "collapser", None)
     added = 0
     for node_id, outcomes in result["expansions"]:
         node = dag.nodes[node_id]
@@ -144,11 +149,41 @@ def merge_shard(job, result) -> int:
                         f"fingerprint collision in {dag.function_name}: two "
                         "distinct instances share (count, byte-sum, CRC)"
                     )
+                if (
+                    collapser is not None
+                    and key not in dag.by_key
+                    and (
+                        existing.node_id == node.node_id
+                        or canon_reaches(dag, existing.node_id, node.node_id)
+                    )
+                ):
+                    # The hit resolved through an alias onto this node's
+                    # own root path; the edge would close a cycle.  Fall
+                    # through — the collapser splits (same decision, same
+                    # order as the serial expander's alias guard).
+                    existing = None
+            if existing is not None:
                 dag.add_edge(node, phase.id, existing)
                 continue
+            digest = None
+            if collapser is not None:
+                candidate = ckpt.function_from_dict(functions[keystr])
+                digest, rep = collapser.merge_target(dag, node, candidate)
+                if rep is not None:
+                    # Proved/tested equivalent to an existing instance:
+                    # alias + edge, no new node — and the candidate's
+                    # subspace is never dispatched (the representative's
+                    # already is/was).
+                    dag.add_alias(key, rep.node_id)
+                    if config.exact:
+                        job.texts[key] = texts.get(keystr)
+                    dag.add_edge(node, phase.id, rep)
+                    continue
             child = dag.add_node(
                 key, node.level + 1, outcome["num_insts"], outcome["cf_crc"]
             )
+            if collapser is not None:
+                collapser.register(digest, child.node_id, functions[keystr])
             if config.exact:
                 job.texts[key] = texts.get(keystr)
             dag.add_edge(node, phase.id, child)

@@ -254,13 +254,21 @@ def _dominates(a: Sequence[int], b: Sequence[int]) -> bool:
 def pareto_frontier(
     prices: Dict[int, CostVector],
     objectives: Iterable[str] = PARETO_OBJECTIVES,
+    keys: Optional[Dict[int, object]] = None,
 ) -> List[Tuple[int, Tuple[int, ...]]]:
     """The non-dominated set of *prices* on the chosen objectives.
 
     Returns ``[(node_id, values), ...]`` sorted by objective values
     (then node id).  Instances with identical objective values collapse
-    to one representative — the lowest node id — so the frontier's
-    length counts genuinely distinct trade-off points.
+    to one representative, so the frontier's length counts genuinely
+    distinct trade-off points.
+
+    Without *keys* the representative is the lowest node id.  Node ids
+    are assignment-order artifacts, though — parallel merge order or
+    semantic collapse renumber the same space — so callers that need a
+    frontier stable across equivalent runs pass ``keys`` mapping node
+    ids to their content-derived node keys; ties then break on the
+    key's repr (then node id), which survives renumbering.
     """
     objectives = tuple(objectives)
     for name in objectives:
@@ -268,9 +276,15 @@ def pareto_frontier(
             raise ValueError(
                 f"bad objective {name!r}; expected one of {OBJECTIVES}"
             )
-    # one representative per distinct point, lowest node id wins
+    if keys is None:
+        ordered = sorted(prices)
+    else:
+        ordered = sorted(
+            prices, key=lambda nid: (repr(keys.get(nid)), nid)
+        )
+    # one representative per distinct point: first in the stable order
     points: Dict[Tuple[int, ...], int] = {}
-    for node_id in sorted(prices):
+    for node_id in ordered:
         values = tuple(int(getattr(prices[node_id], name)) for name in objectives)
         points.setdefault(values, node_id)
     frontier = [

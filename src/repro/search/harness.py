@@ -327,7 +327,10 @@ def run_search_bench(config: HarnessConfig = HarnessConfig()) -> Dict[str, objec
         space_prices = model.price_space(dag)
         leaf_prices = model.price_leaves(dag)
         space_info["oracle_executions"] = model.executions
-        frontier = pareto_frontier(leaf_prices)
+        frontier = pareto_frontier(
+            leaf_prices,
+            keys={nid: dag.nodes[nid].key for nid in leaf_prices},
+        )
         optimal = _optima(space_prices)
         optimal_value = optimal[config.objective]["value"]
         if tracer is not None:

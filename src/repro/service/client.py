@@ -29,6 +29,31 @@ from repro.robustness.retry import RetryError, RetryPolicy
 TRANSIENT_STATUSES = (408, 429, 503)
 
 
+def parse_retry_after(value: object) -> Optional[float]:
+    """A usable backoff hint from a ``Retry-After`` value, or ``None``.
+
+    The value may come from a response header or a JSON body, so it can
+    be anything: a number, a numeric string, an HTTP-date, or garbage
+    from a proxy.  Only a non-negative finite number of seconds is a
+    hint worth honouring; everything else means "no hint" — the caller
+    falls back to its own backoff rather than crashing the retry loop.
+    """
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float)):
+        seconds = float(value)
+    elif isinstance(value, str):
+        try:
+            seconds = float(value.strip())
+        except ValueError:
+            return None
+    else:
+        return None
+    if seconds != seconds or seconds in (float("inf"), float("-inf")):
+        return None
+    return seconds if seconds >= 0 else None
+
+
 class ServiceError(Exception):
     """A structured error response from the service."""
 
@@ -42,7 +67,7 @@ class ServiceError(Exception):
         self.body = body
         self.error = body.get("error", "unknown")
         self.detail = body.get("detail", "")
-        self.retry_after = body.get("retry_after")
+        self.retry_after = parse_retry_after(body.get("retry_after"))
         self.request_id = request_id
         super().__init__(f"HTTP {status} {self.error}: {self.detail}")
 
@@ -111,12 +136,9 @@ class ServiceClient:
                 decoded = {"error": "bad_response", "detail": raw[:200].decode("latin-1")}
             if response.status == 200:
                 return decoded
-            retry_after = response.getheader("Retry-After")
-            if retry_after is not None and "retry_after" not in decoded:
-                try:
-                    decoded["retry_after"] = float(retry_after)
-                except ValueError:
-                    pass
+            hinted = parse_retry_after(response.getheader("Retry-After"))
+            if hinted is not None and "retry_after" not in decoded:
+                decoded["retry_after"] = hinted
             klass = (
                 TransientServiceError
                 if response.status in TRANSIENT_STATUSES
@@ -165,10 +187,10 @@ class ServiceClient:
                 if attempt >= self.policy.max_attempts:
                     break
                 delay = self.policy.delay(attempt, self.rng)
-                hinted = getattr(error, "retry_after", None)
+                hinted = parse_retry_after(getattr(error, "retry_after", None))
                 if hinted is not None:
                     # Server backpressure outranks the local jitter.
-                    delay = max(delay, float(hinted))
+                    delay = max(delay, hinted)
                 if give_up_at is not None:
                     remaining = give_up_at - self.clock()
                     if remaining <= 0:

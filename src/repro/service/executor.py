@@ -72,7 +72,11 @@ def _build_config(
         injector = FaultInjector(
             seed=raw.get("fault_seed", 2006), rate=raw["fault_rate"]
         )
-    needs_program = raw.get("difftest") or raw.get("sanitize")
+    needs_program = (
+        raw.get("difftest")
+        or raw.get("sanitize")
+        or raw.get("collapse") == "semantic"
+    )
     return EnumerationConfig(
         max_nodes=raw.get("max_nodes"),
         max_levels=raw.get("max_levels"),
@@ -93,6 +97,7 @@ def _build_config(
         sanitize=raw.get("sanitize"),
         memo=memo,
         engine=raw.get("engine", "flat"),
+        collapse=raw.get("collapse", "syntactic"),
     )
 
 
@@ -111,7 +116,7 @@ def _result_payload(
     degraded: Optional[str] = None,
 ) -> Dict[str, object]:
     resumed = result.resumed_from
-    return {
+    payload: Dict[str, object] = {
         "function": name,
         "completed": result.completed,
         "abort_reason": result.abort_reason,
@@ -126,6 +131,9 @@ def _result_payload(
         "quarantine": result.quarantine.to_dicts(),
         "dag_fingerprint": _dag_fingerprint(result.dag),
     }
+    if result.collapse_stats is not None:
+        payload["collapse_stats"] = result.collapse_stats
+    return payload
 
 
 def _enumerate_one(
@@ -237,7 +245,11 @@ def _run_enumerate_parallel(
 
     raw = spec.get("config", {})
     config = _build_config(spec)
-    needs_source = raw.get("difftest") or raw.get("sanitize")
+    needs_source = (
+        raw.get("difftest")
+        or raw.get("sanitize")
+        or raw.get("collapse") == "semantic"
+    )
     parallel = ParallelConfig(
         jobs=raw["jobs"],
         run_dir=os.path.join(state_dir, "parallel"),

@@ -47,6 +47,7 @@ CONFIG_FIELDS: Dict[str, tuple] = {
     "fault_seed": (int,),
     "jobs": (int,),
     "engine": (str,),
+    "collapse": (str,),
 }
 
 
@@ -108,6 +109,9 @@ def _validated_config(raw: object) -> Dict[str, object]:
     engine = config.get("engine")
     if engine is not None and engine not in ("flat", "object"):
         _fail("config.engine must be 'flat' or 'object'")
+    collapse = config.get("collapse")
+    if collapse is not None and collapse not in ("syntactic", "semantic"):
+        _fail("config.collapse must be 'syntactic' or 'semantic'")
     for key in (
         "max_nodes",
         "max_levels",

@@ -205,3 +205,63 @@ def test_report_without_search_events_omits_section(serial_run, capsys):
     assert summary["search"] is None
     assert main(["report", serial_run]) == 0
     assert "search lab" not in capsys.readouterr().out
+
+
+def test_unknown_event_kinds_warn_instead_of_erroring(tmp_path, capsys):
+    """Forward compatibility: a journal written by a newer schema may
+    contain event kinds this build does not know.  They must surface as
+    a warning counter — never as schema errors, never silently dropped."""
+    run_dir = tmp_path / "future"
+    run_dir.mkdir()
+    records = [
+        {"t": 0.0, "event": "run_start", "tool": "repro.enumerate"},
+        {"t": 0.1, "event": "hologram_stats", "function": "rol", "shards": 3},
+        {"t": 0.2, "event": "hologram_stats", "function": "rol", "shards": 4},
+        {"t": 0.3, "event": "quantum_leap"},
+        {"t": 0.4, "event": "run_end", "wall": 0.4},
+    ]
+    with open(run_dir / "events.jsonl", "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    summary = summarize_run(str(run_dir))
+    totals = summary["totals"]
+    assert totals["schema_errors"] == 0
+    assert totals["unknown_events"] == 3
+    assert totals["unknown_event_names"] == ["hologram_stats", "quantum_leap"]
+    assert totals["events"] == len(records)
+    assert main(["report", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "warning: 3 event(s) of unknown kind(s)" in out
+    assert "hologram_stats" in out
+    # a KNOWN event with missing required fields is still a violation
+    with open(run_dir / "events.jsonl", "a", encoding="utf-8") as handle:
+        handle.write(json.dumps({"t": 0.5, "event": "enum_start"}) + "\n")
+    summary = summarize_run(str(run_dir))
+    assert summary["totals"]["schema_errors"] == 1
+    assert summary["totals"]["unknown_events"] == 3
+
+
+def test_collapse_stats_render_in_report(tmp_path, capsys):
+    run_dir = str(tmp_path / "collapse")
+    assert (
+        main(
+            ROL
+            + ["--collapse", "semantic", "--run-dir", run_dir]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    records, errors = validate_journal(os.path.join(run_dir, "events.jsonl"))
+    assert errors == []
+    assert "collapse_stats" in [record["event"] for record in records]
+    summary = summarize_run(run_dir)
+    collapse = summary["collapse"]
+    assert collapse is not None
+    assert collapse["refuted"] == 0
+    assert collapse["merged"] == (
+        collapse["merged_proved"] + collapse["merged_tested"]
+    )
+    assert main(["report", run_dir]) == 0
+    out = capsys.readouterr().out
+    assert "collapse (semantic):" in out
+    assert "0 refuted" in out

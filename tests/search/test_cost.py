@@ -1,6 +1,7 @@
 """Tests for the multi-objective cost model and Pareto frontiers."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.dynamic import DynamicCountOracle, MissingFunctionError
 from repro.core.enumeration import EnumerationConfig, enumerate_space
@@ -220,3 +221,59 @@ class TestParetoFrontier:
 
     def test_objectives_constant_is_consistent(self):
         assert set(CostVector._fields) == set(OBJECTIVES)
+
+
+class TestStableTieBreak:
+    """Identical cost points must dedupe by content key, not node id.
+
+    Node ids are assignment-order artifacts — parallel merge order or
+    semantic collapse renumber the same space — so a frontier computed
+    with ``keys`` must pick the same representative under any
+    renumbering of the ids.
+    """
+
+    def test_keys_override_node_id_order(self):
+        prices = {3: vector(), 7: vector()}
+        keys = {3: ("zzz",), 7: ("aaa",)}
+        frontier = pareto_frontier(prices, keys=keys)
+        assert frontier == [(7, (10, 100, 200, 5))]
+
+    def test_without_keys_lowest_node_id_still_wins(self):
+        prices = {9: vector(), 2: vector()}
+        assert pareto_frontier(prices) == [(2, (10, 100, 200, 5))]
+
+    @given(
+        permutation=st.permutations(list(range(6))),
+        duplicates=st.lists(
+            st.integers(0, 3), min_size=6, max_size=6
+        ),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_frontier_invariant_under_node_renumbering(
+        self, permutation, duplicates
+    ):
+        # six instances sharing at most four distinct cost points, each
+        # carrying a content key that survives renumbering
+        points = [
+            vector(code_size=10 + bucket, registers=5 - bucket)
+            for bucket in duplicates
+        ]
+        baseline_prices = {nid: points[nid] for nid in range(6)}
+        baseline_keys = {nid: ("key", duplicates[nid], nid) for nid in range(6)}
+        renumbered_prices = {
+            permutation[nid]: points[nid] for nid in range(6)
+        }
+        renumbered_keys = {
+            permutation[nid]: baseline_keys[nid] for nid in range(6)
+        }
+        baseline = pareto_frontier(baseline_prices, keys=baseline_keys)
+        renumbered = pareto_frontier(
+            renumbered_prices, keys=renumbered_keys
+        )
+        # map the renumbered frontier back through the permutation:
+        # same points, same representatives (by key)
+        inverse = {new: old for old, new in enumerate(permutation)}
+        mapped = sorted(
+            (inverse[node_id], values) for node_id, values in renumbered
+        )
+        assert mapped == sorted(baseline)

@@ -1,0 +1,114 @@
+"""Retry-After parsing must never kill the retry loop.
+
+Regression: the body's ``retry_after`` is attacker/proxy-shaped data —
+an HTTP-date or garbage string used to escape ``float()`` and raise
+``ValueError`` out of :meth:`ServiceClient.request`, turning a polite
+backoff hint into a crash on the first transient response.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robustness.retry import RetryError, RetryPolicy
+from repro.service.client import (
+    ServiceClient,
+    TransientServiceError,
+    parse_retry_after,
+)
+
+
+class TestParseRetryAfter:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (3, 3.0),
+            (0, 0.0),
+            (1.5, 1.5),
+            ("3", 3.0),
+            (" 2.5 ", 2.5),
+            ("0", 0.0),
+        ],
+    )
+    def test_numeric_hints_parse(self, value, expected):
+        assert parse_retry_after(value) == expected
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "Wed, 21 Oct 2015 07:28:00 GMT",  # HTTP-date form
+            "soon",
+            "",
+            "-5",
+            -1,
+            "inf",
+            "nan",
+            float("inf"),
+            float("nan"),
+            True,
+            ["3"],
+            {"seconds": 3},
+        ],
+    )
+    def test_unusable_hints_fall_back_to_none(self, value):
+        assert parse_retry_after(value) is None
+
+
+def _client(**kwargs):
+    return ServiceClient(
+        "localhost",
+        0,
+        policy=RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02),
+        sleep=lambda _delay: None,
+        **kwargs,
+    )
+
+
+def test_http_date_retry_after_does_not_crash_the_retry_loop(monkeypatch):
+    client = _client()
+    attempts = []
+
+    def fake_once(method, path, payload):
+        attempts.append(1)
+        raise TransientServiceError(
+            503,
+            {
+                "error": "draining",
+                "retry_after": "Wed, 21 Oct 2015 07:28:00 GMT",
+            },
+        )
+
+    monkeypatch.setattr(client, "_once", fake_once)
+    with pytest.raises(RetryError):
+        client.request("POST", "/enumerate", {"function": "f"})
+    # Before the fix a ValueError escaped on the FIRST attempt; the
+    # loop must instead run the policy dry.
+    assert len(attempts) == 3
+
+
+def test_numeric_string_retry_after_stretches_the_delay(monkeypatch):
+    delays = []
+    client = ServiceClient(
+        "localhost",
+        0,
+        policy=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02),
+        sleep=delays.append,
+    )
+
+    def fake_once(method, path, payload):
+        raise TransientServiceError(
+            429, {"error": "shed", "retry_after": "7"}
+        )
+
+    monkeypatch.setattr(client, "_once", fake_once)
+    with pytest.raises(RetryError):
+        client.request("POST", "/enumerate", {"function": "f"})
+    assert delays == [7.0]
+
+
+def test_error_attribute_is_normalized_at_construction():
+    error = TransientServiceError(503, {"retry_after": "garbage"})
+    assert error.retry_after is None
+    error = TransientServiceError(503, {"retry_after": "2"})
+    assert error.retry_after == 2.0
