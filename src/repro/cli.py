@@ -505,16 +505,7 @@ def cmd_lint(args) -> int:
         findings = sanitize_function(func, mode=args.mode)
         checked = 1
     else:
-        program = _load_program(args.target)
-        for func in program.functions.values():
-            implicit_cleanup(func)
-        if args.function:
-            func = _select_function(program, args.function)
-            findings = sanitize_function(func, program=program, mode=args.mode)
-            checked = 1
-        else:
-            findings = sanitize_program(program, mode=args.mode)
-            checked = len(program.functions)
+        return _lint_source_target(args)
     for finding in findings:
         print(finding)
     noun = "function" if checked == 1 else "functions"
@@ -523,6 +514,191 @@ def cmd_lint(args) -> int:
         f"{len(findings)} finding(s)"
     )
     return 1 if findings else 0
+
+
+def _lint_source_target(args) -> int:
+    """Source mode of ``repro lint``: semantic diagnostics with caret
+    spans first, then the IR sanitizer over the compiled program."""
+    from repro.staticanalysis import sanitize_function, sanitize_program
+
+    tracer = (
+        _build_tracer(args, "repro.lint")
+        if getattr(args, "run_dir", None)
+        else None
+    )
+    ok = False
+    try:
+        source = _load_source(args.target)
+        diagnostics = _lint_source(args.target, source)
+        if diagnostics is None:
+            total = 1  # unparseable: the parse error is the finding
+            checked = 0
+            findings = []
+        elif any(d.severity == "error" for d in diagnostics):
+            print(
+                f"lint (source): {len(diagnostics)} diagnostic(s), "
+                "IR checks skipped"
+            )
+            total = len(diagnostics)
+            checked = 0
+            findings = []
+        else:
+            program = _compile_spec(args.target, source)
+            for func in program.functions.values():
+                implicit_cleanup(func)
+            if args.function:
+                func = _select_function(program, args.function)
+                findings = sanitize_function(
+                    func, program=program, mode=args.mode
+                )
+                checked = 1
+            else:
+                findings = sanitize_program(program, mode=args.mode)
+                checked = len(program.functions)
+            total = len(diagnostics) + len(findings)
+            for finding in findings:
+                print(finding)
+            noun = "function" if checked == 1 else "functions"
+            print(
+                f"lint ({args.mode}): {checked} {noun} checked, "
+                f"{total} finding(s)"
+            )
+        if tracer is not None:
+            tracer.emit(
+                "lint_source",
+                target=args.target,
+                diagnostics=total - len(findings),
+                findings=len(findings),
+                functions=checked,
+            )
+        ok = True
+    finally:
+        _close_tracer(tracer, ok)
+    return 1 if total else 0
+
+
+def _lint_source(spec: str, source: str):
+    """Source-level diagnostics for a mini-C target, spans included.
+
+    Prints every semantic diagnostic with its caret span and returns
+    the diagnostic list, or None after reporting a parse error (which
+    also carries a span when the error has a position).
+    """
+    from repro.frontend import parse
+    from repro.frontend.errors import CompileError, format_error
+    from repro.frontend.sema import analyze
+
+    filename = spec if not spec.startswith("bench:") else f"<{spec}>"
+    try:
+        unit = parse(source)
+    except CompileError as error:
+        print(format_error(error, source, filename))
+        return None
+    sema = analyze(unit)
+    for diagnostic in sema.diagnostics:
+        print(diagnostic.format(filename, source))
+    return sema.diagnostics
+
+
+def cmd_fuzz(args) -> int:
+    """Stream generated well-typed programs through the full pipeline.
+
+    Each program must clear the semantic gate with zero diagnostics,
+    sanitize clean, and survive a bounded enumeration of every function
+    with per-edge guards at ``--sanitize`` strength.  Any failure is
+    shrunk with a line-granular ddmin before being reported.
+    """
+    from repro.frontend.fuzz import fuzz_source, minimize_lines
+
+    if args.count <= 0:
+        raise SystemExit("--count must be positive")
+    tracer = _build_tracer(args, "repro.fuzz") if args.run_dir else None
+    failures = 0
+    ok = False
+    try:
+        for index in range(args.count):
+            source = fuzz_source(args.seed, index)
+            failure = _fuzz_check(source, args)
+            if failure is None:
+                continue
+            failures += 1
+            kind, detail = failure
+            print(f"fuzz: program {index} (seed {args.seed}) failed "
+                  f"[{kind}]: {detail}")
+            if tracer is not None:
+                tracer.emit(
+                    "fuzz_program", index=index, kind=kind, detail=detail
+                )
+            if not args.no_minimize:
+                def still_fails(candidate: str) -> bool:
+                    result = _fuzz_check(candidate, args)
+                    return result is not None and result[0] == kind
+
+                reduced = minimize_lines(source, still_fails)
+                print("minimized reproducer:")
+                print(reduced)
+        if tracer is not None:
+            tracer.emit(
+                "fuzz_run",
+                count=args.count,
+                seed=args.seed,
+                failures=failures,
+                sanitize=args.sanitize,
+            )
+        ok = True
+    finally:
+        _close_tracer(tracer, ok)
+    print(
+        f"fuzz: {args.count} program(s), seed {args.seed}, "
+        f"sanitize={args.sanitize}, {failures} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+def _fuzz_check(args_source: str, args):
+    """``(kind, detail)`` when one generated program fails, else None.
+
+    Stages: the semantic gate (any diagnostic on generated code is a
+    generator or analyzer bug), the whole-program sanitizer, then a
+    bounded guarded enumeration of every function.
+    """
+    from repro.staticanalysis import sanitize_program
+
+    try:
+        program = compile_source(args_source)
+    except CompileError as error:
+        return "compile", str(error)
+    except RecursionError:
+        return "compile", "recursion limit exceeded"
+    findings = sanitize_program(program, mode=args.sanitize)
+    if findings:
+        first = findings[0]
+        return "sanitize", f"{len(findings)} finding(s), first: {first}"
+    for name, func in program.functions.items():
+        work = func.clone()
+        implicit_cleanup(work)
+        config = EnumerationConfig(
+            max_nodes=args.max_nodes,
+            time_limit=args.time_limit,
+            sanitize=args.sanitize,
+            difftest=args.difftest,
+            program=program,
+        )
+        result = enumerate_space(work, config)
+        if len(result.quarantine):
+            record = result.quarantine.records[0]
+            return (
+                f"quarantine:{record.kind}",
+                f"{name}: {len(result.quarantine)} rejection(s), "
+                f"first: phase {record.phase_id} ({record.detail})",
+            )
+        stats = result.sanitize_stats or {}
+        if stats.get("refuted"):
+            return (
+                "transval",
+                f"{name}: {stats['refuted']} refuted edge(s)",
+            )
+    return None
 
 
 def _infer_ir_metadata(func) -> None:
@@ -1069,9 +1245,66 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["fast", "full"],
         default="full",
         help="fast: structural/machine/frame/call checks; full adds "
-        "the dataflow definedness and frame-bounds analyses",
+        "the dataflow definedness, frame-bounds and memory-access "
+        "analyses",
+    )
+    p.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="write a journal with a lint_source event here "
+        "(source targets)",
     )
     p.set_defaults(handler=cmd_lint)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="stream generated well-typed programs through the "
+        "frontend, sanitizer, and guarded enumeration",
+    )
+    p.add_argument(
+        "--count", type=int, default=25, metavar="N",
+        help="programs to generate (default: 25)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed; (seed, index) fixes each program, so a "
+        "failure reproduces without regenerating the stream",
+    )
+    p.add_argument(
+        "--sanitize",
+        choices=["fast", "full"],
+        default="full",
+        help="per-edge guard strength during enumeration (default: "
+        "full — sanitizer battery, phase contracts, and translation "
+        "validation)",
+    )
+    p.add_argument(
+        "--difftest",
+        action="store_true",
+        help="also co-execute every instance against the source "
+        "program in the VM",
+    )
+    p.add_argument(
+        "--max-nodes", type=int, default=48, metavar="N",
+        help="enumeration budget per function (default: 48)",
+    )
+    p.add_argument(
+        "--time-limit", type=float, default=10.0, metavar="SECONDS",
+        help="enumeration wall-clock budget per function (default: 10)",
+    )
+    p.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="report failures without shrinking them (ddmin re-runs "
+        "the whole pipeline per reduction step)",
+    )
+    p.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="journal directory: one fuzz_program event per failure "
+        "plus a fuzz_run summary",
+    )
+    p.set_defaults(handler=cmd_fuzz)
 
     p = sub.add_parser("interactions", help="print Tables 4/5/6")
     p.add_argument("file", help="mini-C file or bench:NAME")

@@ -133,6 +133,7 @@ def function_to_dict(func: Function) -> Dict[str, object]:
         "sel_applied": func.sel_applied,
         "alloc_applied": func.alloc_applied,
         "unrolled": sorted(func.unrolled),
+        "mem_facts": func.mem_facts,
     }
 
 
@@ -171,6 +172,8 @@ def function_from_dict(data: Dict[str, object]) -> Function:
     func.sel_applied = data["sel_applied"]
     func.alloc_applied = data["alloc_applied"]
     func.unrolled = set(data["unrolled"])
+    # Older checkpoints predate source-level memory facts.
+    func.mem_facts = data.get("mem_facts")
     return func
 
 

@@ -1,8 +1,11 @@
 """Abstract syntax tree for the mini-C subset.
 
-Types are plain strings: ``"int"``, ``"float"``, ``"void"``.  Arrays
-carry their element type and (for definitions) a compile-time size;
-array parameters decay to base addresses.
+Base types are plain strings: ``"int"``, ``"float"``, ``"void"``, and
+``"struct"`` (with the tag in the declaration's ``struct`` field).
+Declarators carry a pointer depth (``ptr``); arrays carry their element
+type and (for definitions) a compile-time size; array parameters decay
+to base addresses.  Semantic types are resolved by
+:mod:`repro.frontend.sema` which annotates expressions with ``ctype``.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import List, Optional, Union
 @dataclass
 class Expr:
     line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -79,6 +83,29 @@ class IncDec(Expr):
     prefix: bool = False
 
 
+@dataclass
+class AddrOf(Expr):
+    """``&lvalue`` — the address of a variable, element, or member."""
+
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Deref(Expr):
+    """``*pointer`` — load (or, as an lvalue, store) through a pointer."""
+
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Optional[Expr] = None
+    field: str = ""
+    arrow: bool = False
+
+
 # ----------------------------------------------------------------------
 # Statements
 # ----------------------------------------------------------------------
@@ -87,6 +114,7 @@ class IncDec(Expr):
 @dataclass
 class Stmt:
     line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -95,6 +123,8 @@ class DeclStmt(Stmt):
     name: str = ""
     array_size: Optional[int] = None
     init: Optional[Expr] = None
+    ptr: int = 0  # pointer depth: ``int **p`` has ptr == 2
+    struct: Optional[str] = None  # struct tag when typ == "struct"
 
 
 @dataclass
@@ -177,6 +207,30 @@ class Param:
     typ: str  # element type for arrays
     name: str
     is_array: bool = False
+    ptr: int = 0
+    struct: Optional[str] = None
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class FieldDecl:
+    """One field of a struct definition (scalar or pointer)."""
+
+    typ: str
+    name: str
+    ptr: int = 0
+    struct: Optional[str] = None
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class StructDef:
+    name: str = ""
+    fields: List[FieldDecl] = field(default_factory=list)
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -186,6 +240,8 @@ class FuncDef:
     params: List[Param]
     body: Block
     line: int = 0
+    ret_ptr: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -195,9 +251,13 @@ class GlobalDecl:
     array_size: Optional[int] = None
     init: Optional[List[Union[int, float]]] = None
     line: int = 0
+    ptr: int = 0
+    struct: Optional[str] = None
+    column: int = 0
 
 
 @dataclass
 class TranslationUnit:
     globals: List[GlobalDecl] = field(default_factory=list)
     functions: List[FuncDef] = field(default_factory=list)
+    structs: List[StructDef] = field(default_factory=list)

@@ -51,6 +51,50 @@ _RELOPS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
 _INT_ONLY = frozenset({"%", "&", "|", "^", "<<", ">>"})
 
 
+def _type_name(base: str, struct: Optional[str], ptr: int) -> str:
+    """The canonical type string: ``int``, ``int*``, ``struct Pt``, ..."""
+    name = f"struct {struct}" if base == "struct" else base
+    return name + "*" * ptr
+
+
+def _is_pointer(typ: str) -> bool:
+    return typ.endswith("*")
+
+
+def _pointee(typ: str) -> str:
+    return typ[:-1]
+
+
+def _is_struct_value(typ: str) -> bool:
+    return typ.startswith("struct ") and not typ.endswith("*")
+
+
+def _exposed_locals(node: ast.FuncDef) -> frozenset:
+    """Names whose address is taken (``&x``) anywhere in *node*.
+
+    Address-exposed scalars must stay memory-resident: the frame
+    reference analysis assumes loaded values are never frame addresses,
+    so a scalar whose address escapes into a pointer would otherwise be
+    promoted to a register while stores through the pointer still hit
+    its stack slot.  Pinning the slot (``is_array=True``) takes it out
+    of ``scalar_slots()`` and keeps register allocation sound.
+    """
+    names = set()
+
+    def walk(obj) -> None:
+        if isinstance(obj, ast.AddrOf) and isinstance(obj.operand, ast.Var):
+            names.add(obj.operand.name)
+        if isinstance(obj, (ast.Expr, ast.Stmt, ast.SwitchCase)):
+            for field in obj.__dataclass_fields__:
+                walk(getattr(obj, field))
+        elif isinstance(obj, (list, tuple)):
+            for item in obj:
+                walk(item)
+
+    walk(node.body)
+    return frozenset(names)
+
+
 class _Symbol:
     """A resolved name: local slot, global, or array parameter."""
 
@@ -70,6 +114,8 @@ class _FunctionCodegen:
     def __init__(self, generator: "CodeGenerator", node: ast.FuncDef):
         self.generator = generator
         self.node = node
+        self.ret_typ = node.ret_type + "*" * getattr(node, "ret_ptr", 0)
+        self.exposed = _exposed_locals(node)
         self.func = Function(node.name, returns_value=node.ret_type != "void")
         self.symbols: Dict[str, _Symbol] = {}
         self.current: BasicBlock = self.func.add_block()
@@ -132,11 +178,23 @@ class _FunctionCodegen:
     # ------------------------------------------------------------------
 
     def declare_local(
-        self, name: str, typ: str, words: int, is_array: bool, line: int, is_param=False
+        self,
+        name: str,
+        typ: str,
+        words: int,
+        is_array: bool,
+        line: int,
+        is_param=False,
+        pinned=False,
     ) -> _Symbol:
+        # A pinned slot is memory-resident (its address escapes via `&`
+        # or it holds a struct value) but the *symbol* stays scalar:
+        # marking the slot is_array excludes it from scalar_slots(), so
+        # the frame-reference analysis and register allocator never
+        # promote it, while name lookup still loads/stores the value.
         if name in self.symbols:
             raise CompileError(f"redeclaration of {name!r}", line)
-        slot = self.func.add_local(name, words, typ, is_array, is_param)
+        slot = self.func.add_local(name, words, typ, is_array or pinned, is_param)
         symbol = _Symbol("local", typ, slot=slot, is_array=is_array)
         self.symbols[name] = symbol
         return symbol
@@ -162,8 +220,19 @@ class _FunctionCodegen:
             )
         for i, param in enumerate(node.params):
             # An array parameter's slot holds the array base address.
+            ptyp = _type_name(param.typ, getattr(param, "struct", None), getattr(param, "ptr", 0))
+            if _is_struct_value(ptyp) and not param.is_array:
+                raise CompileError(
+                    f"struct parameter {param.name!r} must be a pointer", node.line
+                )
             symbol = self.declare_local(
-                param.name, param.typ, 1, False, node.line, is_param=True
+                param.name,
+                ptyp,
+                1,
+                False,
+                node.line,
+                is_param=True,
+                pinned=param.name in self.exposed,
             )
             symbol.is_array = param.is_array
             addr = self.local_addr(symbol.slot.offset)
@@ -238,13 +307,20 @@ class _FunctionCodegen:
             raise CompileError(f"cannot generate {type(stmt).__name__}", stmt.line)
 
     def gen_decl(self, stmt: ast.DeclStmt) -> None:
+        typ = _type_name(stmt.typ, getattr(stmt, "struct", None), getattr(stmt, "ptr", 0))
         if stmt.array_size is not None:
-            self.declare_local(stmt.name, stmt.typ, stmt.array_size, True, stmt.line)
+            self.declare_local(stmt.name, typ, stmt.array_size, True, stmt.line)
             return
-        symbol = self.declare_local(stmt.name, stmt.typ, 1, False, stmt.line)
+        if _is_struct_value(typ):
+            fields = self.generator.struct_fields(typ, stmt.line)
+            self.declare_local(stmt.name, typ, len(fields), False, stmt.line, pinned=True)
+            return  # struct locals have no initializers (parser-enforced)
+        symbol = self.declare_local(
+            stmt.name, typ, 1, False, stmt.line, pinned=stmt.name in self.exposed
+        )
         if stmt.init is not None:
-            value, typ = self.eval_expr(stmt.init)
-            value = self.convert(value, typ, stmt.typ)
+            value, value_typ = self.eval_expr(stmt.init)
+            value = self.convert(value, value_typ, typ)
             addr = self.local_addr(symbol.slot.offset)
             self.emit(Assign(Mem(addr), value))
 
@@ -356,7 +432,7 @@ class _FunctionCodegen:
             if not self.func.returns_value:
                 raise CompileError("return with a value in void function", stmt.line)
             value, typ = self.eval_expr(stmt.value)
-            value = self.convert(value, typ, self.node.ret_type)
+            value = self.convert(value, typ, self.ret_typ)
             self.emit(Assign(RV, value))
         elif self.func.returns_value:
             raise CompileError("return without a value", stmt.line)
@@ -394,7 +470,10 @@ class _FunctionCodegen:
         if isinstance(expr, ast.Binary) and expr.op in _RELOPS:
             left, left_typ = self.eval_expr(expr.left)
             right, right_typ = self.eval_expr(expr.right)
-            common = "float" if "float" in (left_typ, right_typ) else "int"
+            if left_typ == right_typ:
+                common = left_typ
+            else:
+                common = "float" if "float" in (left_typ, right_typ) else "int"
             left = self.convert(left, left_typ, common)
             right = self.convert(right, right_typ, common)
             self.emit(Compare(left, right))
@@ -419,6 +498,12 @@ class _FunctionCodegen:
     def convert(self, reg: Reg, from_typ: str, to_typ: str) -> Reg:
         if from_typ == to_typ:
             return reg
+        if _is_pointer(from_typ) or _is_pointer(to_typ):
+            # Pointers are word-sized addresses: int<->pointer and
+            # pointer<->pointer conversions reinterpret, never convert.
+            if "float" in (from_typ, to_typ):
+                raise CompileError(f"cannot convert {from_typ} to {to_typ}")
+            return reg
         result = self.fresh()
         if from_typ == "int" and to_typ == "float":
             self.emit(Assign(result, UnOp("itof", reg)))
@@ -442,6 +527,25 @@ class _FunctionCodegen:
             value = self.fresh()
             self.emit(Assign(value, Mem(addr)))
             return value, typ
+        if isinstance(expr, ast.AddrOf):
+            return self.eval_addrof(expr)
+        if isinstance(expr, ast.Deref):
+            pointer, typ = self.eval_expr(expr.operand)
+            if not _is_pointer(typ):
+                raise CompileError("cannot dereference a non-pointer", expr.line)
+            pointee = _pointee(typ)
+            if _is_struct_value(pointee):
+                raise CompileError(
+                    "cannot load a whole struct; select a member", expr.line
+                )
+            value = self.fresh()
+            self.emit(Assign(value, Mem(pointer)))
+            return value, pointee
+        if isinstance(expr, ast.Member):
+            addr, typ = self.member_addr(expr)
+            value = self.fresh()
+            self.emit(Assign(value, Mem(addr)))
+            return value, typ
         if isinstance(expr, ast.Unary):
             return self.eval_unary(expr)
         if isinstance(expr, ast.Binary):
@@ -459,6 +563,10 @@ class _FunctionCodegen:
         if symbol.is_array:
             # An array name evaluates to its base address.
             return self.array_base(symbol), "int"
+        if _is_struct_value(symbol.typ):
+            raise CompileError(
+                f"struct value {expr.name!r} cannot be used as a value", expr.line
+            )
         if symbol.kind == "local":
             addr = self.local_addr(symbol.slot.offset)
         else:
@@ -480,19 +588,38 @@ class _FunctionCodegen:
 
     def element_addr(self, expr: ast.Index) -> Tuple[Reg, str]:
         symbol = self.lookup(expr.base, expr.line)
-        if not symbol.is_array:
+        if symbol.is_array:
+            base = self.array_base(symbol)
+            elem_typ = symbol.typ
+            stride = 4
+        elif _is_pointer(symbol.typ):
+            # p[i] on a pointer variable: load the pointer value, then
+            # index with the pointee's stride.
+            elem_typ = _pointee(symbol.typ)
+            if _is_struct_value(elem_typ):
+                raise CompileError(
+                    f"cannot index a struct pointer; use {expr.base}->field",
+                    expr.line,
+                )
+            if symbol.kind == "local":
+                addr = self.local_addr(symbol.slot.offset)
+            else:
+                addr = self.global_addr(symbol.glob.name)
+            base = self.fresh()
+            self.emit(Assign(base, Mem(addr)))
+            stride = self.generator.stride_of(elem_typ)
+        else:
             raise CompileError(f"{expr.base!r} is not an array", expr.line)
-        base = self.array_base(symbol)
         index, index_typ = self.eval_expr(expr.index)
         if index_typ != "int":
             raise CompileError("array index must be int", expr.line)
         four = self.fresh()
-        self.emit(Assign(four, Const(4)))
+        self.emit(Assign(four, Const(stride)))
         scaled = self.fresh()
         self.emit(Assign(scaled, BinOp("mul", index, four)))
         addr = self.fresh()
         self.emit(Assign(addr, BinOp("add", base, scaled)))
-        return addr, symbol.typ
+        return addr, elem_typ
 
     def eval_unary(self, expr: ast.Unary) -> Tuple[Reg, str]:
         if expr.op == "!":
@@ -509,11 +636,112 @@ class _FunctionCodegen:
             return result, "int"
         raise CompileError(f"bad unary operator {expr.op!r}", expr.line)
 
+    def eval_addrof(self, expr: ast.AddrOf) -> Tuple[Reg, str]:
+        operand = expr.operand
+        if isinstance(operand, ast.Var):
+            symbol = self.lookup(operand.name, operand.line)
+            if symbol.is_array:
+                raise CompileError(
+                    "cannot take the address of an array; use &a[0]", expr.line
+                )
+            if symbol.kind == "local":
+                addr = self.local_addr(symbol.slot.offset)
+            else:
+                addr = self.global_addr(symbol.glob.name)
+            return addr, symbol.typ + "*"
+        if isinstance(operand, ast.Index):
+            addr, typ = self.element_addr(operand)
+            return addr, typ + "*"
+        if isinstance(operand, ast.Member):
+            addr, typ = self.member_addr(operand)
+            return addr, typ + "*"
+        if isinstance(operand, ast.Deref):
+            # &*p is just p (no load).
+            return self.eval_expr(operand.operand)
+        raise CompileError("cannot take the address of this expression", expr.line)
+
+    def member_addr(self, expr: ast.Member) -> Tuple[Reg, str]:
+        """The address and type of ``base.field`` / ``base->field``."""
+        base = expr.base
+        if expr.arrow or isinstance(base, ast.Deref):
+            operand = base if expr.arrow else base.operand
+            pointer, typ = self.eval_expr(operand)
+            if not (_is_pointer(typ) and _is_struct_value(_pointee(typ))):
+                raise CompileError(
+                    "member access requires a struct or struct pointer", expr.line
+                )
+            addr, tag = pointer, _pointee(typ)
+        elif isinstance(base, ast.Var):
+            symbol = self.lookup(base.name, base.line)
+            if symbol.is_array or not _is_struct_value(symbol.typ):
+                raise CompileError(
+                    "member access requires a struct or struct pointer", expr.line
+                )
+            if symbol.kind == "local":
+                addr = self.local_addr(symbol.slot.offset)
+            else:
+                addr = self.global_addr(symbol.glob.name)
+            tag = symbol.typ
+        else:
+            raise CompileError("cannot select a member of this expression", expr.line)
+        fields = self.generator.struct_fields(tag, expr.line)
+        for i, (fname, ftyp) in enumerate(fields):
+            if fname == expr.field:
+                break
+        else:
+            raise CompileError(
+                f"{tag!r} has no field {expr.field!r}", expr.line
+            )
+        if i == 0:
+            return addr, ftyp
+        # Fields are one word each (scalars and pointers only).
+        out = self.fresh()
+        self.emit(Assign(out, BinOp("add", addr, Const(4 * i))))
+        return out, ftyp
+
+    def pointer_offset(self, op: str, pointer: Reg, typ: str, index: Reg) -> Reg:
+        """``pointer op index`` scaled by the pointee stride."""
+        stride = self.fresh()
+        self.emit(Assign(stride, Const(self.generator.stride_of(_pointee(typ)))))
+        scaled = self.fresh()
+        self.emit(Assign(scaled, BinOp("mul", index, stride)))
+        out = self.fresh()
+        self.emit(Assign(out, BinOp(op, pointer, scaled)))
+        return out
+
+    def pointer_binary(
+        self, expr: ast.Binary, left: Reg, left_typ: str, right: Reg, right_typ: str
+    ) -> Tuple[Reg, str]:
+        if expr.op == "+":
+            if _is_pointer(left_typ) and right_typ == "int":
+                return self.pointer_offset("add", left, left_typ, right), left_typ
+            if left_typ == "int" and _is_pointer(right_typ):
+                return self.pointer_offset("add", right, right_typ, left), right_typ
+        elif expr.op == "-":
+            if _is_pointer(left_typ) and right_typ == "int":
+                return self.pointer_offset("sub", left, left_typ, right), left_typ
+            if _is_pointer(left_typ) and left_typ == right_typ:
+                # Pointer difference: subtract, then divide by stride.
+                raw = self.fresh()
+                self.emit(Assign(raw, BinOp("sub", left, right)))
+                stride = self.fresh()
+                self.emit(
+                    Assign(stride, Const(self.generator.stride_of(_pointee(left_typ))))
+                )
+                out = self.fresh()
+                self.emit(Assign(out, BinOp("div", raw, stride)))
+                return out, "int"
+        raise CompileError(
+            f"invalid pointer arithmetic: {left_typ} {expr.op} {right_typ}", expr.line
+        )
+
     def eval_binary(self, expr: ast.Binary) -> Tuple[Reg, str]:
         if expr.op in _RELOPS or expr.op in ("&&", "||"):
             return self.eval_as_flag(expr)
         left, left_typ = self.eval_expr(expr.left)
         right, right_typ = self.eval_expr(expr.right)
+        if _is_pointer(left_typ) or _is_pointer(right_typ):
+            return self.pointer_binary(expr, left, left_typ, right, right_typ)
         if expr.op in _INT_ONLY:
             if left_typ != "int" or right_typ != "int":
                 raise CompileError(f"{expr.op} requires int operands", expr.line)
@@ -560,12 +788,18 @@ class _FunctionCodegen:
                     if symbol.is_array:
                         values.append(self.array_base(symbol))
                         continue
-                raise CompileError(
-                    f"argument to array parameter {param.name!r} must be an array",
-                    expr.line,
-                )
+                value, typ = self.eval_expr(arg)
+                if not _is_pointer(typ):
+                    raise CompileError(
+                        f"argument to array parameter {param.name!r} must be "
+                        "an array or pointer",
+                        expr.line,
+                    )
+                values.append(value)
+                continue
+            ptyp = _type_name(param.typ, getattr(param, "struct", None), getattr(param, "ptr", 0))
             value, typ = self.eval_expr(arg)
-            values.append(self.convert(value, typ, param.typ))
+            values.append(self.convert(value, typ, ptyp))
         for i, value in enumerate(values):
             self.emit(Assign(ARG_REGS[i], value))
         self.emit(Call(expr.name, len(values)))
@@ -577,10 +811,14 @@ class _FunctionCodegen:
 
     def eval_assign(self, expr: ast.AssignExpr) -> Tuple[Reg, str]:
         target = expr.target
+        if isinstance(target, (ast.Deref, ast.Member)):
+            return self.eval_assign_indirect(expr)
         if isinstance(target, ast.Var):
             symbol = self.lookup(target.name, target.line)
             if symbol.is_array:
                 raise CompileError("cannot assign to an array", expr.line)
+            if _is_struct_value(symbol.typ):
+                raise CompileError("cannot assign a whole struct", expr.line)
             target_typ = symbol.typ
 
             def make_addr():
@@ -590,9 +828,13 @@ class _FunctionCodegen:
 
         else:
             assert isinstance(target, ast.Index)
-            __, target_typ = self.lookup(target.base, target.line).typ, None
             symbol = self.lookup(target.base, target.line)
-            target_typ = symbol.typ
+            if symbol.is_array:
+                target_typ = symbol.typ
+            elif _is_pointer(symbol.typ):
+                target_typ = _pointee(symbol.typ)
+            else:
+                target_typ = symbol.typ
 
             def make_addr():
                 addr, __ = self.element_addr(target)
@@ -607,11 +849,63 @@ class _FunctionCodegen:
 
         # Compound assignment: read-modify-write, naively recomputing
         # the address (CSE later removes the duplicate computation).
-        op_text = expr.op[:-1]
         load_addr = make_addr()
         old = self.fresh()
         self.emit(Assign(old, Mem(load_addr)))
         rhs, rhs_typ = self.eval_expr(expr.value)
+        value = self.apply_compound(expr, old, target_typ, rhs, rhs_typ)
+        store_addr = make_addr()
+        self.emit(Assign(Mem(store_addr), value))
+        return value, target_typ
+
+    def eval_assign_indirect(self, expr: ast.AssignExpr) -> Tuple[Reg, str]:
+        """Assignment through ``*p`` or ``s.f`` / ``p->f`` targets.
+
+        Unlike direct targets, the address computation determines the
+        target type, so the address is evaluated before the value.
+        """
+        target = expr.target
+
+        def make_addr() -> Tuple[Reg, str]:
+            if isinstance(target, ast.Member):
+                return self.member_addr(target)
+            pointer, typ = self.eval_expr(target.operand)
+            if not _is_pointer(typ):
+                raise CompileError("cannot assign through a non-pointer", expr.line)
+            pointee = _pointee(typ)
+            if _is_struct_value(pointee):
+                raise CompileError("cannot assign a whole struct", expr.line)
+            return pointer, pointee
+
+        if expr.op == "=":
+            addr, target_typ = make_addr()
+            value, value_typ = self.eval_expr(expr.value)
+            value = self.convert(value, value_typ, target_typ)
+            self.emit(Assign(Mem(addr), value))
+            return value, target_typ
+        load_addr, target_typ = make_addr()
+        old = self.fresh()
+        self.emit(Assign(old, Mem(load_addr)))
+        rhs, rhs_typ = self.eval_expr(expr.value)
+        value = self.apply_compound(expr, old, target_typ, rhs, rhs_typ)
+        store_addr, __ = make_addr()
+        self.emit(Assign(Mem(store_addr), value))
+        return value, target_typ
+
+    def apply_compound(
+        self, expr: ast.AssignExpr, old: Reg, target_typ: str, rhs: Reg, rhs_typ: str
+    ) -> Reg:
+        """Emit the combine step of ``target op= rhs`` and return the
+        value to store back."""
+        op_text = expr.op[:-1]
+        if _is_pointer(target_typ):
+            if op_text not in ("+", "-") or rhs_typ != "int":
+                raise CompileError(
+                    f"{expr.op} on a pointer requires an int operand", expr.line
+                )
+            return self.pointer_offset(
+                _INT_BINOPS[op_text], old, target_typ, rhs
+            )
         if op_text in _INT_ONLY:
             if target_typ != "int" or rhs_typ != "int":
                 raise CompileError(f"{expr.op} requires int operands", expr.line)
@@ -623,10 +917,7 @@ class _FunctionCodegen:
         op = _FLOAT_BINOPS[op_text] if common == "float" else _INT_BINOPS[op_text]
         computed = self.fresh()
         self.emit(Assign(computed, BinOp(op, left, right)))
-        value = self.convert(computed, common, target_typ)
-        store_addr = make_addr()
-        self.emit(Assign(Mem(store_addr), value))
-        return value, target_typ
+        return self.convert(computed, common, target_typ)
 
     def eval_incdec(self, expr: ast.IncDec) -> Tuple[Reg, str]:
         binary_op = "+" if expr.op == "++" else "-"
@@ -648,28 +939,89 @@ class CodeGenerator:
     def __init__(self):
         self.program = Program()
         self.signatures: Dict[str, Tuple[str, List[ast.Param]]] = {}
+        self.structs: Dict[str, List[Tuple[str, str]]] = {}
+        self.sema = None
 
-    def generate(self, unit: ast.TranslationUnit) -> Program:
+    def struct_fields(self, tag: str, line: int) -> List[Tuple[str, str]]:
+        """The ``(name, type)`` field list of ``struct Tag``."""
+        name = tag[len("struct "):] if tag.startswith("struct ") else tag
+        fields = self.structs.get(name)
+        if fields is None:
+            raise CompileError(f"unknown struct {name!r}", line)
+        return fields
+
+    def stride_of(self, typ: str) -> int:
+        """Bytes between consecutive objects of *typ* (pointer stride)."""
+        if _is_struct_value(typ):
+            return 4 * len(self.struct_fields(typ, 0))
+        return 4
+
+    def generate(self, unit: ast.TranslationUnit, sema=None) -> Program:
+        self.sema = sema
+        for struct in getattr(unit, "structs", ()):
+            if struct.name in self.structs:
+                raise CompileError(f"redefinition of struct {struct.name!r}", struct.line)
+            self.structs[struct.name] = [
+                (f.name, _type_name(f.typ, f.struct, f.ptr)) for f in struct.fields
+            ]
         for decl in unit.globals:
-            words = decl.array_size if decl.array_size is not None else 1
+            typ = _type_name(
+                decl.typ, getattr(decl, "struct", None), getattr(decl, "ptr", 0)
+            )
+            if decl.array_size is not None:
+                words = decl.array_size
+            elif _is_struct_value(typ):
+                words = len(self.struct_fields(typ, decl.line))
+            else:
+                words = 1
             init: List[Union[int, float]] = list(decl.init or [])
             if len(init) > words:
                 raise CompileError(f"too many initializers for {decl.name!r}", decl.line)
             zero: Union[int, float] = 0.0 if decl.typ == "float" else 0
             init.extend([zero] * (words - len(init)))
             self.program.add_global(
-                GlobalVar(decl.name, words, decl.typ, init, decl.array_size is not None)
+                GlobalVar(decl.name, words, typ, init, decl.array_size is not None)
             )
         for node in unit.functions:
             if node.name in self.signatures:
                 raise CompileError(f"redefinition of {node.name!r}", node.line)
-            self.signatures[node.name] = (node.ret_type, node.params)
+            ret = node.ret_type + "*" * getattr(node, "ret_ptr", 0)
+            self.signatures[node.name] = (ret, node.params)
         for node in unit.functions:
             func = _FunctionCodegen(self, node).run()
+            func.mem_facts = {
+                # Offsets of memory slots whose address never escapes:
+                # scalars are only addressable through `&`, and every
+                # address-taken scalar was pinned out of scalar_slots().
+                "frame_private": sorted(
+                    slot.offset for slot in func.scalar_slots()
+                ),
+            }
             self.program.add_function(func)
         return self.program
 
 
-def compile_source(source: str) -> Program:
-    """Compile mini-C *source* into a Program of naive RTL functions."""
-    return CodeGenerator().generate(parse(source))
+def compile_source(source: str, check: bool = True) -> Program:
+    """Compile mini-C *source* into a Program of naive RTL functions.
+
+    Semantic analysis (type checking, definite assignment, alias
+    analysis) gates code generation: any error-severity diagnostic
+    raises :class:`CompileError` with the full diagnostic list attached
+    as ``error.diagnostics``.  Pass ``check=False`` to skip the gate
+    (codegen keeps its own minimal checks for internal callers).
+    """
+    unit = parse(source)
+    sema = None
+    if check:
+        from repro.frontend.sema import analyze
+
+        sema = analyze(unit)
+        errors = sema.errors
+        if errors:
+            first = errors[0]
+            error = CompileError(
+                f"{first.code}: {first.message}", first.line, first.column
+            )
+            error.diagnostics = sema.diagnostics
+            raise error
+    return CodeGenerator().generate(unit, sema=sema)

@@ -1,6 +1,16 @@
-"""Frontend diagnostics."""
+"""Frontend diagnostics.
+
+Besides :class:`CompileError`, this module hosts the ``at()``-style
+source-span renderer used by ``repro lint --source`` and test output:
+given the original source text and a 1-based line/column, it prints the
+offending line with a caret marker underneath.  Tabs are preserved in
+the echoed line and mirrored in the marker line so the caret stays
+visually aligned regardless of the terminal's tab stops.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class CompileError(Exception):
@@ -10,5 +20,47 @@ class CompileError(Exception):
         self.message = message
         self.line = line
         self.column = column
-        location = f" at {line}:{column}" if line else ""
+        location = f" at {line}:{column}" if line or column else ""
         super().__init__(f"{message}{location}")
+
+
+def render_span(
+    source: str,
+    line: int,
+    column: int,
+    width: int = 1,
+    prefix: str = "  ",
+) -> str:
+    """Render the caret marker block for a 1-based *line*/*column* span.
+
+    Returns two lines: the offending source line, and a marker line with
+    ``^`` under the span start and ``~`` continuing for ``width - 1``
+    more columns.  Every character before the caret is mirrored as a tab
+    (if the source had a tab there) or a space, so the marker aligns
+    under the token no matter how wide the terminal renders tabs.
+
+    Returns ``""`` when the location does not name a real source line.
+    """
+    if line <= 0:
+        return ""
+    lines = source.splitlines()
+    if line > len(lines):
+        return ""
+    text = lines[line - 1]
+    column = max(1, column)
+    pad = "".join("\t" if ch == "\t" else " " for ch in text[: column - 1])
+    marker = "^" + "~" * max(0, width - 1)
+    return f"{prefix}{text}\n{prefix}{pad}{marker}"
+
+
+def format_error(
+    error: CompileError, source: Optional[str] = None, filename: str = "<source>"
+) -> str:
+    """Format *error* as ``file:line:col: message`` plus a caret block."""
+    location = f"{filename}:{error.line}:{error.column}" if error.line else filename
+    out = f"{location}: {error.message}"
+    if source is not None:
+        span = render_span(source, error.line, error.column)
+        if span:
+            out += "\n" + span
+    return out

@@ -1,0 +1,309 @@
+"""Seeded property-based generator of well-typed mini-C programs.
+
+The generator's contract mirrors the frontend's semantic gate: every
+program it emits must
+
+- **type-check** (the full ``TYP0xx`` battery stays silent),
+- **pass flow analysis** — every local is definitely assigned before
+  use and every path returns (``SEM0xx`` silent),
+- **be free of undefined behaviour** — all array and pointer accesses
+  stay in bounds, divisors are nonzero constants — so downstream
+  differential tests, sanitizer runs and translation validation are
+  meaningful, not vacuous.
+
+Generation is **deterministic**: :func:`generate_source` draws from a
+caller-supplied :class:`random.Random` and touches no other entropy
+source, so ``repro fuzz --seed S --count N`` reproduces byte-identical
+programs on every run — the CI smoke job depends on this.
+
+The generator maintains the invariants structurally rather than by
+filtering: an *initialized* set gates which variables expressions may
+read (assignments inside branches deliberately do not propagate out,
+matching the flow analysis' must-semantics), every array is filled by
+a leading loop before any element is read, pointers are bound to
+``&array[0]`` at initialization and only indexed within the array
+extent, and every function body ends with an unconditional ``return``.
+
+:func:`minimize_lines` is the companion shrinker — a line-granular
+ddmin that preserves any caller-supplied failure predicate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+#: every generated array has this many elements; loop bounds and
+#: constant indices stay below it, which is what keeps accesses in
+#: bounds by construction
+ARRAY_WORDS = 8
+
+_RELOPS = ("<", "<=", ">", ">=", "==", "!=")
+_BINOPS = ("+", "-", "*")
+
+
+class _FunctionState:
+    """Names in scope while generating one function body."""
+
+    def __init__(self, rng: random.Random, index: int, arity: int):
+        self.rng = rng
+        self.name = f"f{index}"
+        self.params = [f"p{i}" for i in range(arity)]
+        self.ints: List[str] = list(self.params)
+        self.initialized = set(self.params)
+        self.arrays: List[str] = []
+        self.pointers: List[str] = []  # pointer -> backing array
+        self.struct_var: Optional[str] = None
+        self.counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        name = f"{prefix}{self.counter}"
+        self.counter += 1
+        return name
+
+
+class _Generator:
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.globals: List[str] = []
+        self.global_arrays: List[str] = []
+        self.use_struct = rng.random() < 0.5
+        self.functions: List[str] = []  # names, in definition order
+        self.arities: dict = {}
+
+    # -- expressions ---------------------------------------------------
+
+    def _atom(self, state: _FunctionState) -> str:
+        rng = self.rng
+        choices = ["const"]
+        if state.initialized:
+            choices += ["var"] * 3
+        if state.arrays:
+            choices.append("index")
+        if state.pointers:
+            choices.append("deref")
+        if self.globals:
+            choices.append("global")
+        kind = rng.choice(choices)
+        if kind == "var":
+            return rng.choice(sorted(state.initialized))
+        if kind == "index":
+            return f"{rng.choice(state.arrays)}[{rng.randrange(ARRAY_WORDS)}]"
+        if kind == "deref":
+            pointer = rng.choice(state.pointers)
+            if rng.random() < 0.5:
+                return f"{pointer}[{rng.randrange(ARRAY_WORDS)}]"
+            return f"*({pointer} + {rng.randrange(ARRAY_WORDS)})"
+        if kind == "global":
+            return rng.choice(self.globals)
+        return str(rng.randrange(-9, 10))
+
+    def _expr(self, state: _FunctionState, depth: int = 2) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            return self._atom(state)
+        if rng.random() < 0.15:
+            # Division and modulo only ever by a nonzero constant.
+            op = rng.choice(("/", "%"))
+            return f"({self._expr(state, depth - 1)} {op} {rng.randrange(2, 8)})"
+        op = rng.choice(_BINOPS)
+        left = self._expr(state, depth - 1)
+        right = self._expr(state, depth - 1)
+        return f"({left} {op} {right})"
+
+    def _cond(self, state: _FunctionState) -> str:
+        relop = self.rng.choice(_RELOPS)
+        return f"{self._expr(state, 1)} {relop} {self._expr(state, 1)}"
+
+    # -- statements ----------------------------------------------------
+
+    def _statement(self, state: _FunctionState, out: List[str], indent: str) -> None:
+        rng = self.rng
+        kinds = ["assign", "assign", "if"]
+        if state.initialized - set(state.params):
+            kinds.append("compound")
+        if state.arrays or state.pointers:
+            kinds.append("store")
+        if self.globals or self.global_arrays:
+            kinds.append("global")
+        if state.struct_var:
+            kinds.append("struct")
+        if self.functions:
+            kinds.append("call")
+        kind = rng.choice(kinds)
+        if kind == "assign":
+            name = rng.choice(state.ints)
+            out.append(f"{indent}{name} = {self._expr(state)};")
+            state.initialized.add(name)
+        elif kind == "compound":
+            name = rng.choice(sorted(state.initialized - set(state.params)))
+            op = rng.choice(("+=", "-=", "*="))
+            out.append(f"{indent}{name} {op} {self._expr(state, 1)};")
+        elif kind == "if":
+            out.append(f"{indent}if ({self._cond(state)}) {{")
+            # Branch-local writes target already-initialized names so
+            # the must-defined analysis stays satisfied either way.
+            inner = sorted(state.initialized - set(state.params)) or state.ints
+            name = rng.choice(inner)
+            out.append(f"{indent}    {name} = {self._expr(state, 1)};")
+            out.append(f"{indent}}} else {{")
+            out.append(f"{indent}    {name} = {self._expr(state, 1)};")
+            out.append(f"{indent}}}")
+            state.initialized.add(name)
+        elif kind == "store":
+            targets = []
+            for array in state.arrays:
+                targets.append(f"{array}[{rng.randrange(ARRAY_WORDS)}]")
+            for pointer in state.pointers:
+                targets.append(f"{pointer}[{rng.randrange(ARRAY_WORDS)}]")
+                targets.append(f"*({pointer} + {rng.randrange(ARRAY_WORDS)})")
+            out.append(f"{indent}{rng.choice(targets)} = {self._expr(state)};")
+        elif kind == "global":
+            targets = list(self.globals)
+            for array in self.global_arrays:
+                targets.append(f"{array}[{rng.randrange(ARRAY_WORDS)}]")
+            out.append(f"{indent}{rng.choice(targets)} = {self._expr(state)};")
+        elif kind == "struct":
+            field = rng.choice(("a", "b"))
+            access = rng.choice((f"{state.struct_var}.{field}", f"sp->{field}"))
+            out.append(f"{indent}{access} = {self._expr(state, 1)};")
+        else:  # call
+            callee = rng.choice(self.functions)
+            arguments = ", ".join(
+                self._expr(state, 1) for __ in range(self.arities[callee])
+            )
+            name = rng.choice(state.ints)
+            out.append(f"{indent}{name} = {callee}({arguments});")
+            state.initialized.add(name)
+
+    def _fill_loop(self, state: _FunctionState, array: str, out: List[str]) -> None:
+        loop = state.fresh("i")
+        state.ints.append(loop)
+        state.initialized.add(loop)
+        scale = self.rng.randrange(1, 5)
+        out.append(f"    for ({loop} = 0; {loop} < {ARRAY_WORDS}; {loop}++) {{")
+        out.append(f"        {array}[{loop}] = {loop} * {scale};")
+        out.append("    }")
+
+    # -- top level -----------------------------------------------------
+
+    def _function(self, index: int) -> str:
+        rng = self.rng
+        state = _FunctionState(rng, index, arity=rng.randrange(0, 4))
+        body: List[str] = []
+        decls: List[str] = []
+
+        for __ in range(rng.randrange(1, 4)):
+            name = state.fresh("x")
+            state.ints.append(name)
+            decls.append(f"    int {name};")
+        if rng.random() < 0.7:
+            array = state.fresh("a")
+            state.arrays.append(array)
+            decls.append(f"    int {array}[{ARRAY_WORDS}];")
+            if rng.random() < 0.6:
+                pointer = state.fresh("q")
+                state.pointers.append(pointer)
+                decls.append(f"    int *{pointer};")
+                body.append(f"    {pointer} = &{array}[0];")
+        if self.use_struct and rng.random() < 0.4:
+            state.struct_var = "s"
+            decls.append("    struct S s;")
+            decls.append("    struct S *sp;")
+            body.append("    s.a = 0;")
+            body.append("    s.b = 1;")
+            body.append("    sp = &s;")
+        # Loop variables are declared on demand by the fill loops, so
+        # collect declarations after the body is generated.
+        for array in state.arrays:
+            self._fill_loop(state, array, body)
+        for __ in range(rng.randrange(3, 9)):
+            self._statement(state, body, "    ")
+
+        result = self._expr(state)
+        if state.struct_var:
+            result = f"({result} + s.a + sp->b)"
+        body.append(f"    return {result};")
+
+        loop_decls = [
+            f"    int {name};"
+            for name in state.ints
+            if name.startswith("i") and name not in state.params
+        ]
+        parameters = ", ".join(f"int {p}" for p in state.params)
+        lines = [f"int {state.name}({parameters}) {{"]
+        lines += decls + loop_decls + body + ["}"]
+        self.functions.append(state.name)
+        self.arities[state.name] = len(state.params)
+        return "\n".join(lines)
+
+    def generate(self) -> str:
+        rng = self.rng
+        parts: List[str] = []
+        if self.use_struct:
+            parts.append("struct S { int a; int b; };")
+        for index in range(rng.randrange(1, 3)):
+            self.globals.append(f"g{index}")
+            parts.append(f"int g{index};")
+        if rng.random() < 0.6:
+            self.global_arrays.append("ga")
+            parts.append(f"int ga[{ARRAY_WORDS}];")
+        functions = [self._function(index) for index in range(rng.randrange(1, 4))]
+        parts.extend(functions)
+
+        calls = " + ".join(
+            f"{name}({', '.join(str(rng.randrange(0, 8)) for __ in range(self.arities[name]))})"
+            for name in self.functions
+        )
+        parts.append("int main() {\n    return %s;\n}" % calls)
+        return "\n\n".join(parts) + "\n"
+
+
+def generate_source(rng: random.Random) -> str:
+    """One well-typed, UB-free mini-C program drawn from *rng*."""
+    return _Generator(rng).generate()
+
+
+def fuzz_source(seed: int, index: int) -> str:
+    """The *index*-th program of the stream anchored at *seed*.
+
+    Each program gets its own generator seeded from ``(seed, index)``,
+    so program *k* of a run is reproducible without generating the
+    first ``k - 1`` (useful when re-running a single failure).
+    """
+    return generate_source(random.Random(seed * 1_000_003 + index))
+
+
+def minimize_lines(source: str, failing: Callable[[str], bool]) -> str:
+    """Line-granular ddmin: the smallest line subset still *failing*.
+
+    *failing* must return True for *source* itself; the result is a
+    1-minimal reduction — removing any single remaining line makes the
+    failure disappear.  The predicate is expected to swallow its own
+    exceptions (a reduction that no longer parses should simply return
+    False, or True if the crash *is* the failure being chased).
+    """
+    lines = source.splitlines()
+    if not failing(source):
+        raise ValueError("minimize_lines needs a failing input to shrink")
+
+    granularity = 2
+    while len(lines) >= 2:
+        chunk = max(1, len(lines) // granularity)
+        reduced = False
+        start = 0
+        while start < len(lines):
+            candidate = lines[:start] + lines[start + chunk:]
+            if candidate and failing("\n".join(candidate) + "\n"):
+                lines = candidate
+                reduced = True
+                # Same start now addresses the next chunk.
+            else:
+                start += chunk
+        if reduced:
+            granularity = max(granularity - 1, 2)
+        elif granularity >= len(lines):
+            break
+        else:
+            granularity = min(len(lines), granularity * 2)
+    return "\n".join(lines) + "\n"

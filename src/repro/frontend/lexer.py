@@ -22,6 +22,7 @@ KEYWORDS = frozenset(
         "switch",
         "case",
         "default",
+        "struct",
     }
 )
 
@@ -47,6 +48,7 @@ _OPERATORS = [
     "^=",
     "++",
     "--",
+    "->",
     "+",
     "-",
     "*",
@@ -69,6 +71,7 @@ _OPERATORS = [
     ",",
     ";",
     ":",
+    ".",
 ]
 
 _ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39}

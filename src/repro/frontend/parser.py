@@ -1,426 +1,30 @@
-"""Recursive-descent parser for the mini-C subset."""
+"""Recursive-descent parser for the mini-C subset.
+
+The concrete :class:`Parser` is assembled from the composable grammar
+mixins in :mod:`repro.frontend.parsing` — token plumbing in
+``ParserBase``, then one mixin per grammar area layered on top.  MRO
+order puts the most specific grammar first, so a mixin can override a
+production from a later layer without touching the others.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
-
 from repro.frontend import ast
-from repro.frontend.errors import CompileError
-from repro.frontend.lexer import Token, tokenize
+from repro.frontend.lexer import tokenize
+from repro.frontend.parsing import (
+    _ASSIGN_OPS,
+    _BINARY_LEVELS,
+    DeclarationsMixin,
+    ExpressionsMixin,
+    ParserBase,
+    StatementsMixin,
+)
 
-_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
-
-# Binary precedence levels, loosest first.
-_BINARY_LEVELS = [
-    ["||"],
-    ["&&"],
-    ["|"],
-    ["^"],
-    ["&"],
-    ["==", "!="],
-    ["<", "<=", ">", ">="],
-    ["<<", ">>"],
-    ["+", "-"],
-    ["*", "/", "%"],
-]
+__all__ = ["Parser", "parse", "_ASSIGN_OPS", "_BINARY_LEVELS"]
 
 
-class Parser:
+class Parser(DeclarationsMixin, StatementsMixin, ExpressionsMixin, ParserBase):
     """Parse a token stream into a :class:`~repro.frontend.ast.TranslationUnit`."""
-
-    def __init__(self, tokens: List[Token]):
-        self.tokens = tokens
-        self.pos = 0
-
-    # ------------------------------------------------------------------
-    # Token plumbing
-    # ------------------------------------------------------------------
-
-    @property
-    def current(self) -> Token:
-        return self.tokens[self.pos]
-
-    def peek(self, offset: int = 1) -> Token:
-        index = min(self.pos + offset, len(self.tokens) - 1)
-        return self.tokens[index]
-
-    def advance(self) -> Token:
-        token = self.current
-        if token.kind != "eof":
-            self.pos += 1
-        return token
-
-    def check(self, kind: str, value=None) -> bool:
-        token = self.current
-        if token.kind != kind:
-            return False
-        return value is None or token.value == value
-
-    def accept(self, kind: str, value=None) -> Optional[Token]:
-        if self.check(kind, value):
-            return self.advance()
-        return None
-
-    def expect(self, kind: str, value=None) -> Token:
-        if self.check(kind, value):
-            return self.advance()
-        token = self.current
-        wanted = value if value is not None else kind
-        raise CompileError(
-            f"expected {wanted!r}, found {token.value!r}", token.line, token.column
-        )
-
-    def error(self, message: str) -> CompileError:
-        token = self.current
-        return CompileError(message, token.line, token.column)
-
-    # ------------------------------------------------------------------
-    # Top level
-    # ------------------------------------------------------------------
-
-    def parse_unit(self) -> ast.TranslationUnit:
-        unit = ast.TranslationUnit()
-        while not self.check("eof"):
-            typ = self._parse_type()
-            name_token = self.expect("ident")
-            name = str(name_token.value)
-            if self.check("op", "("):
-                unit.functions.append(self._parse_function(typ, name, name_token))
-            else:
-                unit.globals.append(self._parse_global(typ, name, name_token))
-        return unit
-
-    def _parse_type(self) -> str:
-        token = self.current
-        if token.kind == "keyword" and token.value in ("int", "float", "void"):
-            self.advance()
-            return str(token.value)
-        raise self.error(f"expected a type, found {token.value!r}")
-
-    def _parse_global(self, typ: str, name: str, name_token: Token) -> ast.GlobalDecl:
-        if typ == "void":
-            raise CompileError("void global", name_token.line, name_token.column)
-        array_size: Optional[int] = None
-        if self.accept("op", "["):
-            size_token = self.expect("int")
-            array_size = int(size_token.value)
-            if array_size <= 0:
-                raise CompileError("bad array size", size_token.line, size_token.column)
-            self.expect("op", "]")
-        init: Optional[List[Union[int, float]]] = None
-        if self.accept("op", "="):
-            init = self._parse_global_init(typ, array_size is not None)
-        self.expect("op", ";")
-        return ast.GlobalDecl(typ, name, array_size, init, name_token.line)
-
-    def _parse_global_init(self, typ: str, is_array: bool):
-        def literal():
-            negative = bool(self.accept("op", "-"))
-            token = self.current
-            if token.kind == "int":
-                self.advance()
-                value: Union[int, float] = int(token.value)
-            elif token.kind == "float":
-                self.advance()
-                value = float(token.value)
-            else:
-                raise self.error("global initializers must be literals")
-            if typ == "float":
-                value = float(value)
-            return -value if negative else value
-
-        if is_array:
-            self.expect("op", "{")
-            values = [literal()]
-            while self.accept("op", ","):
-                values.append(literal())
-            self.expect("op", "}")
-            return values
-        return [literal()]
-
-    def _parse_function(self, ret_type: str, name: str, name_token: Token) -> ast.FuncDef:
-        self.expect("op", "(")
-        params: List[ast.Param] = []
-        if not self.check("op", ")"):
-            if self.check("keyword", "void") and self.peek().value == ")":
-                self.advance()
-            else:
-                params.append(self._parse_param())
-                while self.accept("op", ","):
-                    params.append(self._parse_param())
-        self.expect("op", ")")
-        body = self._parse_block()
-        return ast.FuncDef(ret_type, name, params, body, name_token.line)
-
-    def _parse_param(self) -> ast.Param:
-        typ = self._parse_type()
-        if typ == "void":
-            raise self.error("void parameter")
-        name = str(self.expect("ident").value)
-        is_array = False
-        if self.accept("op", "["):
-            self.expect("op", "]")
-            is_array = True
-        return ast.Param(typ, name, is_array)
-
-    # ------------------------------------------------------------------
-    # Statements
-    # ------------------------------------------------------------------
-
-    def _parse_block(self) -> ast.Block:
-        open_token = self.expect("op", "{")
-        stmts: List[ast.Stmt] = []
-        while not self.check("op", "}"):
-            if self.check("eof"):
-                raise CompileError("unterminated block", open_token.line, open_token.column)
-            stmts.append(self._parse_statement())
-        self.expect("op", "}")
-        return ast.Block(line=open_token.line, stmts=stmts)
-
-    def _parse_statement(self) -> ast.Stmt:
-        token = self.current
-        if token.kind == "keyword":
-            keyword = token.value
-            if keyword in ("int", "float"):
-                return self._parse_decl()
-            if keyword == "if":
-                return self._parse_if()
-            if keyword == "while":
-                return self._parse_while()
-            if keyword == "do":
-                return self._parse_do_while()
-            if keyword == "for":
-                return self._parse_for()
-            if keyword == "switch":
-                return self._parse_switch()
-            if keyword == "return":
-                self.advance()
-                value = None if self.check("op", ";") else self.parse_expression()
-                self.expect("op", ";")
-                return ast.ReturnStmt(line=token.line, value=value)
-            if keyword == "break":
-                self.advance()
-                self.expect("op", ";")
-                return ast.BreakStmt(line=token.line)
-            if keyword == "continue":
-                self.advance()
-                self.expect("op", ";")
-                return ast.ContinueStmt(line=token.line)
-            if keyword == "void":
-                raise self.error("void is only valid as a return type")
-        if self.check("op", "{"):
-            return self._parse_block()
-        if self.accept("op", ";"):
-            return ast.Block(line=token.line, stmts=[])
-        expr = self.parse_expression()
-        self.expect("op", ";")
-        return ast.ExprStmt(line=token.line, expr=expr)
-
-    def _parse_decl(self) -> ast.DeclStmt:
-        token = self.current
-        typ = self._parse_type()
-        name = str(self.expect("ident").value)
-        array_size: Optional[int] = None
-        init: Optional[ast.Expr] = None
-        if self.accept("op", "["):
-            size_token = self.expect("int")
-            array_size = int(size_token.value)
-            if array_size <= 0:
-                raise CompileError("bad array size", size_token.line, size_token.column)
-            self.expect("op", "]")
-        elif self.accept("op", "="):
-            init = self.parse_expression()
-        self.expect("op", ";")
-        return ast.DeclStmt(
-            line=token.line, typ=typ, name=name, array_size=array_size, init=init
-        )
-
-    def _parse_if(self) -> ast.IfStmt:
-        token = self.expect("keyword", "if")
-        self.expect("op", "(")
-        cond = self.parse_expression()
-        self.expect("op", ")")
-        then_body = self._parse_statement()
-        else_body = None
-        if self.accept("keyword", "else"):
-            else_body = self._parse_statement()
-        return ast.IfStmt(
-            line=token.line, cond=cond, then_body=then_body, else_body=else_body
-        )
-
-    def _parse_while(self) -> ast.WhileStmt:
-        token = self.expect("keyword", "while")
-        self.expect("op", "(")
-        cond = self.parse_expression()
-        self.expect("op", ")")
-        body = self._parse_statement()
-        return ast.WhileStmt(line=token.line, cond=cond, body=body)
-
-    def _parse_do_while(self) -> ast.DoWhileStmt:
-        token = self.expect("keyword", "do")
-        body = self._parse_statement()
-        self.expect("keyword", "while")
-        self.expect("op", "(")
-        cond = self.parse_expression()
-        self.expect("op", ")")
-        self.expect("op", ";")
-        return ast.DoWhileStmt(line=token.line, body=body, cond=cond)
-
-    def _parse_switch(self) -> ast.SwitchStmt:
-        token = self.expect("keyword", "switch")
-        self.expect("op", "(")
-        selector = self.parse_expression()
-        self.expect("op", ")")
-        self.expect("op", "{")
-        cases: List[ast.SwitchCase] = []
-        seen_values = set()
-        seen_default = False
-        while not self.check("op", "}"):
-            if self.accept("keyword", "case"):
-                value = self._parse_case_value()
-                if value in seen_values:
-                    raise self.error(f"duplicate case {value}")
-                seen_values.add(value)
-                self.expect("op", ":")
-                cases.append(ast.SwitchCase(value, self._parse_case_body()))
-            elif self.accept("keyword", "default"):
-                if seen_default:
-                    raise self.error("duplicate default")
-                seen_default = True
-                self.expect("op", ":")
-                cases.append(ast.SwitchCase(None, self._parse_case_body()))
-            else:
-                raise self.error("expected 'case' or 'default' in switch")
-        self.expect("op", "}")
-        return ast.SwitchStmt(line=token.line, selector=selector, cases=cases)
-
-    def _parse_case_value(self) -> int:
-        negative = bool(self.accept("op", "-"))
-        token = self.expect("int")
-        value = int(token.value)
-        return -value if negative else value
-
-    def _parse_case_body(self) -> List[ast.Stmt]:
-        body: List[ast.Stmt] = []
-        while not (
-            self.check("op", "}")
-            or self.check("keyword", "case")
-            or self.check("keyword", "default")
-        ):
-            body.append(self._parse_statement())
-        return body
-
-    def _parse_for(self) -> ast.ForStmt:
-        token = self.expect("keyword", "for")
-        self.expect("op", "(")
-        init = None if self.check("op", ";") else self.parse_expression()
-        self.expect("op", ";")
-        cond = None if self.check("op", ";") else self.parse_expression()
-        self.expect("op", ";")
-        step = None if self.check("op", ")") else self.parse_expression()
-        self.expect("op", ")")
-        body = self._parse_statement()
-        return ast.ForStmt(line=token.line, init=init, cond=cond, step=step, body=body)
-
-    # ------------------------------------------------------------------
-    # Expressions
-    # ------------------------------------------------------------------
-
-    def parse_expression(self) -> ast.Expr:
-        return self._parse_assignment()
-
-    def _parse_assignment(self) -> ast.Expr:
-        expr = self._parse_binary(0)
-        token = self.current
-        if token.kind == "op" and token.value in _ASSIGN_OPS:
-            if not isinstance(expr, (ast.Var, ast.Index)):
-                raise CompileError("assignment to non-lvalue", token.line, token.column)
-            self.advance()
-            value = self._parse_assignment()
-            return ast.AssignExpr(
-                line=token.line, target=expr, op=str(token.value), value=value
-            )
-        return expr
-
-    def _parse_binary(self, level: int) -> ast.Expr:
-        if level >= len(_BINARY_LEVELS):
-            return self._parse_unary()
-        ops = _BINARY_LEVELS[level]
-        expr = self._parse_binary(level + 1)
-        while self.current.kind == "op" and self.current.value in ops:
-            token = self.advance()
-            right = self._parse_binary(level + 1)
-            expr = ast.Binary(
-                line=token.line, op=str(token.value), left=expr, right=right
-            )
-        return expr
-
-    def _parse_unary(self) -> ast.Expr:
-        token = self.current
-        if token.kind == "op" and token.value in ("-", "!", "~", "+"):
-            self.advance()
-            operand = self._parse_unary()
-            if token.value == "+":
-                return operand
-            return ast.Unary(line=token.line, op=str(token.value), operand=operand)
-        if token.kind == "op" and token.value in ("++", "--"):
-            self.advance()
-            target = self._parse_unary()
-            if not isinstance(target, (ast.Var, ast.Index)):
-                raise CompileError(
-                    f"{token.value} on non-lvalue", token.line, token.column
-                )
-            return ast.IncDec(
-                line=token.line, target=target, op=str(token.value), prefix=True
-            )
-        return self._parse_postfix()
-
-    def _parse_postfix(self) -> ast.Expr:
-        expr = self._parse_primary()
-        while True:
-            token = self.current
-            if token.kind == "op" and token.value in ("++", "--"):
-                if not isinstance(expr, (ast.Var, ast.Index)):
-                    raise CompileError(
-                        f"{token.value} on non-lvalue", token.line, token.column
-                    )
-                self.advance()
-                expr = ast.IncDec(
-                    line=token.line, target=expr, op=str(token.value), prefix=False
-                )
-                continue
-            break
-        return expr
-
-    def _parse_primary(self) -> ast.Expr:
-        token = self.current
-        if token.kind == "int":
-            self.advance()
-            return ast.IntLit(line=token.line, value=int(token.value))
-        if token.kind == "float":
-            self.advance()
-            return ast.FloatLit(line=token.line, value=float(token.value))
-        if token.kind == "ident":
-            name = str(token.value)
-            self.advance()
-            if self.accept("op", "("):
-                args: List[ast.Expr] = []
-                if not self.check("op", ")"):
-                    args.append(self.parse_expression())
-                    while self.accept("op", ","):
-                        args.append(self.parse_expression())
-                self.expect("op", ")")
-                return ast.CallExpr(line=token.line, name=name, args=args)
-            if self.accept("op", "["):
-                index = self.parse_expression()
-                self.expect("op", "]")
-                return ast.Index(line=token.line, base=name, index=index)
-            return ast.Var(line=token.line, name=name)
-        if self.accept("op", "("):
-            expr = self.parse_expression()
-            self.expect("op", ")")
-            return expr
-        raise self.error(f"unexpected token {token.value!r} in expression")
 
 
 def parse(source: str) -> ast.TranslationUnit:

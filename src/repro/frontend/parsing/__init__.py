@@ -1,0 +1,30 @@
+"""Composable recursive-descent parser mixins for mini-C.
+
+The parser is assembled from independent mixin layers, mirroring the
+mixin-composed parser architecture from the SVRF/btrc recursive-descent
+family: :class:`ParserBase` owns token plumbing and error reporting,
+and each grammar area (declarations, statements, expressions) lives in
+its own mixin so the grammar can grow without re-monolithing.
+
+``repro.frontend.parser`` assembles the concrete :class:`Parser` from
+these pieces; import from there unless you are building a custom
+parser variant.
+"""
+
+from repro.frontend.parsing.base import ParserBase
+from repro.frontend.parsing.declarations import DeclarationsMixin
+from repro.frontend.parsing.expressions import (
+    _ASSIGN_OPS,
+    _BINARY_LEVELS,
+    ExpressionsMixin,
+)
+from repro.frontend.parsing.statements import StatementsMixin
+
+__all__ = [
+    "ParserBase",
+    "DeclarationsMixin",
+    "StatementsMixin",
+    "ExpressionsMixin",
+    "_ASSIGN_OPS",
+    "_BINARY_LEVELS",
+]

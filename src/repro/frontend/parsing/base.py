@@ -1,0 +1,73 @@
+"""Token plumbing shared by every parser mixin."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token
+
+
+class ParserBase:
+    """Cursor over a token stream plus position-aware error helpers.
+
+    Grammar mixins call :meth:`expect`/:meth:`accept`/:meth:`error`;
+    nothing here knows anything about the mini-C grammar itself.
+    """
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, value=None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def _anchor(self) -> Token:
+        """The token to blame in an error: at EOF, the last real token.
+
+        Reporting the end-of-file marker's position is useless when the
+        stream is exhausted mid-construct; the last token the user
+        actually wrote is where the problem is.
+        """
+        token = self.current
+        if token.kind == "eof":
+            for index in range(min(self.pos, len(self.tokens) - 1) - 1, -1, -1):
+                if self.tokens[index].kind != "eof":
+                    return self.tokens[index]
+        return token
+
+    def expect(self, kind: str, value=None) -> Token:
+        if self.check(kind, value):
+            return self.advance()
+        token = self._anchor()
+        wanted = value if value is not None else kind
+        found = "end of input" if self.current.kind == "eof" else repr(self.current.value)
+        raise CompileError(
+            f"expected {wanted!r}, found {found}", token.line, token.column
+        )
+
+    def error(self, message: str) -> CompileError:
+        token = self._anchor()
+        return CompileError(message, token.line, token.column)

@@ -1,0 +1,172 @@
+"""Expression grammar: precedence climbing, unary, postfix, primaries."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+# Binary precedence levels, loosest first.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+# Forms that can appear on the left of an assignment or under ``&``.
+_LVALUES = (ast.Var, ast.Index, ast.Deref, ast.Member)
+
+
+class ExpressionsMixin:
+    """Parse expressions into AST nodes annotated with line/column."""
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        expr = self._parse_binary(0)
+        token = self.current
+        if token.kind == "op" and token.value in _ASSIGN_OPS:
+            if not isinstance(expr, _LVALUES):
+                raise CompileError("assignment to non-lvalue", token.line, token.column)
+            self.advance()
+            value = self._parse_assignment()
+            return ast.AssignExpr(
+                line=token.line,
+                column=token.column,
+                target=expr,
+                op=str(token.value),
+                value=value,
+            )
+        return expr
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        expr = self._parse_binary(level + 1)
+        while self.current.kind == "op" and self.current.value in ops:
+            token = self.advance()
+            right = self._parse_binary(level + 1)
+            expr = ast.Binary(
+                line=token.line,
+                column=token.column,
+                op=str(token.value),
+                left=expr,
+                right=right,
+            )
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.value in ("-", "!", "~", "+"):
+            self.advance()
+            operand = self._parse_unary()
+            if token.value == "+":
+                return operand
+            return ast.Unary(
+                line=token.line, column=token.column, op=str(token.value), operand=operand
+            )
+        if token.kind == "op" and token.value == "*":
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Deref(line=token.line, column=token.column, operand=operand)
+        if token.kind == "op" and token.value == "&":
+            # Permissive here: the type checker rejects non-lvalue
+            # operands (TYP004) with a proper source span.
+            self.advance()
+            operand = self._parse_unary()
+            return ast.AddrOf(line=token.line, column=token.column, operand=operand)
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            target = self._parse_unary()
+            if not isinstance(target, _LVALUES):
+                raise CompileError(
+                    f"{token.value} on non-lvalue", token.line, token.column
+                )
+            return ast.IncDec(
+                line=token.line,
+                column=token.column,
+                target=target,
+                op=str(token.value),
+                prefix=True,
+            )
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.current
+            if token.kind == "op" and token.value in ("++", "--"):
+                if not isinstance(expr, _LVALUES):
+                    raise CompileError(
+                        f"{token.value} on non-lvalue", token.line, token.column
+                    )
+                self.advance()
+                expr = ast.IncDec(
+                    line=token.line,
+                    column=token.column,
+                    target=expr,
+                    op=str(token.value),
+                    prefix=False,
+                )
+                continue
+            if token.kind == "op" and token.value in (".", "->"):
+                self.advance()
+                field_token = self.expect("ident")
+                expr = ast.Member(
+                    line=field_token.line,
+                    column=field_token.column,
+                    base=expr,
+                    field=str(field_token.value),
+                    arrow=token.value == "->",
+                )
+                continue
+            break
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(line=token.line, column=token.column, value=int(token.value))
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLit(
+                line=token.line, column=token.column, value=float(token.value)
+            )
+        if token.kind == "ident":
+            name = str(token.value)
+            self.advance()
+            if self.accept("op", "("):
+                args: List[ast.Expr] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expression())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expression())
+                self.expect("op", ")")
+                return ast.CallExpr(
+                    line=token.line, column=token.column, name=name, args=args
+                )
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                return ast.Index(
+                    line=token.line, column=token.column, base=name, index=index
+                )
+            return ast.Var(line=token.line, column=token.column, name=name)
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise self.error(f"unexpected token {token.value!r} in expression")

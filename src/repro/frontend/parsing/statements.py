@@ -1,0 +1,197 @@
+"""Statement grammar: blocks, declarations, control flow."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+
+
+class StatementsMixin:
+    """Parse statements; expression parsing is delegated to the
+    expressions mixin via :meth:`parse_expression`."""
+
+    def _parse_block(self) -> ast.Block:
+        open_token = self.expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise CompileError("unterminated block", open_token.line, open_token.column)
+            stmts.append(self._parse_statement())
+        self.expect("op", "}")
+        return ast.Block(line=open_token.line, column=open_token.column, stmts=stmts)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind == "keyword":
+            keyword = token.value
+            if keyword in ("int", "float", "struct"):
+                return self._parse_decl()
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "do":
+                return self._parse_do_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "switch":
+                return self._parse_switch()
+            if keyword == "return":
+                self.advance()
+                value = None if self.check("op", ";") else self.parse_expression()
+                self.expect("op", ";")
+                return ast.ReturnStmt(line=token.line, column=token.column, value=value)
+            if keyword == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.BreakStmt(line=token.line, column=token.column)
+            if keyword == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.ContinueStmt(line=token.line, column=token.column)
+            if keyword == "void":
+                raise self.error("void is only valid as a return type")
+        if self.check("op", "{"):
+            return self._parse_block()
+        if self.accept("op", ";"):
+            return ast.Block(line=token.line, column=token.column, stmts=[])
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStmt(line=token.line, column=token.column, expr=expr)
+
+    def _parse_decl(self) -> ast.DeclStmt:
+        token = self.current
+        typ, struct = self._parse_type_spec()
+        ptr = self._parse_ptr_depth()
+        name_token = self.expect("ident")
+        name = str(name_token.value)
+        array_size: Optional[int] = None
+        init: Optional[ast.Expr] = None
+        if self.check("op", "["):
+            if ptr:
+                raise self.error("arrays of pointers are not supported")
+            if typ == "struct":
+                raise self.error("arrays of structs are not supported")
+            self.advance()
+            size_token = self.expect("int")
+            array_size = int(size_token.value)
+            if array_size <= 0:
+                raise CompileError("bad array size", size_token.line, size_token.column)
+            self.expect("op", "]")
+        elif self.accept("op", "="):
+            if typ == "struct" and ptr == 0:
+                raise self.error("struct locals cannot have initializers")
+            init = self.parse_expression()
+        self.expect("op", ";")
+        return ast.DeclStmt(
+            line=token.line,
+            column=token.column,
+            typ=typ,
+            name=name,
+            array_size=array_size,
+            init=init,
+            ptr=ptr,
+            struct=struct,
+        )
+
+    def _parse_if(self) -> ast.IfStmt:
+        token = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then_body = self._parse_statement()
+        else_body = None
+        if self.accept("keyword", "else"):
+            else_body = self._parse_statement()
+        return ast.IfStmt(
+            line=token.line,
+            column=token.column,
+            cond=cond,
+            then_body=then_body,
+            else_body=else_body,
+        )
+
+    def _parse_while(self) -> ast.WhileStmt:
+        token = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self._parse_statement()
+        return ast.WhileStmt(line=token.line, column=token.column, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhileStmt:
+        token = self.expect("keyword", "do")
+        body = self._parse_statement()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhileStmt(line=token.line, column=token.column, body=body, cond=cond)
+
+    def _parse_switch(self) -> ast.SwitchStmt:
+        token = self.expect("keyword", "switch")
+        self.expect("op", "(")
+        selector = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases: List[ast.SwitchCase] = []
+        seen_values = set()
+        seen_default = False
+        while not self.check("op", "}"):
+            if self.accept("keyword", "case"):
+                value = self._parse_case_value()
+                if value in seen_values:
+                    raise self.error(f"duplicate case {value}")
+                seen_values.add(value)
+                self.expect("op", ":")
+                cases.append(ast.SwitchCase(value, self._parse_case_body()))
+            elif self.accept("keyword", "default"):
+                if seen_default:
+                    raise self.error("duplicate default")
+                seen_default = True
+                self.expect("op", ":")
+                cases.append(ast.SwitchCase(None, self._parse_case_body()))
+            else:
+                raise self.error("expected 'case' or 'default' in switch")
+        self.expect("op", "}")
+        return ast.SwitchStmt(
+            line=token.line, column=token.column, selector=selector, cases=cases
+        )
+
+    def _parse_case_value(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.expect("int")
+        value = int(token.value)
+        return -value if negative else value
+
+    def _parse_case_body(self) -> List[ast.Stmt]:
+        body: List[ast.Stmt] = []
+        while not (
+            self.check("op", "}")
+            or self.check("keyword", "case")
+            or self.check("keyword", "default")
+        ):
+            body.append(self._parse_statement())
+        return body
+
+    def _parse_for(self) -> ast.ForStmt:
+        token = self.expect("keyword", "for")
+        self.expect("op", "(")
+        init = None if self.check("op", ";") else self.parse_expression()
+        self.expect("op", ";")
+        cond = None if self.check("op", ";") else self.parse_expression()
+        self.expect("op", ";")
+        step = None if self.check("op", ")") else self.parse_expression()
+        self.expect("op", ")")
+        body = self._parse_statement()
+        return ast.ForStmt(
+            line=token.line,
+            column=token.column,
+            init=init,
+            cond=cond,
+            step=step,
+            body=body,
+        )

@@ -1,0 +1,73 @@
+"""Source-level semantic analysis for the mini-C frontend.
+
+Pass order (see docs/FRONTEND.md):
+
+1. **Type checking** (:mod:`.typecheck`) — resolves struct/global/
+   function declarations, annotates every expression with ``ctype``,
+   and reports the ``TYP0xx`` catalogue.
+2. **Flow analysis** (:mod:`.flow`) — definite assignment and definite
+   return over the AST CFG (``SEM0xx``).  Skipped when type checking
+   found errors (a broken AST has no meaningful flow).
+3. **Alias analysis** (:mod:`.alias`) — Steensgaard points-to; feeds
+   codegen (address-exposed locals pin to memory slots) and the IR
+   alias oracle (``frame_private`` facts for translation validation).
+
+``compile_source`` runs :func:`analyze` as a mandatory gate and raises
+:class:`~repro.frontend.errors.CompileError` on the first error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.frontend import ast
+from repro.frontend.sema.alias import AliasInfo, analyze_alias
+from repro.frontend.sema.diagnostics import CATALOG, ERROR, WARNING, Diagnostic
+from repro.frontend.sema.flow import analyze_flow
+from repro.frontend.sema.typecheck import Signature, TypeChecker
+
+__all__ = [
+    "analyze",
+    "SemaResult",
+    "Diagnostic",
+    "CATALOG",
+    "AliasInfo",
+    "Signature",
+]
+
+
+@dataclass
+class SemaResult:
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    structs: Dict = field(default_factory=dict)
+    globals: Dict = field(default_factory=dict)
+    functions: Dict[str, Signature] = field(default_factory=dict)
+    scopes: Dict[str, Dict] = field(default_factory=dict)
+    alias: AliasInfo = field(default_factory=AliasInfo)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def analyze(unit: ast.TranslationUnit) -> SemaResult:
+    """Run every semantic pass over *unit*; never raises on bad input."""
+    checker = TypeChecker(unit)
+    checker.run()
+    result = SemaResult(
+        diagnostics=list(checker.diags),
+        structs=checker.structs,
+        globals=checker.globals,
+        functions=checker.functions,
+        scopes=checker.scopes,
+    )
+    if result.ok:
+        result.diagnostics.extend(analyze_flow(unit))
+    if result.ok:
+        result.alias = analyze_alias(unit)
+    return result

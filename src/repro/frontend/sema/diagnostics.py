@@ -1,0 +1,68 @@
+"""Stable diagnostic catalogue for source-level semantic analysis.
+
+Codes never change meaning once shipped; new checks get new codes.
+``TYP0xx`` come from the type checker, ``SEM0xx`` from flow analysis
+(definite assignment, definite return).  The IR-level ``MEM0xx`` codes
+live with the sanitizer in :mod:`repro.staticanalysis.memcheck`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.errors import render_span
+
+ERROR = "error"
+WARNING = "warning"
+
+#: code -> one-line summary (the human catalogue; messages are specific).
+CATALOG = {
+    "TYP001": "operand or assignment type mismatch",
+    "TYP002": "wrong number of call arguments",
+    "TYP003": "call argument type mismatch",
+    "TYP004": "invalid lvalue",
+    "TYP005": "array or pointer misuse",
+    "TYP006": "unknown struct, bad member access, or incomplete struct",
+    "TYP007": "undeclared identifier or function",
+    "TYP008": "redeclaration or redefinition",
+    "TYP009": "invalid use of void",
+    "TYP010": "return type mismatch",
+    "TYP011": "invalid selector or condition type",
+    "TYP012": "unsupported construct",
+    "SEM001": "variable is used before ever being assigned",
+    "SEM002": "variable may be used before assignment",
+    "SEM003": "control can reach the end of a non-void function",
+}
+
+
+@dataclass
+class Diagnostic:
+    code: str
+    message: str
+    line: int = 0
+    column: int = 0
+    width: int = 1
+    severity: str = ERROR
+
+    def format(self, filename: str = "<source>", source: Optional[str] = None) -> str:
+        """``file:line:col: CODE message`` plus a caret block when possible."""
+        if self.line:
+            location = f"{filename}:{self.line}:{self.column}"
+        else:
+            location = filename
+        out = f"{location}: {self.code} {self.message}"
+        if source is not None:
+            span = render_span(source, self.line, self.column, self.width)
+            if span:
+                out += "\n" + span
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity,
+        }

@@ -1,0 +1,424 @@
+"""Definite-assignment and definite-return analysis over the AST CFG.
+
+Builds an explicit control-flow graph of event nodes from the AST
+(short-circuit operators fork, loops cycle, switch models C
+fallthrough), then runs a forward must/may-assigned dataflow:
+
+- ``SEM001`` — a reachable read of a scalar local that cannot have been
+  assigned on *any* path (``may`` set miss);
+- ``SEM002`` — a reachable read not assigned on *all* paths (``must``
+  set miss);
+- ``SEM003`` — control can fall off the end of a non-void function.
+
+Address-taken variables are treated as assigned at the ``&`` site:
+once a pointer to ``x`` escapes, stores through it may initialize
+``x``, so flow analysis conservatively stops tracking it.  Arrays and
+structs are memory objects whose elements read as zero when unwritten,
+matching the VM; they are considered initialized at declaration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.frontend import ast
+from repro.frontend.sema.diagnostics import Diagnostic
+
+
+class _Node:
+    __slots__ = ("events", "succs")
+
+    def __init__(self):
+        self.events: List[Tuple] = []  # ("use", name, line, col) | ("assign", name)
+        self.succs: List["_Node"] = []
+
+
+def _const_cond(expr: Optional[ast.Expr]) -> Optional[bool]:
+    """Fold a constant branch condition; None when not constant."""
+    if expr is None:
+        return True  # for (;;)
+    if isinstance(expr, ast.IntLit):
+        return expr.value != 0
+    return None
+
+
+class _Builder:
+    def __init__(self):
+        self.nodes: List[_Node] = []
+        self.break_targets: List[_Node] = []
+        self.continue_targets: List[_Node] = []
+        self.tracked: Set[str] = set()
+
+    def node(self) -> _Node:
+        node = _Node()
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def edge(src: _Node, dst: _Node) -> None:
+        src.succs.append(dst)
+
+    # ------------------------------------------------------------------
+    # Expressions: emit events, fork on short-circuit operators
+    # ------------------------------------------------------------------
+
+    def expr(self, e: Optional[ast.Expr], cur: _Node) -> _Node:
+        if e is None:
+            return cur
+        if isinstance(e, (ast.IntLit, ast.FloatLit)):
+            return cur
+        if isinstance(e, ast.Var):
+            cur.events.append(("use", e.name, e.line, e.column))
+            return cur
+        if isinstance(e, ast.Index):
+            cur.events.append(("use", e.base, e.line, e.column))
+            return self.expr(e.index, cur)
+        if isinstance(e, ast.Unary):
+            return self.expr(e.operand, cur)
+        if isinstance(e, ast.Deref):
+            return self.expr(e.operand, cur)
+        if isinstance(e, ast.AddrOf):
+            return self._addrof(e, cur)
+        if isinstance(e, ast.Member):
+            return self.expr(e.base, cur)
+        if isinstance(e, ast.Binary):
+            if e.op in ("&&", "||"):
+                cur = self.expr(e.left, cur)
+                right = self.node()
+                join = self.node()
+                self.edge(cur, right)
+                self.edge(cur, join)  # short-circuit: right side skipped
+                right_end = self.expr(e.right, right)
+                self.edge(right_end, join)
+                return join
+            cur = self.expr(e.left, cur)
+            return self.expr(e.right, cur)
+        if isinstance(e, ast.CallExpr):
+            for arg in e.args:
+                cur = self.expr(arg, cur)
+            return cur
+        if isinstance(e, ast.AssignExpr):
+            cur = self.expr(e.value, cur)
+            return self._store(e.target, cur, compound=e.op != "=")
+        if isinstance(e, ast.IncDec):
+            return self._store(e.target, cur, compound=True)
+        return cur
+
+    def _addrof(self, e: ast.AddrOf, cur: _Node) -> _Node:
+        operand = e.operand
+        if isinstance(operand, ast.Var):
+            # Taking the address counts as an assignment: stores through
+            # the pointer may initialize the variable.
+            cur.events.append(("assign", operand.name))
+            return cur
+        return self.expr(operand, cur)
+
+    def _store(self, target: Optional[ast.Expr], cur: _Node, compound: bool) -> _Node:
+        if isinstance(target, ast.Var):
+            if compound:
+                cur.events.append(("use", target.name, target.line, target.column))
+            cur.events.append(("assign", target.name))
+            return cur
+        if isinstance(target, ast.Index):
+            cur = self.expr(target.index, cur)
+            cur.events.append(("use", target.base, target.line, target.column))
+            return cur
+        if isinstance(target, ast.Deref):
+            return self.expr(target.operand, cur)
+        if isinstance(target, ast.Member):
+            return self.expr(target.base, cur)
+        return self.expr(target, cur)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def stmt(self, s: ast.Stmt, cur: Optional[_Node]) -> Optional[_Node]:
+        """Extend the CFG with *s*; returns the fallthrough node or None
+        when control cannot continue past it."""
+        if cur is None:
+            # Unreachable statement: build it on a disconnected node so
+            # event construction stays total, but nothing links to it.
+            cur = self.node()
+        if isinstance(s, ast.Block):
+            for child in s.stmts:
+                cur = self.stmt(child, cur)
+            return cur
+        if isinstance(s, ast.DeclStmt):
+            scalar = s.array_size is None and not (s.typ == "struct" and s.ptr == 0)
+            if scalar:
+                self.tracked.add(s.name)
+            if s.init is not None:
+                cur = self.expr(s.init, cur)
+                cur.events.append(("assign", s.name))
+            elif not scalar:
+                # Arrays and struct objects read as zero when unwritten.
+                cur.events.append(("assign", s.name))
+            return cur
+        if isinstance(s, ast.ExprStmt):
+            return self.expr(s.expr, cur)
+        if isinstance(s, ast.IfStmt):
+            return self._if(s, cur)
+        if isinstance(s, ast.WhileStmt):
+            return self._while(s, cur)
+        if isinstance(s, ast.DoWhileStmt):
+            return self._do_while(s, cur)
+        if isinstance(s, ast.ForStmt):
+            return self._for(s, cur)
+        if isinstance(s, ast.SwitchStmt):
+            return self._switch(s, cur)
+        if isinstance(s, ast.ReturnStmt):
+            self.expr(s.value, cur)
+            return None
+        if isinstance(s, ast.BreakStmt):
+            if self.break_targets:
+                self.edge(cur, self.break_targets[-1])
+            return None
+        if isinstance(s, ast.ContinueStmt):
+            if self.continue_targets:
+                self.edge(cur, self.continue_targets[-1])
+            return None
+        return cur
+
+    def _if(self, s: ast.IfStmt, cur: _Node) -> Optional[_Node]:
+        cur = self.expr(s.cond, cur)
+        const = _const_cond(s.cond)
+        join = self.node()
+        reaches_join = False
+
+        then_entry = self.node()
+        if const is not False:
+            self.edge(cur, then_entry)
+        then_end = self.stmt(s.then_body, then_entry)
+        if then_end is not None:
+            self.edge(then_end, join)
+            reaches_join = True
+
+        if s.else_body is not None:
+            else_entry = self.node()
+            if const is not True:
+                self.edge(cur, else_entry)
+            else_end = self.stmt(s.else_body, else_entry)
+            if else_end is not None:
+                self.edge(else_end, join)
+                reaches_join = True
+        elif const is not True:
+            self.edge(cur, join)
+            reaches_join = True
+
+        return join if reaches_join else None
+
+    def _while(self, s: ast.WhileStmt, cur: _Node) -> Optional[_Node]:
+        cond = self.node()
+        self.edge(cur, cond)
+        cond_end = self.expr(s.cond, cond)
+        const = _const_cond(s.cond)
+        body_entry = self.node()
+        exit_node = self.node()
+        if const is not False:
+            self.edge(cond_end, body_entry)
+        if const is not True:
+            self.edge(cond_end, exit_node)
+        self.break_targets.append(exit_node)
+        self.continue_targets.append(cond)
+        body_end = self.stmt(s.body, body_entry)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        if body_end is not None:
+            self.edge(body_end, cond)
+        return exit_node
+
+    def _do_while(self, s: ast.DoWhileStmt, cur: _Node) -> Optional[_Node]:
+        body_entry = self.node()
+        self.edge(cur, body_entry)
+        cond = self.node()
+        exit_node = self.node()
+        self.break_targets.append(exit_node)
+        self.continue_targets.append(cond)
+        body_end = self.stmt(s.body, body_entry)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        if body_end is not None:
+            self.edge(body_end, cond)
+        cond_end = self.expr(s.cond, cond)
+        const = _const_cond(s.cond)
+        if const is not False:
+            self.edge(cond_end, body_entry)
+        if const is not True:
+            self.edge(cond_end, exit_node)
+        return exit_node
+
+    def _for(self, s: ast.ForStmt, cur: _Node) -> Optional[_Node]:
+        cur = self.expr(s.init, cur)
+        cond = self.node()
+        self.edge(cur, cond)
+        cond_end = self.expr(s.cond, cond)
+        const = _const_cond(s.cond)
+        body_entry = self.node()
+        step = self.node()
+        exit_node = self.node()
+        if const is not False:
+            self.edge(cond_end, body_entry)
+        if const is not True:
+            self.edge(cond_end, exit_node)
+        self.break_targets.append(exit_node)
+        self.continue_targets.append(step)
+        body_end = self.stmt(s.body, body_entry)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        if body_end is not None:
+            self.edge(body_end, step)
+        step_end = self.expr(s.step, step)
+        self.edge(step_end, cond)
+        return exit_node
+
+    def _switch(self, s: ast.SwitchStmt, cur: _Node) -> Optional[_Node]:
+        cur = self.expr(s.selector, cur)
+        exit_node = self.node()
+        entries = [self.node() for _ in s.cases]
+        has_default = any(case.value is None for case in s.cases)
+        for entry in entries:
+            self.edge(cur, entry)
+        if not has_default:
+            self.edge(cur, exit_node)
+        self.break_targets.append(exit_node)
+        fall: Optional[_Node] = None
+        for case, entry in zip(s.cases, entries):
+            if fall is not None:
+                self.edge(fall, entry)
+            node: Optional[_Node] = entry
+            for child in case.body:
+                node = self.stmt(child, node)
+            fall = node
+        self.break_targets.pop()
+        if fall is not None:
+            self.edge(fall, exit_node)
+        return exit_node
+
+
+def _reachable(entry: _Node) -> Set[int]:
+    seen = {id(entry)}
+    by_id = {id(entry): entry}
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        for succ in node.succs:
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                by_id[id(succ)] = succ
+                stack.append(succ)
+    return seen
+
+
+def analyze_function_flow(func: ast.FuncDef) -> List[Diagnostic]:
+    """Run definite-assignment/-return analysis on one function."""
+    builder = _Builder()
+    entry = builder.node()
+    for param in func.params:
+        entry.events.append(("assign", param.name))
+    final = builder.stmt(func.body, entry)
+    nodes = builder.nodes
+    tracked = builder.tracked
+    reachable = _reachable(entry)
+
+    diags: List[Diagnostic] = []
+    if (
+        final is not None
+        and id(final) in reachable
+        and func.ret_type != "void"
+    ):
+        diags.append(
+            Diagnostic(
+                "SEM003",
+                f"control can reach the end of non-void function {func.name!r} "
+                "without returning a value",
+                func.line,
+                func.column,
+            )
+        )
+
+    if not tracked:
+        return diags
+
+    # Forward must/may-assigned dataflow to fixpoint.  TOP (None) means
+    # "not yet computed"; unreachable nodes keep TOP and are skipped.
+    preds: Dict[int, List[_Node]] = {id(n): [] for n in nodes}
+    for node in nodes:
+        for succ in node.succs:
+            preds[id(succ)].append(node)
+    gen: Dict[int, Set[str]] = {
+        id(n): {e[1] for e in n.events if e[0] == "assign"} for n in nodes
+    }
+    must_in: Dict[int, Optional[Set[str]]] = {id(n): None for n in nodes}
+    may_in: Dict[int, Set[str]] = {id(n): set() for n in nodes}
+    must_in[id(entry)] = set()
+    order = [n for n in nodes if id(n) in reachable]
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            key = id(node)
+            if node is not entry:
+                new_must: Optional[Set[str]] = None
+                new_may: Set[str] = set()
+                for pred in preds[key]:
+                    if id(pred) not in reachable:
+                        continue
+                    pred_must = must_in[id(pred)]
+                    if pred_must is not None:
+                        out = pred_must | gen[id(pred)]
+                        new_must = out if new_must is None else (new_must & out)
+                    new_may |= may_in[id(pred)] | gen[id(pred)]
+                if new_must != must_in[key]:
+                    must_in[key] = new_must
+                    changed = True
+                if new_may != may_in[key]:
+                    may_in[key] = new_may
+                    changed = True
+
+    seen_sites = set()
+    for node in order:
+        key = id(node)
+        must = set(must_in[key] or set())
+        may = set(may_in[key])
+        for event in node.events:
+            if event[0] == "assign":
+                must.add(event[1])
+                may.add(event[1])
+                continue
+            _, name, line, column = event
+            if name not in tracked:
+                continue
+            site = (name, line, column)
+            if name not in may:
+                if ("SEM001",) + site not in seen_sites:
+                    seen_sites.add(("SEM001",) + site)
+                    diags.append(
+                        Diagnostic(
+                            "SEM001",
+                            f"{name!r} is used before ever being assigned",
+                            line,
+                            column,
+                            width=len(name),
+                        )
+                    )
+            elif name not in must:
+                if ("SEM002",) + site not in seen_sites:
+                    seen_sites.add(("SEM002",) + site)
+                    diags.append(
+                        Diagnostic(
+                            "SEM002",
+                            f"{name!r} may be used before assignment",
+                            line,
+                            column,
+                            width=len(name),
+                        )
+                    )
+    return diags
+
+
+def analyze_flow(unit: ast.TranslationUnit) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for func in unit.functions:
+        diags.extend(analyze_function_flow(func))
+    return diags

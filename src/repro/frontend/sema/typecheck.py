@@ -1,0 +1,594 @@
+"""Type checking: resolves declarations, annotates expressions.
+
+Every checked expression node gets a ``ctype`` attribute holding its
+resolved :mod:`~repro.frontend.sema.types` type.  Errors are collected
+(not raised) so one pass reports everything; after any error the
+offending expression types as ``ERROR``, which is assignable to
+anything to avoid cascades.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.frontend import ast
+from repro.frontend.sema.diagnostics import Diagnostic
+from repro.frontend.sema.types import (
+    ERROR,
+    FLOAT,
+    INT,
+    VOID,
+    Array,
+    Pointer,
+    Struct,
+    Type,
+    decay,
+    is_arith,
+    is_scalar,
+)
+
+_INT_ONLY = frozenset({"%", "&", "|", "^", "<<", ">>"})
+_RELOPS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+
+#: Expression forms that denote storage (can be assigned / addressed).
+_LVALUES = (ast.Var, ast.Index, ast.Deref, ast.Member)
+
+
+class Signature(NamedTuple):
+    ret: Type
+    params: List[Tuple[str, Type]]
+
+
+class TypeChecker:
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.diags: List[Diagnostic] = []
+        self.structs: Dict[str, Struct] = {}
+        self.globals: Dict[str, Type] = {}
+        self.functions: Dict[str, Signature] = {}
+        self.scopes: Dict[str, Dict[str, Type]] = {}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _diag(self, code: str, message: str, node, width: int = 1) -> None:
+        line = getattr(node, "line", 0)
+        column = getattr(node, "column", 0)
+        self.diags.append(Diagnostic(code, message, line, column, width))
+
+    def _resolve(
+        self, base: str, struct: Optional[str], ptr: int, node, what: str
+    ) -> Type:
+        if base == "struct":
+            definition = self.structs.get(struct or "")
+            if definition is None:
+                self._diag("TYP006", f"unknown struct {struct!r}", node)
+                t: Type = ERROR
+            else:
+                t = definition
+        elif base == "int":
+            t = INT
+        elif base == "float":
+            t = FLOAT
+        elif base == "void":
+            if ptr:
+                self._diag("TYP009", "void pointers are not supported", node)
+                return ERROR
+            self._diag("TYP009", f"void {what}", node)
+            return ERROR
+        else:
+            self._diag("TYP012", f"unsupported type {base!r}", node)
+            return ERROR
+        for _ in range(ptr):
+            t = Pointer(t)
+        if isinstance(t, Struct) and ptr == 0 and what in ("parameter",):
+            self._diag("TYP012", "struct parameters must be pointers", node)
+            return ERROR
+        return t
+
+    # ------------------------------------------------------------------
+    # Top-level collection
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        self._collect_structs()
+        self._collect_globals()
+        self._collect_signatures()
+        for func in self.unit.functions:
+            self._check_function(func)
+
+    def _collect_structs(self) -> None:
+        # Register shells first so fields may point at any struct,
+        # including the one being defined (linked-list idiom).
+        for sd in self.unit.structs:
+            if sd.name in self.structs:
+                self._diag("TYP008", f"redefinition of struct {sd.name!r}", sd)
+                continue
+            self.structs[sd.name] = Struct(sd.name)
+        for sd in self.unit.structs:
+            definition = self.structs[sd.name]
+            if definition.fields:
+                continue  # duplicate definition already reported
+            seen = set()
+            for field in sd.fields:
+                if field.name in seen:
+                    self._diag(
+                        "TYP008",
+                        f"duplicate field {field.name!r} in struct {sd.name!r}",
+                        field,
+                    )
+                    continue
+                seen.add(field.name)
+                if field.typ == "struct" and field.ptr == 0:
+                    self._diag(
+                        "TYP012",
+                        "struct fields must be scalars or pointers",
+                        field,
+                    )
+                    continue
+                t = self._resolve(field.typ, field.struct, field.ptr, field, "field")
+                definition.fields.append((field.name, t))
+
+    def _collect_globals(self) -> None:
+        for decl in self.unit.globals:
+            if decl.name in self.globals:
+                self._diag("TYP008", f"redeclaration of {decl.name!r}", decl)
+                continue
+            t = self._resolve(decl.typ, decl.struct, decl.ptr, decl, "global")
+            if decl.array_size is not None:
+                t = Array(t, decl.array_size)
+            if decl.init is not None:
+                limit = decl.array_size if decl.array_size is not None else 1
+                if len(decl.init) > limit:
+                    self._diag(
+                        "TYP001", f"too many initializers for {decl.name!r}", decl
+                    )
+            self.globals[decl.name] = t
+
+    def _collect_signatures(self) -> None:
+        for func in self.unit.functions:
+            if func.name in self.functions:
+                self._diag("TYP008", f"redefinition of {func.name!r}", func)
+                continue
+            if len(func.params) > 4:
+                self._diag(
+                    "TYP012",
+                    f"{func.name}: at most 4 parameters are supported",
+                    func,
+                )
+            ret = (
+                VOID
+                if func.ret_type == "void" and not func.ret_ptr
+                else self._resolve(func.ret_type, None, func.ret_ptr, func, "return type")
+            )
+            params: List[Tuple[str, Type]] = []
+            seen = set()
+            for param in func.params:
+                if param.name in seen:
+                    self._diag("TYP008", f"redeclaration of {param.name!r}", param)
+                seen.add(param.name)
+                t = self._resolve(param.typ, param.struct, param.ptr, param, "parameter")
+                if param.is_array:
+                    t = Array(t, None)
+                params.append((param.name, t))
+            self.functions[func.name] = Signature(ret, params)
+
+    # ------------------------------------------------------------------
+    # Function bodies
+    # ------------------------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDef) -> None:
+        signature = self.functions.get(func.name)
+        if signature is None:
+            return
+        scope: Dict[str, Type] = {}
+        for name, t in signature.params:
+            scope[name] = t
+        self.scopes[func.name] = scope
+        self._stmt(func.body, scope, signature.ret)
+
+    def _stmt(self, stmt: ast.Stmt, scope: Dict[str, Type], ret: Type) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self._stmt(child, scope, ret)
+        elif isinstance(stmt, ast.DeclStmt):
+            self._decl(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.IfStmt):
+            self._cond(stmt.cond, scope)
+            self._stmt(stmt.then_body, scope, ret)
+            if stmt.else_body is not None:
+                self._stmt(stmt.else_body, scope, ret)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._cond(stmt.cond, scope)
+            self._stmt(stmt.body, scope, ret)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._stmt(stmt.body, scope, ret)
+            self._cond(stmt.cond, scope)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._expr(stmt.init, scope)
+            if stmt.cond is not None:
+                self._cond(stmt.cond, scope)
+            if stmt.step is not None:
+                self._expr(stmt.step, scope)
+            self._stmt(stmt.body, scope, ret)
+        elif isinstance(stmt, ast.SwitchStmt):
+            selector = decay(self._value(stmt.selector, scope))
+            if selector != INT and selector != ERROR:
+                self._diag(
+                    "TYP011", "switch selector must be int", stmt.selector or stmt
+                )
+            for case in stmt.cases:
+                for child in case.body:
+                    self._stmt(child, scope, ret)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._return(stmt, scope, ret)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            pass  # placement is validated by codegen's loop stacks
+        else:
+            self._diag("TYP012", f"unsupported statement {type(stmt).__name__}", stmt)
+
+    def _decl(self, stmt: ast.DeclStmt, scope: Dict[str, Type]) -> None:
+        if stmt.name in scope:
+            self._diag("TYP008", f"redeclaration of {stmt.name!r}", stmt)
+            return
+        t = self._resolve(stmt.typ, stmt.struct, stmt.ptr, stmt, "declaration")
+        if stmt.array_size is not None:
+            t = Array(t, stmt.array_size)
+        scope[stmt.name] = t
+        if stmt.init is not None:
+            value = decay(self._value(stmt.init, scope))
+            if not self._assignable(t, value, stmt.init):
+                self._diag(
+                    "TYP001",
+                    f"cannot initialize {t} variable {stmt.name!r} with {value}",
+                    stmt.init,
+                )
+
+    def _return(self, stmt: ast.ReturnStmt, scope: Dict[str, Type], ret: Type) -> None:
+        if stmt.value is None:
+            if ret != VOID and ret != ERROR:
+                self._diag("TYP010", "return without a value", stmt)
+            return
+        if ret == VOID:
+            self._diag("TYP010", "return with a value in void function", stmt)
+            self._expr(stmt.value, scope)
+            return
+        value = decay(self._value(stmt.value, scope))
+        if not self._assignable(ret, value, stmt.value):
+            self._diag(
+                "TYP010", f"cannot return {value} from a function returning {ret}", stmt
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _cond(self, expr: Optional[ast.Expr], scope: Dict[str, Type]) -> None:
+        if expr is None:
+            return
+        t = decay(self._value(expr, scope))
+        if not is_scalar(t):
+            self._diag("TYP011", f"condition has non-scalar type {t}", expr)
+
+    def _value(self, expr: ast.Expr, scope: Dict[str, Type]) -> Type:
+        """Type *expr* in a context that consumes its value."""
+        t = self._expr(expr, scope)
+        if t == VOID:
+            self._diag("TYP009", "void value used", expr)
+            return ERROR
+        return t
+
+    def _expr(self, expr: ast.Expr, scope: Dict[str, Type]) -> Type:
+        t = self._expr_inner(expr, scope)
+        expr.ctype = t
+        return t
+
+    def _expr_inner(self, expr: ast.Expr, scope: Dict[str, Type]) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.Var):
+            t = scope.get(expr.name, self.globals.get(expr.name))
+            if t is None:
+                if expr.name in self.functions:
+                    self._diag(
+                        "TYP012", f"function {expr.name!r} used as a value", expr
+                    )
+                else:
+                    self._diag(
+                        "TYP007",
+                        f"undeclared identifier {expr.name!r}",
+                        expr,
+                        width=len(expr.name),
+                    )
+                return ERROR
+            return t
+        if isinstance(expr, ast.Index):
+            return self._index(expr, scope)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr, scope)
+        if isinstance(expr, ast.Deref):
+            return self._deref(expr, scope)
+        if isinstance(expr, ast.AddrOf):
+            return self._addrof(expr, scope)
+        if isinstance(expr, ast.Member):
+            return self._member(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, ast.CallExpr):
+            return self._call(expr, scope)
+        if isinstance(expr, ast.AssignExpr):
+            return self._assign(expr, scope)
+        if isinstance(expr, ast.IncDec):
+            return self._incdec(expr, scope)
+        self._diag("TYP012", f"unsupported expression {type(expr).__name__}", expr)
+        return ERROR
+
+    def _index(self, expr: ast.Index, scope: Dict[str, Type]) -> Type:
+        base = scope.get(expr.base, self.globals.get(expr.base))
+        if base is None:
+            self._diag(
+                "TYP007",
+                f"undeclared identifier {expr.base!r}",
+                expr,
+                width=len(expr.base),
+            )
+            base = ERROR
+        index = decay(self._value(expr.index, scope))
+        if index != INT and index != ERROR:
+            self._diag("TYP005", "array index must be int", expr.index)
+        if base == ERROR:
+            return ERROR
+        base = decay(base)
+        if not isinstance(base, Pointer):
+            self._diag(
+                "TYP005",
+                f"{expr.base!r} is not an array or pointer",
+                expr,
+                width=len(expr.base),
+            )
+            return ERROR
+        if isinstance(base.pointee, Struct):
+            self._diag(
+                "TYP005", "cannot index a pointer to struct; use ->", expr
+            )
+            return ERROR
+        return base.pointee
+
+    def _unary(self, expr: ast.Unary, scope: Dict[str, Type]) -> Type:
+        t = decay(self._value(expr.operand, scope))
+        if expr.op == "-":
+            if not is_arith(t):
+                self._diag("TYP001", f"unary - requires an arithmetic operand, got {t}", expr)
+                return ERROR
+            return t
+        if expr.op == "~":
+            if t != INT and t != ERROR:
+                self._diag("TYP001", "~ requires an int operand", expr)
+                return ERROR
+            return INT
+        if expr.op == "!":
+            if not is_scalar(t):
+                self._diag("TYP001", f"! requires a scalar operand, got {t}", expr)
+            return INT
+        self._diag("TYP012", f"unsupported unary operator {expr.op!r}", expr)
+        return ERROR
+
+    def _deref(self, expr: ast.Deref, scope: Dict[str, Type]) -> Type:
+        t = decay(self._value(expr.operand, scope))
+        if t == ERROR:
+            return ERROR
+        if not isinstance(t, Pointer):
+            self._diag("TYP005", f"cannot dereference non-pointer type {t}", expr)
+            return ERROR
+        return t.pointee
+
+    def _addrof(self, expr: ast.AddrOf, scope: Dict[str, Type]) -> Type:
+        operand = expr.operand
+        if not isinstance(operand, _LVALUES):
+            self._diag("TYP004", "cannot take the address of a non-lvalue", expr)
+            self._expr(operand, scope)
+            return ERROR
+        t = self._expr(operand, scope)
+        if t == ERROR:
+            return ERROR
+        if isinstance(t, Array):
+            self._diag(
+                "TYP005",
+                "cannot take the address of an array (take &a[0] instead)",
+                expr,
+            )
+            return ERROR
+        return Pointer(t)
+
+    def _member(self, expr: ast.Member, scope: Dict[str, Type]) -> Type:
+        base = self._expr(expr.base, scope)
+        if base == ERROR:
+            return ERROR
+        if expr.arrow:
+            base = decay(base)
+            if not (isinstance(base, Pointer) and isinstance(base.pointee, Struct)):
+                self._diag(
+                    "TYP006", f"-> requires a pointer to struct, got {base}", expr
+                )
+                return ERROR
+            struct = base.pointee
+        else:
+            if not isinstance(base, Struct):
+                self._diag("TYP006", f". requires a struct value, got {base}", expr)
+                return ERROR
+            struct = base
+        field = struct.field_type(expr.field)
+        if field is None:
+            self._diag(
+                "TYP006",
+                f"struct {struct.name!r} has no field {expr.field!r}",
+                expr,
+                width=len(expr.field),
+            )
+            return ERROR
+        return field
+
+    def _binary(self, expr: ast.Binary, scope: Dict[str, Type]) -> Type:
+        left = decay(self._value(expr.left, scope))
+        right = decay(self._value(expr.right, scope))
+        op = expr.op
+        if left == ERROR or right == ERROR:
+            return ERROR
+        if op in ("&&", "||"):
+            for side, t in ((expr.left, left), (expr.right, right)):
+                if not is_scalar(t):
+                    self._diag("TYP001", f"{op} requires scalar operands, got {t}", side)
+            return INT
+        if op in _RELOPS:
+            if is_arith(left) and is_arith(right):
+                return INT
+            if isinstance(left, Pointer) and isinstance(right, Pointer):
+                if left != right:
+                    self._diag(
+                        "TYP001", f"cannot compare {left} with {right}", expr
+                    )
+                return INT
+            if isinstance(left, Pointer) and self._is_null(expr.right):
+                return INT
+            if isinstance(right, Pointer) and self._is_null(expr.left):
+                return INT
+            self._diag("TYP001", f"cannot compare {left} with {right}", expr)
+            return ERROR
+        if op in _INT_ONLY:
+            if left != INT or right != INT:
+                self._diag("TYP001", f"{op} requires int operands", expr)
+                return ERROR
+            return INT
+        # + - * / with pointer arithmetic on + and -.
+        if op in ("+", "-"):
+            if isinstance(left, Pointer) and right == INT:
+                return left
+            if op == "+" and left == INT and isinstance(right, Pointer):
+                return right
+            if op == "-" and isinstance(left, Pointer) and isinstance(right, Pointer):
+                if left != right:
+                    self._diag(
+                        "TYP001", f"cannot subtract {right} from {left}", expr
+                    )
+                return INT
+        if is_arith(left) and is_arith(right):
+            return FLOAT if FLOAT in (left, right) else INT
+        self._diag(
+            "TYP001", f"invalid operands to {op} ({left} and {right})", expr
+        )
+        return ERROR
+
+    @staticmethod
+    def _is_null(expr: Optional[ast.Expr]) -> bool:
+        return isinstance(expr, ast.IntLit) and expr.value == 0
+
+    def _assignable(self, dst: Type, src: Type, value_node: Optional[ast.Expr]) -> bool:
+        """May a value of *src* initialize/assign/convert into *dst*?
+
+        Arithmetic types interconvert implicitly; pointers require exact
+        type equality, except the literal ``0`` which acts as null.
+        Callers decay arrays on both sides first.
+        """
+        if dst == ERROR or src == ERROR:
+            return True
+        if dst == src:
+            return True
+        if is_arith(dst) and is_arith(src):
+            return True
+        if isinstance(dst, Pointer) and self._is_null(value_node):
+            return True
+        return False
+
+    def _call(self, expr: ast.CallExpr, scope: Dict[str, Type]) -> Type:
+        signature = self.functions.get(expr.name)
+        if signature is None:
+            self._diag(
+                "TYP007",
+                f"call to undeclared function {expr.name!r}",
+                expr,
+                width=len(expr.name),
+            )
+            for arg in expr.args:
+                self._expr(arg, scope)
+            return ERROR
+        if len(expr.args) != len(signature.params):
+            self._diag(
+                "TYP002",
+                f"{expr.name} expects {len(signature.params)} arguments, "
+                f"got {len(expr.args)}",
+                expr,
+            )
+            for arg in expr.args:
+                self._expr(arg, scope)
+            return signature.ret
+        for i, (arg, (param_name, param_type)) in enumerate(
+            zip(expr.args, signature.params)
+        ):
+            value = decay(self._value(arg, scope))
+            wanted = decay(param_type)
+            if not self._assignable(wanted, value, arg):
+                self._diag(
+                    "TYP003",
+                    f"argument {i + 1} to {expr.name!r} ({param_name}) "
+                    f"expects {wanted}, got {value}",
+                    arg,
+                )
+        return signature.ret
+
+    def _assign(self, expr: ast.AssignExpr, scope: Dict[str, Type]) -> Type:
+        target = self._lvalue(expr.target, scope)
+        value = decay(self._value(expr.value, scope))
+        if target == ERROR:
+            return ERROR
+        if expr.op == "=":
+            if not self._assignable(target, value, expr.value):
+                self._diag("TYP001", f"cannot assign {value} to {target}", expr)
+            return target
+        op_text = expr.op[:-1]
+        if op_text in _INT_ONLY:
+            if target != INT or value != INT:
+                self._diag("TYP001", f"{expr.op} requires int operands", expr)
+            return target
+        if isinstance(target, Pointer):
+            if op_text not in ("+", "-") or value != INT:
+                self._diag(
+                    "TYP001", f"invalid pointer compound assignment {expr.op}", expr
+                )
+            return target
+        if not (is_arith(target) and is_arith(value)):
+            self._diag(
+                "TYP001", f"invalid operands to {expr.op} ({target} and {value})", expr
+            )
+        return target
+
+    def _incdec(self, expr: ast.IncDec, scope: Dict[str, Type]) -> Type:
+        target = self._lvalue(expr.target, scope)
+        if target == ERROR:
+            return ERROR
+        if not (is_arith(target) or isinstance(target, Pointer)):
+            self._diag("TYP005", f"{expr.op} requires a scalar lvalue, got {target}", expr)
+            return ERROR
+        return target
+
+    def _lvalue(self, target: Optional[ast.Expr], scope: Dict[str, Type]) -> Type:
+        """Type a store destination; rejects arrays and struct values."""
+        if not isinstance(target, _LVALUES):
+            self._diag("TYP004", "assignment to non-lvalue", target)
+            if target is not None:
+                self._expr(target, scope)
+            return ERROR
+        t = self._expr(target, scope)
+        if isinstance(t, Array):
+            self._diag("TYP005", "cannot assign to an array", target)
+            return ERROR
+        if isinstance(t, Struct):
+            self._diag("TYP012", "struct assignment is not supported", target)
+            return ERROR
+        return t

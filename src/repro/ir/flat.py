@@ -314,6 +314,7 @@ class FlatFunction:
         "sel_applied",
         "alloc_applied",
         "unrolled",
+        "mem_facts",
         "_analyses",
         "_scalar_slots",
         "_content_key",
@@ -333,6 +334,7 @@ class FlatFunction:
         self.sel_applied = False
         self.alloc_applied = False
         self.unrolled: set = set()
+        self.mem_facts = None  # source-level facts; see Function.mem_facts
         # Lazily-populated flat analyses (repro.analysis.flat); shared
         # with clones and rebound (never mutated) on invalidation,
         # exactly like Function._analyses.
@@ -366,6 +368,7 @@ class FlatFunction:
         other.sel_applied = self.sel_applied
         other.alloc_applied = self.alloc_applied
         other.unrolled = self.unrolled  # never mutated in place on flat
+        other.mem_facts = self.mem_facts  # plain data, never mutated
         other._analyses = self._analyses
         other._scalar_slots = self._scalar_slots
         other._content_key = self._content_key
@@ -439,6 +442,7 @@ def to_flat(func: Function) -> FlatFunction:
     flat.sel_applied = func.sel_applied
     flat.alloc_applied = func.alloc_applied
     flat.unrolled = set(func.unrolled)
+    flat.mem_facts = func.mem_facts
     return flat
 
 
@@ -459,6 +463,7 @@ def from_flat(flat: FlatFunction) -> Function:
     func.sel_applied = flat.sel_applied
     func.alloc_applied = flat.alloc_applied
     func.unrolled = set(flat.unrolled)
+    func.mem_facts = flat.mem_facts
     return func
 
 

@@ -94,6 +94,11 @@ class Function:
         self.reg_assigned = False
         self.sel_applied = False
         self.alloc_applied = False
+        # Source-level memory facts from the frontend (None when the
+        # function was built by hand): {"frame_private": [offsets]} —
+        # slots whose address provably never escapes.  Consumed by the
+        # translation-validation alias oracle.
+        self.mem_facts = None
         # Headers of loops already unrolled (loop unrolling applies to
         # each loop at most once, as VPO's does).
         self.unrolled: set = set()
@@ -198,6 +203,7 @@ class Function:
         other.sel_applied = self.sel_applied
         other.alloc_applied = self.alloc_applied
         other.unrolled = set(self.unrolled)
+        other.mem_facts = dict(self.mem_facts) if self.mem_facts else self.mem_facts
         other._analyses = self._analyses
         return other
 

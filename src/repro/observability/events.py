@@ -93,6 +93,12 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     "breaker_open": frozenset({"key", "failures"}),
     "breaker_probe": frozenset({"key"}),
     "breaker_close": frozenset({"key"}),
+    # frontend (``repro lint`` on mini-C sources, ``repro fuzz``): one
+    # lint_source per linted translation unit, one fuzz_program per
+    # generated program that failed, one fuzz_run per whole stream
+    "lint_source": frozenset({"target", "diagnostics"}),
+    "fuzz_program": frozenset({"index", "kind"}),
+    "fuzz_run": frozenset({"count", "seed", "failures"}),
     # search lab (``repro search-bench``; see docs/SEARCH.md): one
     # search_space per scored seed function, one search_strategy per
     # (function, strategy) pair with its distance to the exhaustive

@@ -159,6 +159,38 @@ int main(void) {
     return sha_digest[0] ^ sha_digest[1] ^ sha_digest[2]
          ^ sha_digest[3] ^ sha_digest[4];
 }
+
+/* MiBench's sha_stream feeds the hash from a buffer pointer; these
+   two are the pointer-walking counterparts of sha_update_words. */
+int word_sum(int *p, int n) {
+    int total = 0;
+    while (n > 0) {
+        total += *p;
+        p += 1;
+        n -= 1;
+    }
+    return total;
+}
+
+void sha_update_ptr(int *words, int count) {
+    int consumed = 0;
+    while (consumed < count) {
+        int chunk = count - consumed;
+        int i;
+        int *src;
+        if (chunk > 16)
+            chunk = 16;
+        src = words + consumed;
+        for (i = 0; i < chunk; i++)
+            sha_data[i] = *(src + i);
+        for (i = chunk; i < 16; i++)
+            sha_data[i] = 0;
+        byte_reverse(16);
+        sha_transform();
+        consumed += chunk;
+        sha_count += chunk * 4;
+    }
+}
 """
 
 SHA = make_program(
@@ -175,5 +207,7 @@ SHA = make_program(
         "sha_final_word",
         "main",
         "selftest",
+        "word_sum",
+        "sha_update_ptr",
     ],
 )

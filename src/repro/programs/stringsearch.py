@@ -176,6 +176,62 @@ int main(void) {
     total = total * 31 + bmhi_search(256, 5);
     return total;
 }
+
+/* Match accounting through a struct pointer (MiBench's bmha family
+   reports both the first hit and the hit count). */
+struct Match { int pos; int count; };
+struct Match last_match;
+
+void record_match(struct Match *m, int at) {
+    if (m->count == 0)
+        m->pos = at;
+    m->count += 1;
+}
+
+int find_all(int textlen, int patlen) {
+    struct Match *m;
+    int pos;
+    m = &last_match;
+    m->pos = -1;
+    m->count = 0;
+    pos = patlen - 1;
+    while (pos < textlen) {
+        int i = patlen - 1;
+        int j = pos;
+        while (i >= 0 && search_text[j] == pattern[i]) {
+            i--;
+            j--;
+        }
+        if (i < 0) {
+            record_match(m, pos - patlen + 1);
+            pos += patlen;
+        } else {
+            pos += skip[search_text[pos] & 127];
+        }
+    }
+    return m->pos * 1000 + m->count;
+}
+
+/* Pointer-walking rewrite of the naive search's inner comparison. */
+int match_here(int *t, int *p, int n) {
+    while (n > 0) {
+        if (*t != *p)
+            return 0;
+        t += 1;
+        p += 1;
+        n -= 1;
+    }
+    return 1;
+}
+
+int simple_search_ptr(int textlen, int patlen) {
+    int pos;
+    for (pos = 0; pos + patlen <= textlen; pos++) {
+        if (match_here(&search_text[pos], &pattern[0], patlen) == 1)
+            return pos;
+    }
+    return -1;
+}
 """
 
 STRINGSEARCH = make_program(
@@ -196,5 +252,9 @@ STRINGSEARCH = make_program(
         "count_occurrences",
         "main",
         "selftest",
+        "record_match",
+        "find_all",
+        "match_here",
+        "simple_search_ptr",
     ],
 )

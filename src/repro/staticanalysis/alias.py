@@ -1,0 +1,223 @@
+"""IR-level alias oracle: layout and frontend facts for the prover.
+
+:mod:`repro.staticanalysis.transval` proves two blocks equivalent by
+matching their memory event logs; when a load walks back over the log
+it may skip a store only if the two addresses *provably* differ.  The
+baseline test — identical linear terms, nonzero constant difference —
+cannot separate a frame slot from a global, or two different globals,
+because their symbolic bases differ.  This oracle adds exactly those
+facts:
+
+- **Region disjointness** (unconditional): the data segment and every
+  stack frame occupy disjoint address ranges in the VM, so an in-frame
+  ``fp + c`` access never aliases an in-bounds global access, and
+  in-bounds accesses to two *different* globals never alias.
+- **Frame privacy** (from the frontend): codegen records, per
+  function, the frame offsets of scalar slots whose address is never
+  taken (``Function.mem_facts["frame_private"]``).  No source pointer
+  to such a slot exists, so an access whose address is built purely
+  from source-level values cannot touch it.
+
+Frame privacy is subtle because *compiler-generated* code may carry a
+private slot's address in ways the source never could: register
+allocation can spill an address register to a new frame slot and
+reload it, and a value live across a call or a block boundary surfaces
+as an opaque atom.  The oracle therefore only claims privacy
+distinctness when every atom of the other address is **source-valued**
+— a global address half, or a load from a cell that provably holds
+source data (a private scalar slot, a global, or a dynamically indexed
+frame array), recursively.  Opaque registers, call-clobber tokens and
+unmodelled operators disqualify the claim.
+
+The privacy fact (and the in-bounds treatment of dynamically indexed
+accesses) is sound for programs accepted by the frontend's semantic
+gate with well-defined behaviour — the same contract the rest of the
+pipeline already assumes for out-of-bounds indexing.  Hand-built IR
+carries no ``mem_facts``, so the oracle degrades to the layout facts
+alone.  The structural canonicalizer (:mod:`.canon`) deliberately does
+*not* consult this oracle: DAG collapse guarantees stay purely
+structural.
+
+Address classification works on the prover's *linearized* form — a
+``(terms, const)`` pair where ``terms`` maps atoms such as
+``("reg", index, pseudo)``, ``("sym", name, part)`` and
+``("load", position, addr)`` to integer coefficients (mod 2^32).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.function import Program
+from repro.machine.target import FP
+
+#: the linear-form atom the frame pointer evaluates to in the prover
+_FP_ATOM = ("reg", FP.index, FP.pseudo)
+
+#: bound on _cell_holds_source_data recursion (pointer chains)
+_MAX_DEPTH = 8
+
+
+class AliasOracle:
+    """Answer "are these two symbolic addresses provably distinct?"."""
+
+    __slots__ = ("global_words", "frame_size", "frame_private")
+
+    def __init__(
+        self,
+        program: Optional[Program] = None,
+        frame_size: int = 0,
+        mem_facts: Optional[dict] = None,
+    ):
+        self.global_words: Dict[str, int] = {}
+        if program is not None:
+            for var in program.globals.values():
+                self.global_words[var.name] = var.words
+        self.frame_size = frame_size
+        facts = mem_facts or {}
+        self.frame_private = frozenset(facts.get("frame_private", ()))
+
+    # ------------------------------------------------------------------
+    # Linear-form helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coeffs(linear: Tuple) -> Dict[Tuple, int]:
+        terms, __ = linear
+        return {atom: coeff for atom, coeff in terms.items() if coeff}
+
+    def _frame_exact(self, linear: Tuple) -> Optional[int]:
+        """The constant c when the address is exactly ``fp + c``."""
+        coeffs = self._coeffs(linear)
+        if coeffs.pop(_FP_ATOM, 0) == 1 and not coeffs:
+            return linear[1]
+        return None
+
+    def _global_base(self, linear: Tuple) -> Optional[Tuple[str, int, bool]]:
+        """``(name, offset, exact)`` when the address is one global's
+        HI/LO pair plus an offset (exact=False with runtime terms)."""
+        coeffs = self._coeffs(linear)
+        if coeffs.pop(_FP_ATOM, 0):
+            return None
+        names = {atom[1] for atom in coeffs if atom[0] == "sym"}
+        if len(names) != 1:
+            return None
+        name = names.pop()
+        if coeffs.pop(("sym", name, "hi"), 0) != 1:
+            return None
+        if coeffs.pop(("sym", name, "lo"), 0) != 1:
+            return None
+        if name not in self.global_words:
+            return None
+        return name, linear[1], not coeffs
+
+    def _global_in_bounds(self, base: Tuple[str, int, bool]) -> bool:
+        name, offset, exact = base
+        if not exact:
+            return True  # dynamic index: in bounds by contract
+        return 0 <= offset and offset + 4 <= 4 * self.global_words[name]
+
+    def _frame_in_bounds(self, offset: int) -> bool:
+        return 0 <= offset and offset + 4 <= self.frame_size
+
+    # ------------------------------------------------------------------
+    # Frame privacy
+    # ------------------------------------------------------------------
+
+    def _cell_holds_source_data(self, addr: Tuple, depth: int) -> bool:
+        """The cell at symbolic *addr* holds a source-level value —
+        never a compiler-materialized frame address (e.g. a spill of an
+        address register)."""
+        if depth <= 0:
+            return False
+        linear = _linearize(addr)
+        offset = self._frame_exact(linear)
+        if offset is not None:
+            # A private scalar slot holds the source variable's value.
+            # Any other exact frame offset may be a spill slot.
+            return offset in self.frame_private
+        coeffs = self._coeffs(linear)
+        fp_coeff = coeffs.pop(_FP_ATOM, 0)
+        if fp_coeff == 1:
+            # fp plus runtime terms: a frame *array* element (spill
+            # code uses exact offsets only) — holds source data.
+            return True
+        if fp_coeff:
+            return False
+        # No frame base: sound when the address itself is source-built
+        # (then, being dereferenced, it lands in a source object, and
+        # source objects hold source data).
+        return self._atoms_are_source_values(coeffs, depth)
+
+    def _atoms_are_source_values(self, coeffs: Dict[Tuple, int], depth: int) -> bool:
+        for atom in coeffs:
+            if atom[0] == "sym":
+                continue  # a global address half
+            if atom[0] == "load" and self._cell_holds_source_data(
+                atom[2], depth - 1
+            ):
+                continue
+            # "reg" (live-in value), "call" (call-preserved register)
+            # and "op" atoms may all carry a frame address planted by
+            # compiler-generated code: no claim.
+            return False
+        return True
+
+    def _avoids_private_slots(self, linear: Tuple) -> bool:
+        """The address provably never lands on a frame-private slot."""
+        coeffs = self._coeffs(linear)
+        fp_coeff = coeffs.pop(_FP_ATOM, 0)
+        if fp_coeff == 1 and coeffs:
+            # A dynamically indexed frame access stays inside its array
+            # (in bounds by contract); arrays are never private slots.
+            return True
+        if fp_coeff:
+            return False  # exact frame addresses are compared directly
+        # Source-built fp-free address: dereferenced, it must hit a
+        # source-visible object, and no source pointer to a private
+        # slot exists.  (A pure constant address is UB to dereference,
+        # so the claim holds vacuously under the contract.)
+        return self._atoms_are_source_values(coeffs, _MAX_DEPTH)
+
+    # ------------------------------------------------------------------
+
+    def distinct(self, a: Tuple, b: Tuple) -> bool:
+        """True only when symbolic addresses *a*, *b* provably refer to
+        different memory cells.  Arguments are prover value tuples."""
+        la = _linearize(a)
+        lb = _linearize(b)
+        frame_a = self._frame_exact(la)
+        frame_b = self._frame_exact(lb)
+        glob_a = self._global_base(la)
+        glob_b = self._global_base(lb)
+        # Region disjointness: frame vs data segment, global vs global.
+        if frame_a is not None and glob_b is not None:
+            return self._frame_in_bounds(frame_a) and self._global_in_bounds(glob_b)
+        if glob_a is not None and frame_b is not None:
+            return self._global_in_bounds(glob_a) and self._frame_in_bounds(frame_b)
+        if glob_a is not None and glob_b is not None and glob_a[0] != glob_b[0]:
+            return self._global_in_bounds(glob_a) and self._global_in_bounds(glob_b)
+        # Frame privacy.
+        if frame_a is not None and frame_a in self.frame_private:
+            return self._avoids_private_slots(lb)
+        if frame_b is not None and frame_b in self.frame_private:
+            return self._avoids_private_slots(la)
+        return False
+
+
+def _linearize(value: Tuple) -> Tuple[Dict[Tuple, int], int]:
+    """Mirror of the prover's linear view (kept import-cycle-free)."""
+    if value[0] == "const":
+        return {}, value[1]
+    if value[0] == "lin":
+        return dict(value[1]), value[2]
+    return {value: 1}, 0
+
+
+def oracle_for(func, program: Optional[Program] = None) -> AliasOracle:
+    """Build the oracle for one enumerated function."""
+    return AliasOracle(
+        program=program,
+        frame_size=func.frame_size,
+        mem_facts=getattr(func, "mem_facts", None),
+    )

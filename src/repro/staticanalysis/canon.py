@@ -376,7 +376,11 @@ class SemanticCollapser:
         program: Optional[Program] = None,
         entry: Optional[str] = None,
     ):
-        self.validator = TranslationValidator(program=program, entry=entry)
+        # No alias oracle here: collapse verdicts must stay purely
+        # structural/symbolic, independent of source-level contracts.
+        self.validator = TranslationValidator(
+            program=program, entry=entry, alias_oracle=False
+        )
         #: semantic digest -> representative node id (first wins)
         self.index: Dict[str, int] = {}
         #: rep node id -> Function or serialized function dict

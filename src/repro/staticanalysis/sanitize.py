@@ -29,6 +29,10 @@ CC001     dangling registers live into the entry block
 CC002     return-value register may be uninitialized at a return
 CC003     call to a function the program does not define
 CC004     call argument count disagrees with the callee's parameters
+MEM001    load from a compile-time-constant address (wild load)
+MEM002    store to a compile-time-constant address (wild store)
+MEM003    access at an address that is provably misaligned
+MEM004    global access with a known offset outside the object
 ========  =========================================================
 
 The sanitizer runs in two modes.  **fast** covers everything the
@@ -36,7 +40,8 @@ legacy ``ir/validate.py`` battery did (structure, machine legality,
 register discipline, frame layout, entry liveness) plus the two checks
 it historically missed — duplicate labels and cross-function branch
 targets.  **full** adds the definedness dataflow (DFA001/DFA002,
-CC002) and frame-reference bounds (FRAME003).  Structural findings
+CC002), frame-reference bounds (FRAME003) and the memory-access
+checks (MEM001-MEM004, see :mod:`.memcheck`).  Structural findings
 short-circuit: dataflow over a malformed CFG would be meaningless.
 """
 
@@ -507,9 +512,12 @@ def sanitize_function(
     if program is not None:
         findings.extend(call_findings(func, program))
     if mode == FULL:
+        from repro.staticanalysis.memcheck import memory_findings
+
         cfg = cfg_of(func)
         findings.extend(definedness_findings(func, cfg))
         findings.extend(frame_bounds_findings(func, cfg))
+        findings.extend(memory_findings(func, cfg, program))
     return findings
 
 

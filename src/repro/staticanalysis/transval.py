@@ -179,18 +179,25 @@ def _addresses_distinct(a: Tuple, b: Tuple) -> bool:
 class _SymState:
     """Symbolic execution state for one basic block."""
 
-    __slots__ = ("env", "mem", "calls", "cc", "returns_value")
+    __slots__ = ("env", "mem", "calls", "cc", "returns_value", "oracle")
 
-    def __init__(self, returns_value: bool):
+    def __init__(self, returns_value: bool, oracle=None):
         self.env: Dict[Tuple[int, bool], Tuple] = {}
         #: memory event log: ("store", addr, value) | ("call", k)
         self.mem: List[Tuple] = []
         self.calls: List[Tuple] = []
         self.cc: Optional[Tuple] = None
         self.returns_value = returns_value
+        #: optional AliasOracle adding layout/frontend distinctness facts
+        self.oracle = oracle
 
     def _reg(self, reg: Reg) -> Tuple:
         return self.env.get((reg.index, reg.pseudo), ("reg", reg.index, reg.pseudo))
+
+    def _distinct(self, a: Tuple, b: Tuple) -> bool:
+        if _addresses_distinct(a, b):
+            return True
+        return self.oracle is not None and self.oracle.distinct(a, b)
 
     def _load(self, addr: Tuple) -> Tuple:
         for position in range(len(self.mem) - 1, -1, -1):
@@ -199,7 +206,7 @@ class _SymState:
                 break  # the call may have written anything
             if event[1] == addr:
                 return event[2]
-            if not _addresses_distinct(event[1], addr):
+            if not self._distinct(event[1], addr):
                 break  # may alias: value unknown
         else:
             position = -1
@@ -277,15 +284,20 @@ def _frame_shape(func: Function) -> Tuple:
     )
 
 
-def prove_equivalent(before: Function, after: Function) -> bool:
-    """Symbolic block-level simulation proof; False means *unknown*."""
+def prove_equivalent(before: Function, after: Function, oracle=None) -> bool:
+    """Symbolic block-level simulation proof; False means *unknown*.
+
+    *oracle* (an :class:`~repro.staticanalysis.alias.AliasOracle`)
+    optionally strengthens the store-skipping distinctness test with
+    layout and frontend memory facts.
+    """
     try:
-        return _prove(before, after)
+        return _prove(before, after, oracle)
     except _NotProvable:
         return False
 
 
-def _prove(before: Function, after: Function) -> bool:
+def _prove(before: Function, after: Function, oracle=None) -> bool:
     if before.returns_value != after.returns_value:
         return False
     if len(before.params) != len(after.params):
@@ -322,8 +334,8 @@ def _prove(before: Function, after: Function) -> bool:
                 return False
             if term_a.relop != term_b.relop:
                 return False
-        state_a = _SymState(before.returns_value)
-        state_b = _SymState(after.returns_value)
+        state_a = _SymState(before.returns_value, oracle)
+        state_b = _SymState(after.returns_value, oracle)
         for inst in block_a.insts:
             state_a.execute(inst)
         for inst in block_b.insts:
@@ -367,17 +379,29 @@ class TranslationValidator:
         program: Optional[Program] = None,
         entry: Optional[str] = None,
         fuel: int = 2_000_000,
+        alias_oracle: bool = True,
     ):
         self.program = program
         self.entry = entry
         self.fuel = fuel
+        #: consult frontend mem_facts / layout facts while proving.
+        #: The semantic DAG collapse turns this off so that collapse
+        #: verdicts never depend on source-level contracts.
+        self.alias_oracle = alias_oracle
         self._ref_cache: Dict[Tuple, List[Tuple[Tuple[int, ...], object]]] = {}
 
     # ------------------------------------------------------------------
 
+    def _oracle_for(self, func: Function):
+        if not self.alias_oracle:
+            return None
+        from repro.staticanalysis.alias import oracle_for
+
+        return oracle_for(func, self.program)
+
     def classify(self, before: Function, after: Function) -> EdgeVerdict:
         try:
-            proved = _prove(before, after)
+            proved = _prove(before, after, self._oracle_for(before))
         except _NotProvable:
             proved = False
         except (KeyboardInterrupt, SystemExit, MemoryError):

@@ -1,0 +1,116 @@
+"""Regression tests for frontend error reporting and span rendering."""
+
+import pytest
+
+from repro.frontend import compile_source, parse
+from repro.frontend.errors import CompileError, format_error, render_span
+
+
+class TestRenderSpan:
+    def test_caret_under_the_column(self):
+        out = render_span("int x = oops;", 1, 9)
+        line, marker = out.split("\n")
+        assert line == "  int x = oops;"
+        assert marker == "  " + " " * 8 + "^"
+
+    def test_width_extends_with_tildes(self):
+        out = render_span("return value;", 1, 8, width=5)
+        assert out.endswith("^~~~~")
+
+    def test_tabs_are_mirrored_in_the_marker_line(self):
+        # The pad must reproduce tabs so the caret lands under the
+        # token at any terminal tab width.
+        source = "\tint\tx = y;"
+        out = render_span(source, 1, 10)
+        line, marker = out.split("\n")
+        assert line == "  \tint\tx = y;"
+        prefix = marker[: marker.index("^")]
+        assert prefix.count("\t") == 2
+        assert set(prefix) <= {" ", "\t"}
+
+    def test_tab_after_caret_does_not_pad(self):
+        out = render_span("x\t= 1;", 1, 1)
+        __, marker = out.split("\n")
+        assert marker == "  ^"
+
+    def test_out_of_range_locations_render_nothing(self):
+        assert render_span("one line", 0, 1) == ""
+        assert render_span("one line", 2, 1) == ""
+        assert render_span("one line", 99, 5) == ""
+
+    def test_column_zero_clamps_to_first_column(self):
+        out = render_span("abc", 1, 0)
+        assert out.endswith("\n  ^")
+
+
+class TestCompileErrorLocations:
+    def test_line_and_column_in_message(self):
+        error = CompileError("boom", 3, 7)
+        assert str(error) == "boom at 3:7"
+
+    def test_column_only_location_is_not_suppressed(self):
+        # Regression: a zero line with a real column used to drop the
+        # location entirely.
+        error = CompileError("boom", 0, 7)
+        assert "0:7" in str(error)
+
+    def test_no_location(self):
+        assert str(CompileError("boom")) == "boom"
+
+    def test_format_error_includes_span(self):
+        source = "int f() { return }"
+        with pytest.raises(CompileError) as excinfo:
+            parse(source)
+        out = format_error(excinfo.value, source, "demo.c")
+        assert out.startswith("demo.c:1:")
+        assert "^" in out
+
+
+class TestParserEofPositions:
+    def test_unterminated_block_blames_the_opening_brace(self):
+        source = "int f() { return 1;"
+        with pytest.raises(CompileError) as excinfo:
+            parse(source)
+        error = excinfo.value
+        # Anchored at the "{" that was never closed — a real source
+        # position, not the zero-width end-of-file marker.
+        assert (error.line, error.column) == (1, source.index("{") + 1)
+
+    def test_expect_at_eof_blames_the_last_real_token(self):
+        source = "int f(int a"
+        with pytest.raises(CompileError) as excinfo:
+            parse(source)
+        error = excinfo.value
+        assert error.line == 1
+        assert error.column == len(source)  # the "a", not EOF
+        assert "end of input" in error.message
+
+    def test_eof_mid_expression(self):
+        source = "int f() {\n    return 1 +"
+        with pytest.raises(CompileError) as excinfo:
+            parse(source)
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == len("    return 1 +")
+
+    def test_empty_source_still_has_a_position(self):
+        with pytest.raises(CompileError):
+            parse("int")
+
+
+class TestEveryErrorCarriesAPosition:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int f( { return 0; }",
+            "int f() { int 3; }",
+            "int f() { return 0 }",
+            "int f() { @ }",
+            "int f() { return y; }",
+            "struct S; int f() { return 0; }",
+        ],
+    )
+    def test_nonzero_line_and_column(self, source):
+        with pytest.raises(CompileError) as excinfo:
+            compile_source(source)
+        assert excinfo.value.line > 0
+        assert excinfo.value.column > 0

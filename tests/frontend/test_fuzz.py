@@ -1,0 +1,121 @@
+"""Tests for the property-based program generator and its shrinker."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.frontend import CompileError, compile_source
+from repro.frontend.fuzz import fuzz_source, generate_source, minimize_lines
+from repro.ir.flat import from_flat, to_flat
+from repro.ir.printer import format_function
+from repro.staticanalysis import sanitize_program
+from repro.vm import Interpreter
+
+
+class TestDeterminism:
+    def test_same_seed_and_index_is_byte_identical(self):
+        for index in range(10):
+            assert fuzz_source(3, index) == fuzz_source(3, index)
+
+    def test_indices_are_independent_of_stream_position(self):
+        # Program k never depends on programs 0..k-1 having been
+        # generated; failures reproduce in isolation.
+        late = fuzz_source(5, 17)
+        for index in range(5):
+            fuzz_source(5, index)
+        assert fuzz_source(5, 17) == late
+
+    def test_streams_differ_across_seeds_and_indices(self):
+        sources = {fuzz_source(0, i) for i in range(8)}
+        sources |= {fuzz_source(1, i) for i in range(8)}
+        assert len(sources) > 8
+
+
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("index", range(12))
+    def test_pipeline_clean(self, index):
+        """The generator's whole contract, end to end: zero semantic
+        diagnostics, zero sanitizer findings, and a VM run that
+        terminates (no UB trips the interpreter's guards)."""
+        source = fuzz_source(11, index)
+        program = compile_source(source)  # raises on any diagnostic
+        assert sanitize_program(program, mode="full") == []
+        Interpreter(program, fuel=2_000_000).run("main")
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_round_trip_property(self, seed):
+        """Compilation is a pure function of the source text, and the
+        flat-IR round trip preserves every function bit-for-bit,
+        including the frontend's memory facts."""
+        source = fuzz_source(seed, 0)
+        first = compile_source(source)
+        second = compile_source(source)
+        assert list(first.functions) == list(second.functions)
+        for name, func in first.functions.items():
+            twin = second.functions[name]
+            assert format_function(func) == format_function(twin)
+            assert func.mem_facts == twin.mem_facts
+            rebuilt = from_flat(to_flat(func))
+            assert format_function(rebuilt) == format_function(func)
+            assert rebuilt.mem_facts == func.mem_facts
+
+    def test_generate_source_uses_only_the_given_rng(self):
+        import random
+
+        assert generate_source(random.Random(42)) == generate_source(
+            random.Random(42)
+        )
+
+
+class TestMinimizeLines:
+    def test_reduces_to_the_failing_lines(self):
+        source = "\n".join(f"line{i}" for i in range(40)) + "\n"
+
+        def failing(text):
+            return "line7" in text and "line31" in text
+
+        reduced = minimize_lines(source, failing)
+        assert reduced == "line7\nline31\n"
+
+    def test_requires_a_failing_input(self):
+        with pytest.raises(ValueError):
+            minimize_lines("fine\n", lambda text: False)
+
+    def test_single_line_input(self):
+        assert minimize_lines("bad\n", lambda text: "bad" in text) == "bad\n"
+
+    def test_shrinks_a_compile_failure(self):
+        source = (
+            "int g;\n"
+            "int f() {\n"
+            "    int x;\n"
+            "    x = 1;\n"
+            "    return x + y;\n"
+            "}\n"
+        )
+
+        def failing(text):
+            try:
+                compile_source(text)
+            except CompileError as error:
+                return "undeclared" in error.message
+            return False
+
+        reduced = minimize_lines(source, failing)
+        assert "y" in reduced
+        assert len(reduced.splitlines()) < len(source.splitlines())
+
+    def test_result_is_one_minimal(self):
+        source = "\n".join(f"l{i}" for i in range(16)) + "\n"
+
+        def failing(text):
+            return "l3" in text and "l4" in text and "l11" in text
+
+        reduced = minimize_lines(source, failing)
+        lines = reduced.splitlines()
+        for index in range(len(lines)):
+            candidate = "\n".join(
+                lines[:index] + lines[index + 1:]
+            ) + "\n"
+            assert not failing(candidate)

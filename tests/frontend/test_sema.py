@@ -1,0 +1,131 @@
+"""Golden corpus for the semantic analyzer's diagnostic catalogue.
+
+Every ``TYP0xx``/``SEM0xx`` code in the catalogue is pinned to at
+least one minimal program that triggers it, with its reported
+position.  The corpus is the compatibility contract: codes never
+change meaning, so a refactor of the analyzer that shifts a code (or
+loses a position) fails here, not in a user's build log.
+"""
+
+import pytest
+
+from repro.frontend import compile_source, parse
+from repro.frontend.errors import CompileError
+from repro.frontend.sema import CATALOG, analyze
+from repro.programs import PROGRAMS
+
+#: (code, source, line, column) — one golden program per diagnostic.
+#: Positions are 1-based and part of the contract.
+GOLDEN = [
+    (
+        "TYP001",
+        "int f() { int x; x = 1; int *p; p = &x; x = p + 0; return x; }",
+        1, 43,
+    ),
+    (
+        "TYP001",
+        "int g; int f(float a) { int *p; p = &g; return p * 2; }",
+        1, 50,
+    ),
+    (
+        "TYP002",
+        "int h(int a) { return a; } int f() { return h(1, 2); }",
+        1, 45,
+    ),
+    (
+        "TYP003",
+        "int h(int *a) { return *a; } int f() { return h(3); }",
+        1, 49,
+    ),
+    ("TYP004", "int f() { int x; x = 1; return *(&(x + 1)); }", 1, 34),
+    ("TYP005", "int f() { int x; x = 1; return x[0]; }", 1, 32),
+    ("TYP006", "int f() { struct Nope *p; return 0; }", 1, 11),
+    (
+        "TYP006",
+        "struct S { int a; }; int f() { struct S s; s.a = 1; return s.b; }",
+        1, 62,
+    ),
+    ("TYP007", "int f() { return y; }", 1, 18),
+    ("TYP007", "int f() { return nosuch(1); }", 1, 18),
+    ("TYP008", "int f() { int x; int x; return 0; }", 1, 18),
+    ("TYP009", "void v() { } int f() { int x; x = v(); return x; }", 1, 35),
+    ("TYP010", "void v() { return 3; }", 1, 12),
+    (
+        "TYP011",
+        "struct S { int a; }; "
+        "int f() { struct S s; s.a = 0; if (s) { return 1; } return 0; }",
+        1, 57,
+    ),
+    (
+        "TYP012",
+        "struct S { int a; }; int f(struct S s) { return 0; }",
+        1, 37,
+    ),
+    ("SEM001", "int f() { int x; return x; }", 1, 25),
+    (
+        "SEM002",
+        "int f(int n) { int x; if (n) { x = 1; } return x; }",
+        1, 48,
+    ),
+    ("SEM003", "int f(int n) { if (n) { return 1; } }", 1, 5),
+]
+
+
+class TestGoldenCorpus:
+    @pytest.mark.parametrize(
+        "code,source,line,column",
+        GOLDEN,
+        ids=[f"{row[0]}@{index}" for index, row in enumerate(GOLDEN)],
+    )
+    def test_code_and_position(self, code, source, line, column):
+        result = analyze(parse(source))
+        assert not result.ok
+        first = result.errors[0]
+        assert first.code == code
+        assert (first.line, first.column) == (line, column)
+
+    def test_every_catalogue_code_is_exercised(self):
+        covered = {row[0] for row in GOLDEN}
+        assert covered == set(CATALOG), (
+            "catalogue codes without a golden program: "
+            f"{sorted(set(CATALOG) - covered)}"
+        )
+
+    @pytest.mark.parametrize("code,source,line,column", GOLDEN[:1])
+    def test_compile_source_raises_with_diagnostics(
+        self, code, source, line, column
+    ):
+        with pytest.raises(CompileError) as excinfo:
+            compile_source(source)
+        error = excinfo.value
+        assert error.line == line and error.column == column
+        assert str(error).startswith(code)
+        assert error.diagnostics[0].code == code
+
+    def test_positions_are_always_nonzero(self):
+        for __, source, __, __ in GOLDEN:
+            for diagnostic in analyze(parse(source)).diagnostics:
+                assert diagnostic.line > 0, diagnostic
+                assert diagnostic.column > 0, diagnostic
+
+
+class TestSeedsPassTheGate:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_zero_diagnostics(self, name):
+        result = analyze(parse(PROGRAMS[name].source))
+        assert result.diagnostics == []
+
+
+class TestAnalyzeNeverRaises:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int f() { return g(h(1), *3, s.x); }",
+            "struct S { int a; }; int f() { struct S s; return s; }",
+            "int f() { int *p; return **p; }",
+            "void v() { } int f() { return v() + v(); }",
+        ],
+    )
+    def test_cascading_errors_accumulate(self, source):
+        result = analyze(parse(source))
+        assert not result.ok  # reported, not raised

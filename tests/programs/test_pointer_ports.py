@@ -1,0 +1,154 @@
+"""Tests for the pointer/struct MiBench ports in sha and stringsearch.
+
+The new functions are standalone — nothing in ``main``/``selftest``
+calls them, so the pinned checksums and pre-existing RTL stay
+byte-identical — and each one is cross-checked here against the
+array-indexing original it mirrors.
+"""
+
+import pytest
+
+from repro.core.batch import BatchCompiler
+from repro.programs import compile_benchmark
+from repro.vm import Interpreter
+
+
+def _vm(name, fuel=60_000_000):
+    return Interpreter(compile_benchmark(name), fuel=fuel)
+
+
+class TestShaPointerPort:
+    def test_word_sum_walks_the_buffer(self):
+        vm = _vm("sha")
+        vm.run("selftest")  # fills message[] deterministically
+        total = vm.run("word_sum", [vm.global_address("message"), 40])
+        expected = 0
+        fresh = _vm("sha")
+        fresh.run("selftest")
+        for index in range(40):
+            word = fresh.load_global("message", index)
+            expected = (expected + word) & 0xFFFFFFFF
+        assert total.value & 0xFFFFFFFF == expected
+
+    def test_sha_update_ptr_matches_sha_update_words(self):
+        with_arrays = _vm("sha")
+        with_arrays.run("selftest")
+        expected = with_arrays.run("sha_final_word").value
+
+        with_pointers = _vm("sha")
+        # Replicate selftest's message fill, then hash via the pointer
+        # walker instead of the array indexer.
+        with_pointers.run("selftest")
+        base = with_pointers.global_address("message")
+        with_pointers.run("sha_init")
+        with_pointers.store_global("sha_count", 0, 0)
+        with_pointers.run("sha_update_ptr", [base, 40])
+        assert with_pointers.run("sha_final_word").value == expected
+
+    def test_sha_update_ptr_partial_blocks(self):
+        # 21 words: one full block plus a 5-word tail that must be
+        # zero-padded, exactly like sha_update_words does.
+        reference = _vm("sha")
+        reference.run("selftest")
+        base_ref = reference.global_address("message")
+        reference.run("sha_init")
+        reference.store_global("sha_count", 0, 0)
+        reference.run("sha_update_words", [base_ref, 21])
+        expected = reference.run("sha_final_word").value
+
+        pointered = _vm("sha")
+        pointered.run("selftest")
+        base = pointered.global_address("message")
+        pointered.run("sha_init")
+        pointered.store_global("sha_count", 0, 0)
+        pointered.run("sha_update_ptr", [base, 21])
+        assert pointered.run("sha_final_word").value == expected
+
+
+class TestStringsearchStructPort:
+    def _prepared(self, which=0):
+        vm = _vm("stringsearch")
+        vm.run("make_text", [20060325])
+        patlen = vm.run("set_pattern", [which]).value
+        vm.run("bmh_init", [patlen])
+        return vm, patlen
+
+    @pytest.mark.parametrize("which", range(4))
+    def test_simple_search_ptr_matches_simple_search(self, which):
+        vm, patlen = self._prepared(which)
+        vm.run("plant_pattern", [100, patlen])
+        baseline = vm.run("simple_search", [256, patlen]).value
+        pointered = vm.run("simple_search_ptr", [256, patlen]).value
+        assert pointered == baseline
+        assert baseline == 100
+
+    def test_find_all_counts_planted_matches(self):
+        vm, patlen = self._prepared(0)
+        vm.run("plant_pattern", [50, patlen])
+        vm.run("plant_pattern", [120, patlen])
+        result = vm.run("find_all", [256, patlen]).value
+        assert result == 50 * 1000 + 2
+        assert vm.load_global("last_match", 0) == 50
+        assert vm.load_global("last_match", 1) == 2
+
+    def test_find_all_without_matches(self):
+        vm, patlen = self._prepared(2)  # "qzx" never occurs
+        assert vm.run("find_all", [256, patlen]).value == -1 * 1000 + 0
+
+    def test_match_here_pointer_walk(self):
+        vm, patlen = self._prepared(1)
+        vm.run("plant_pattern", [200, patlen])
+        text = vm.global_address("search_text")
+        pattern = vm.global_address("pattern")
+        assert vm.run("match_here", [text + 200 * 4, pattern, patlen]).value == 1
+        assert vm.run("match_here", [text, pattern, patlen]).value == 0
+
+
+class TestPortsSurviveOptimization:
+    @pytest.mark.parametrize(
+        "name,function",
+        [
+            ("sha", "word_sum"),
+            ("sha", "sha_update_ptr"),
+            ("stringsearch", "record_match"),
+            ("stringsearch", "find_all"),
+            ("stringsearch", "match_here"),
+            ("stringsearch", "simple_search_ptr"),
+        ],
+    )
+    def test_batch_compiled_port_agrees_with_naive(self, name, function):
+        vm, patlen = None, None
+        if name == "stringsearch":
+            naive = _vm(name)
+            naive.run("make_text", [20060325])
+            patlen = naive.run("set_pattern", [0]).value
+            naive.run("bmh_init", [patlen])
+            naive.run("plant_pattern", [100, patlen])
+            baseline = naive.run("find_all", [256, patlen]).value
+
+            program = compile_benchmark(name)
+            BatchCompiler().compile(program.functions[function])
+            optimized = Interpreter(program, fuel=60_000_000)
+            optimized.run("make_text", [20060325])
+            optimized.run("set_pattern", [0])
+            optimized.run("bmh_init", [patlen])
+            optimized.run("plant_pattern", [100, patlen])
+            assert optimized.run("find_all", [256, patlen]).value == baseline
+        else:
+            naive = _vm(name)
+            naive.run("selftest")
+            base = naive.global_address("message")
+            naive.run("sha_init")
+            naive.store_global("sha_count", 0, 0)
+            naive.run("sha_update_ptr", [base, 40])
+            baseline = naive.run("sha_final_word").value
+
+            program = compile_benchmark(name)
+            BatchCompiler().compile(program.functions[function])
+            optimized = Interpreter(program, fuel=60_000_000)
+            optimized.run("selftest")
+            base = optimized.global_address("message")
+            optimized.run("sha_init")
+            optimized.store_global("sha_count", 0, 0)
+            optimized.run("sha_update_ptr", [base, 40])
+            assert optimized.run("sha_final_word").value == baseline
